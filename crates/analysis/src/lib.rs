@@ -1,0 +1,15 @@
+//! # quicert-analysis — statistics and report rendering
+//!
+//! Small, dependency-free statistics toolkit used to turn scan results into
+//! the paper's tables and figures: empirical CDFs (Figs 2b, 4, 6, 9),
+//! quantiles and confidence intervals (Fig 11), grouped share tables
+//! (Figs 12/13, Tables 1/2), and plain-text rendering for the `repro`
+//! harness.
+
+pub mod cdf;
+pub mod render;
+pub mod stats;
+
+pub use cdf::Cdf;
+pub use render::{render_bar_table, render_table, Table};
+pub use stats::{mean, mean_ci95, median, percentile, std_dev, Summary};

@@ -1,0 +1,138 @@
+//! Basic summary statistics.
+
+/// Arithmetic mean (0.0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (0.0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Mean with a 95% confidence interval half-width (normal approximation,
+/// as used for the error bars of Fig 11).
+pub fn mean_ci95(values: &[f64]) -> (f64, f64) {
+    let m = mean(values);
+    if values.len() < 2 {
+        return (m, 0.0);
+    }
+    let half = 1.96 * std_dev(values) / (values.len() as f64).sqrt();
+    (m, half)
+}
+
+/// The `p`-th percentile (0..=100) using linear interpolation.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let clamped = p.clamp(0.0, 100.0) / 100.0;
+    let idx = clamped * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// A five-number summary plus mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarise a sample.
+    pub fn of(values: &[f64]) -> Summary {
+        Summary {
+            min: percentile(values, 0.0),
+            p25: percentile(values, 25.0),
+            median: percentile(values, 50.0),
+            p75: percentile(values, 75.0),
+            max: percentile(values, 100.0),
+            mean: mean(values),
+            count: values.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(median(&v), 2.5);
+        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let (m, ci) = mean_ci95(&[]);
+        assert_eq!((m, ci), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (_, ci_small) = mean_ci95(&small);
+        let (_, ci_large) = mean_ci95(&large);
+        assert!(ci_large < ci_small);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 50.5);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Benches regenerating Fig 9 (telescope), the §4.3 ZMap PoP scan, Fig 11
+//! (before/after disclosure) and Table 3 (historical policies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use quicert_bench::{bench_campaign, print_once};
+use quicert_core::experiments::amplification;
+
+fn fig9_backscatter(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig9", || amplification::fig9(campaign, 6).render());
+    c.bench_function("fig9_backscatter", |b| {
+        b.iter(|| amplification::fig9(black_box(campaign), 4))
+    });
+}
+
+fn zmap_meta_pop(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("zmap", || {
+        amplification::meta_pop_scan(campaign, false).render()
+    });
+    c.bench_function("zmap_meta_pop", |b| {
+        b.iter(|| amplification::meta_pop_scan(black_box(campaign), false))
+    });
+}
+
+fn fig11_meta_disclosure(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig11", || amplification::fig11(campaign, 2).render());
+    c.bench_function("fig11_meta_disclosure", |b| {
+        b.iter(|| amplification::fig11(black_box(campaign), 2))
+    });
+}
+
+fn table3_draft_policies(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("table3", || amplification::table3(campaign).render());
+    c.bench_function("table3_draft_policies", |b| {
+        b.iter(|| amplification::table3(black_box(campaign)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig9_backscatter, zmap_meta_pop, fig11_meta_disclosure, table3_draft_policies
+}
+criterion_main!(benches);

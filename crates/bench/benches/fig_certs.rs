@@ -1,0 +1,75 @@
+//! Benches regenerating the certificate-corpus figures: Fig 2b, Fig 6,
+//! Fig 7, Fig 8, Table 2 and Fig 14.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use quicert_bench::{bench_campaign, print_once};
+use quicert_core::experiments::certs;
+
+fn fig2_cert_fields(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig2b", || certs::fig2b(campaign).render());
+    c.bench_function("fig2_cert_fields", |b| {
+        b.iter(|| certs::fig2b(black_box(campaign)))
+    });
+}
+
+fn fig6_chain_sizes(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig6", || certs::fig6(campaign).render());
+    c.bench_function("fig6_chain_sizes", |b| {
+        b.iter(|| certs::fig6(black_box(campaign)))
+    });
+}
+
+fn fig7_parent_chains(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig7", || {
+        format!(
+            "{}\n{}",
+            certs::fig7(campaign, true).render("QUIC services"),
+            certs::fig7(campaign, false).render("HTTPS-only services")
+        )
+    });
+    c.bench_function("fig7_parent_chains", |b| {
+        b.iter(|| {
+            (
+                certs::fig7(black_box(campaign), true),
+                certs::fig7(black_box(campaign), false),
+            )
+        })
+    });
+}
+
+fn fig8_field_by_type(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig8", || certs::render_fig8(&certs::fig8(campaign)));
+    c.bench_function("fig8_field_by_type", |b| {
+        b.iter(|| certs::fig8(black_box(campaign)))
+    });
+}
+
+fn table2_crypto_algos(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("table2", || certs::table2(campaign).render());
+    c.bench_function("table2_crypto_algos", |b| {
+        b.iter(|| certs::table2(black_box(campaign)))
+    });
+}
+
+fn fig14_cruise_liner(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig14", || certs::fig14(campaign).render());
+    c.bench_function("fig14_cruise_liner", |b| {
+        b.iter(|| certs::fig14(black_box(campaign)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig2_cert_fields, fig6_chain_sizes, fig7_parent_chains,
+              fig8_field_by_type, table2_crypto_algos, fig14_cruise_liner
+}
+criterion_main!(benches);

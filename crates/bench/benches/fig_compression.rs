@@ -1,0 +1,43 @@
+//! Benches regenerating Table 1 (browser profiles + algorithm support) and
+//! the §4.2 compression study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use quicert_bench::{bench_campaign, print_once};
+use quicert_compress::Algorithm;
+use quicert_core::experiments::compression;
+
+fn table1_browsers(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("table1", || compression::table1(campaign).render());
+    c.bench_function("table1_browsers", |b| {
+        b.iter(|| compression::table1(black_box(campaign)))
+    });
+}
+
+fn compression_study(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("compression_study", || {
+        Algorithm::ALL
+            .iter()
+            .map(|&alg| {
+                format!(
+                    "[{alg}] {}",
+                    compression::compression_study(campaign, alg, 10).render()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("")
+    });
+    c.bench_function("compression_study_brotli", |b| {
+        b.iter(|| compression::compression_study(black_box(campaign), Algorithm::Brotli, 20))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table1_browsers, compression_study
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benches regenerating Fig 3 (Initial sweep), Fig 4 (amplification CDF),
+//! Fig 5 (multi-RTT payloads), Figs 12/13 (rank groups) and the §4.1
+//! reachability experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use quicert_bench::{bench_campaign, print_once};
+use quicert_core::experiments::handshakes;
+use quicert_scanner::quicreach;
+
+fn fig3_initial_sweep(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig3", || handshakes::fig3(campaign).render());
+    // The full 29-size sweep is printed above; the benchmark measures one
+    // representative bar to keep iteration times sane.
+    c.bench_function("fig3_bar_at_1362", |b| {
+        b.iter(|| {
+            let results = quicreach::scan(campaign.world(), black_box(1362));
+            quicreach::summarize(1362, &results)
+        })
+    });
+}
+
+fn fig4_amplification_cdf(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig4", || {
+        handshakes::render_fig4(&handshakes::fig4(campaign))
+    });
+    c.bench_function("fig4_amplification_cdf", |b| {
+        b.iter(|| handshakes::fig4(black_box(campaign)))
+    });
+}
+
+fn fig5_multirtt_payload(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig5", || handshakes::fig5(campaign).render());
+    c.bench_function("fig5_multirtt_payload", |b| {
+        b.iter(|| handshakes::fig5(black_box(campaign)))
+    });
+}
+
+fn fig12_13_rank_groups(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("fig12_13", || {
+        handshakes::render_rank_groups(&handshakes::rank_groups(campaign))
+    });
+    c.bench_function("fig12_13_rank_groups", |b| {
+        b.iter(|| handshakes::rank_groups(black_box(campaign)))
+    });
+}
+
+fn reachability_drop(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    print_once("reachability", || {
+        handshakes::reachability(campaign).render()
+    });
+    c.bench_function("reachability_drop", |b| {
+        b.iter(|| handshakes::reachability(black_box(campaign)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_initial_sweep, fig4_amplification_cdf, fig5_multirtt_payload,
+              fig12_13_rank_groups, reachability_drop
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p quicert-bench --bin repro            # 20k domains
+//! cargo run --release -p quicert-bench --bin repro -- 100000  # bigger world
+//! cargo run --release -p quicert-bench --bin repro -- 20000 42  # custom seed
+//! ```
+
+use quicert_core::{full_report, Campaign, CampaignConfig, ReportOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let domains: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0xC04E_2022);
+
+    eprintln!("generating world: {domains} domains, seed {seed:#x} ...");
+    let campaign = Campaign::new(CampaignConfig::standard().with_domains(domains).with_seed(seed));
+
+    let options = ReportOptions {
+        telescope_per_provider: 20,
+        fig11_reps: 5,
+        compression_stride: (domains / 2_000).max(1),
+        full_sweep: true,
+        guidance_mitigation: true,
+    };
+    let report = full_report(&campaign, options);
+    println!("{report}");
+}

@@ -1,0 +1,38 @@
+//! # quicert-bench — shared fixtures for the benchmark harness
+//!
+//! Each Criterion bench regenerates one of the paper's tables or figures
+//! (printing its rows/series once) and then measures the runtime of the
+//! regeneration. The `repro` binary runs everything at a larger scale and
+//! prints the full report.
+
+use std::sync::OnceLock;
+
+use quicert_core::{Campaign, CampaignConfig};
+
+/// The world size used by benches (kept small so `cargo bench` finishes in
+/// minutes; `repro` scales up).
+pub const BENCH_DOMAINS: usize = 1_500;
+
+/// A process-wide campaign shared by all benches in a binary.
+pub fn bench_campaign() -> &'static Campaign {
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        Campaign::new(
+            CampaignConfig::small()
+                .with_domains(BENCH_DOMAINS)
+                .with_seed(0xBE4C),
+        )
+    })
+}
+
+/// Print a figure/table reproduction exactly once per process.
+pub fn print_once(key: &'static str, render: impl FnOnce() -> String) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static PRINTED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let printed = PRINTED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = printed.lock().unwrap();
+    if guard.insert(key) {
+        eprintln!("\n{}", render());
+    }
+}

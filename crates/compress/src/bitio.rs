@@ -1,0 +1,141 @@
+//! MSB-first bit-level I/O used by the Huffman stage.
+
+/// Writes bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    current: u8,
+    filled: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Append the lowest `len` bits of `code`, MSB first. `len` ≤ 32.
+    pub fn write_bits(&mut self, code: u32, len: u8) {
+        debug_assert!(len <= 32);
+        for i in (0..len).rev() {
+            let bit = ((code >> i) & 1) as u8;
+            self.current = (self.current << 1) | bit;
+            self.filled += 1;
+            if self.filled == 8 {
+                self.out.push(self.current);
+                self.current = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.filled as usize
+    }
+
+    /// Pad the final partial byte with zeros and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.current <<= 8 - self.filled;
+            self.out.push(self.current);
+        }
+        self.out
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// New reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        BitReader {
+            input,
+            pos: 0,
+            bit: 0,
+        }
+    }
+
+    /// Read one bit; `None` at end of input.
+    pub fn read_bit(&mut self) -> Option<u8> {
+        let byte = *self.input.get(self.pos)?;
+        let bit = (byte >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Some(bit)
+    }
+
+    /// Read `len` bits MSB-first as an integer.
+    pub fn read_bits(&mut self, len: u8) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..len {
+            v = (v << 1) | self.read_bit()? as u32;
+        }
+        Some(v)
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_read(&self) -> usize {
+        self.pos * 8 + self.bit as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b1010, 4);
+        w.write_bits(0x3FF, 10);
+        w.write_bits(0, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(4), Some(0b1010));
+        assert_eq!(r.read_bits(10), Some(0x3FF));
+        assert_eq!(r.read_bits(3), Some(0));
+        assert_eq!(r.read_bits(32), Some(0xDEADBEEF));
+    }
+
+    #[test]
+    fn bit_len_counts_exactly() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 5);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(0, 1);
+        assert_eq!(w.bit_len(), 9);
+        assert_eq!(w.finish().len(), 2);
+    }
+
+    #[test]
+    fn reader_signals_exhaustion() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn padding_is_zero_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Container format: LZ token serialisation + optional Huffman pass.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic  'Q' 'C'            (2 bytes)
+//! algo   RFC 8879 code point (1 byte)
+//! mode   0=stored 1=lz 2=lz+huffman (1 byte)
+//! orig   uncompressed length (LEB128 varint)
+//! mode 0: raw input bytes
+//! mode 1: LZ token stream
+//! mode 2: 128-byte nibble table of Huffman code lengths,
+//!         LZ stream length (varint), Huffman bitstream
+//! ```
+//!
+//! The LZ token stream is a repetition of
+//! `varint(lit_len) literals [varint(match_len) varint(dist)]`, terminated
+//! implicitly when the decoder has produced `orig` bytes. A `match_len`
+//! varint of 0 encodes "no match" (only meaningful before end of stream).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::Code;
+use crate::lz77::{self, Token};
+use crate::Algorithm;
+
+/// Errors while decoding a compressed container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Container too short or magic mismatch.
+    BadHeader,
+    /// Unknown mode byte.
+    BadMode(u8),
+    /// Varint overruns or exceeds 2^32.
+    BadVarint,
+    /// LZ stream refers outside the window, or is truncated.
+    BadStream,
+    /// Huffman bitstream is malformed.
+    BadBits,
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::BadHeader => write!(f, "bad container header"),
+            CompressError::BadMode(m) => write!(f, "unknown container mode {m}"),
+            CompressError::BadVarint => write!(f, "malformed varint"),
+            CompressError::BadStream => write!(f, "malformed LZ stream"),
+            CompressError::BadBits => write!(f, "malformed Huffman bitstream"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Result<u64, CompressError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos).ok_or(CompressError::BadVarint)?;
+        *pos += 1;
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 42 {
+            return Err(CompressError::BadVarint);
+        }
+    }
+}
+
+/// Serialise LZ tokens into the byte stream described in the module docs.
+fn serialize_tokens(tokens: &[Token], min_match: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut literals: Vec<u8> = Vec::new();
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => literals.push(b),
+            Token::Match { len, dist } => {
+                push_varint(&mut out, literals.len() as u64);
+                out.extend_from_slice(&literals);
+                literals.clear();
+                // +1 so that 0 remains the "no match" sentinel.
+                push_varint(&mut out, (len - min_match + 1) as u64);
+                push_varint(&mut out, dist as u64);
+            }
+        }
+    }
+    if !literals.is_empty() {
+        push_varint(&mut out, literals.len() as u64);
+        out.extend_from_slice(&literals);
+        push_varint(&mut out, 0); // trailing no-match marker
+    }
+    out
+}
+
+/// Decode an LZ token stream into `out` until `target_len` bytes have been
+/// produced. The decode window is `dict || out`.
+fn decode_tokens(
+    stream: &[u8],
+    dict: &[u8],
+    target_len: usize,
+) -> Result<Vec<u8>, CompressError> {
+    let mut out: Vec<u8> = Vec::with_capacity(target_len);
+    let mut pos = 0usize;
+    while out.len() < target_len {
+        let lit_len = read_varint(stream, &mut pos)? as usize;
+        if lit_len > target_len - out.len() {
+            return Err(CompressError::BadStream);
+        }
+        let lits = stream
+            .get(pos..pos + lit_len)
+            .ok_or(CompressError::BadStream)?;
+        out.extend_from_slice(lits);
+        pos += lit_len;
+        if out.len() >= target_len {
+            break;
+        }
+        let len_code = read_varint(stream, &mut pos)? as usize;
+        if len_code == 0 {
+            // Explicit no-match marker; continue with next literal run.
+            continue;
+        }
+        let dist = read_varint(stream, &mut pos)? as usize;
+        if dist == 0 || dist > dict.len() + out.len() {
+            return Err(CompressError::BadStream);
+        }
+        // min_match is not known to the decoder; the encoder embeds it by
+        // biasing len_code relative to MIN_MATCH_BASE.
+        let len = len_code + MIN_MATCH_BASE - 1;
+        if len > target_len - out.len() {
+            return Err(CompressError::BadStream);
+        }
+        for _ in 0..len {
+            let from_end = dict.len() + out.len() - dist;
+            let b = if from_end < dict.len() {
+                dict[from_end]
+            } else {
+                out[from_end - dict.len()]
+            };
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+/// All profiles serialise match lengths relative to this base so the decoder
+/// does not need to know the profile's `min_match` (profiles with larger
+/// minimums simply never emit small codes).
+const MIN_MATCH_BASE: usize = 4;
+
+/// Compress `input` under the given algorithm profile.
+pub fn compress(algorithm: Algorithm, input: &[u8]) -> Vec<u8> {
+    let params = algorithm.params();
+    let dict = algorithm.dictionary();
+    let tokens = lz77::tokenize(dict, input, params);
+    let lz_stream = serialize_tokens(&tokens, MIN_MATCH_BASE);
+
+    let mut header = Vec::with_capacity(8);
+    header.extend_from_slice(b"QC");
+    header.push(algorithm.code_point() as u8);
+
+    // Candidate 2: Huffman over the LZ stream.
+    let mut freqs = [0u64; 256];
+    for &b in &lz_stream {
+        freqs[b as usize] += 1;
+    }
+    let code = Code::from_frequencies(&freqs);
+    let huff_bits = code.cost_bits(&freqs);
+    let huff_len = 128 + varint_len(lz_stream.len() as u64) + huff_bits.div_ceil(8) as usize;
+
+    let (mode, payload): (u8, Vec<u8>) = if huff_len < lz_stream.len() && huff_len < input.len() {
+        let mut payload = Vec::with_capacity(huff_len);
+        // 4-bit code lengths, two symbols per byte.
+        for pair in 0..128 {
+            let hi = code.lengths[pair * 2];
+            let lo = code.lengths[pair * 2 + 1];
+            payload.push((hi << 4) | lo);
+        }
+        push_varint(&mut payload, lz_stream.len() as u64);
+        let mut w = BitWriter::new();
+        for &b in &lz_stream {
+            code.write_symbol(&mut w, b);
+        }
+        payload.extend_from_slice(&w.finish());
+        (2, payload)
+    } else if lz_stream.len() < input.len() {
+        (1, lz_stream)
+    } else {
+        (0, input.to_vec())
+    };
+
+    let mut out = header;
+    out.push(mode);
+    push_varint(&mut out, input.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7).max(1)
+}
+
+/// Decompress a container produced by [`compress`]. The caller must supply
+/// the same dictionary the algorithm profile used (obtainable via
+/// [`Algorithm::dictionary`]; the algorithm is also recorded in the header).
+pub fn decompress(data: &[u8], dict: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if data.len() < 5 || &data[0..2] != b"QC" {
+        return Err(CompressError::BadHeader);
+    }
+    let mode = data[3];
+    let mut pos = 4usize;
+    let orig_len = read_varint(data, &mut pos)? as usize;
+    match mode {
+        0 => {
+            let raw = data.get(pos..).ok_or(CompressError::BadStream)?;
+            if raw.len() != orig_len {
+                return Err(CompressError::BadStream);
+            }
+            Ok(raw.to_vec())
+        }
+        1 => decode_tokens(&data[pos..], dict, orig_len),
+        2 => {
+            let table = data
+                .get(pos..pos + 128)
+                .ok_or(CompressError::BadHeader)?;
+            let mut lengths = [0u8; 256];
+            for (i, &b) in table.iter().enumerate() {
+                lengths[i * 2] = b >> 4;
+                lengths[i * 2 + 1] = b & 0x0F;
+            }
+            pos += 128;
+            let lz_len = read_varint(data, &mut pos)? as usize;
+            let code = Code::from_lengths(lengths);
+            let decoder = code.decoder();
+            let mut reader = BitReader::new(&data[pos..]);
+            let mut lz_stream = Vec::with_capacity(lz_len);
+            for _ in 0..lz_len {
+                lz_stream.push(decoder.read_symbol(&mut reader).ok_or(CompressError::BadBits)?);
+            }
+            decode_tokens(&lz_stream, dict, orig_len)
+        }
+        m => Err(CompressError::BadMode(m)),
+    }
+}
+
+/// The algorithm recorded in a container header, if valid.
+pub fn algorithm_of(data: &[u8]) -> Option<Algorithm> {
+    if data.len() < 4 || &data[0..2] != b"QC" {
+        return None;
+    }
+    Algorithm::from_code_point(data[2] as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(alg: Algorithm, input: &[u8]) -> usize {
+        let compressed = compress(alg, input);
+        let back = decompress(&compressed, alg.dictionary()).expect("decompress");
+        assert_eq!(back, input, "{alg} roundtrip");
+        compressed.len()
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        for alg in Algorithm::ALL {
+            roundtrip(alg, &[]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_short_inputs() {
+        for alg in Algorithm::ALL {
+            roundtrip(alg, b"x");
+            roundtrip(alg, b"abcd");
+            roundtrip(alg, b"hello world");
+        }
+    }
+
+    #[test]
+    fn roundtrip_repetitive_compresses_hard() {
+        let input: Vec<u8> = b"SEQUENCE OF CERTIFICATE ".repeat(200);
+        for alg in Algorithm::ALL {
+            let n = roundtrip(alg, &input);
+            assert!(n < input.len() / 5, "{alg}: {n} of {}", input.len());
+        }
+    }
+
+    #[test]
+    fn incompressible_input_falls_back_to_stored() {
+        // Pseudo-random bytes: mode 0 keeps overhead to the 4+varint header.
+        let input: Vec<u8> = (0u32..4096)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let compressed = compress(Algorithm::Zlib, &input);
+        assert!(compressed.len() <= input.len() + 8);
+        let back = decompress(&compressed, &[]).unwrap();
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn header_records_algorithm() {
+        let c = compress(Algorithm::Brotli, b"test input for header");
+        assert_eq!(algorithm_of(&c), Some(Algorithm::Brotli));
+        assert_eq!(algorithm_of(b"xx"), None);
+    }
+
+    #[test]
+    fn truncated_container_errors() {
+        let c = compress(Algorithm::Zlib, &b"some reasonably long input data ".repeat(20));
+        for cut in [0, 1, 3, 4, c.len() / 2] {
+            let r = decompress(&c[..cut], &[]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_errors() {
+        let mut c = compress(Algorithm::Zlib, b"data data data data data data");
+        c[0] = b'X';
+        assert_eq!(decompress(&c, &[]).unwrap_err(), CompressError::BadHeader);
+    }
+
+    #[test]
+    fn bad_mode_errors() {
+        let mut c = compress(Algorithm::Zlib, b"data");
+        c[3] = 9;
+        assert!(matches!(decompress(&c, &[]), Err(CompressError::BadMode(9))));
+    }
+
+    #[test]
+    fn wrong_dictionary_fails_or_differs() {
+        let input = Algorithm::Brotli.dictionary()[..500].to_vec();
+        let c = compress(Algorithm::Brotli, &input);
+        // Decoding with an empty dictionary must not silently return the
+        // original bytes (match distances reach into the dictionary).
+        if let Ok(out) = decompress(&c, &[]) { assert_ne!(out, input) }
+        // And with the right dictionary it must round-trip.
+        assert_eq!(decompress(&c, Algorithm::Brotli.dictionary()).unwrap(), input);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len for {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn der_like_input_reaches_realistic_ratio() {
+        // Synthetic "certificate chain": structured prefix patterns with
+        // embedded random key material, like real DER.
+        let mut input = Vec::new();
+        for i in 0..3 {
+            input.extend_from_slice(b"\x30\x82\x05\x39\x30\x82\x04\x21\xa0\x03\x02\x01\x02");
+            input.extend_from_slice(b"\x06\x09\x2a\x86\x48\x86\xf7\x0d\x01\x01\x0b\x05\x00");
+            input.extend_from_slice(b"0\x81\x8fC=US, O=Example Trust Services, CN=Example CA 1");
+            input.extend_from_slice(b"http://ocsp.example-trust.test/");
+            input.extend_from_slice(b"http://crl.example-trust.test/ca1.crl");
+            // 300 bytes of incompressible key/signature material.
+            input.extend((0u32..75).map(|j| (j.wrapping_mul(40503).wrapping_add(i * 7919) >> 3) as u8));
+        }
+        let c = compress(Algorithm::Brotli, &input);
+        let ratio = c.len() as f64 / input.len() as f64;
+        assert!(ratio < 0.85, "structured DER-like data must compress, got {ratio}");
+        assert_eq!(decompress(&c, Algorithm::Brotli.dictionary()).unwrap(), input);
+    }
+}

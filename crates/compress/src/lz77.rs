@@ -1,0 +1,305 @@
+//! LZ77 match finding with a hash-chain index.
+//!
+//! The tokenizer works over the concatenation `dictionary || input`, so
+//! matches may reach back into a shared static dictionary — this is how the
+//! brotli profile gets its head start on certificate data.
+
+/// Tuning parameters of an LZ profile.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Maximum match distance in bytes.
+    pub window: usize,
+    /// Minimum match length worth emitting.
+    pub min_match: usize,
+    /// Whether to do one-step-lazy matching (try position+1 for a longer
+    /// match before committing).
+    pub lazy: bool,
+}
+
+/// Longest match the tokenizer will emit.
+pub const MAX_MATCH: usize = 1 << 16;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes behind the
+    /// current output position (may reach into the dictionary).
+    Match {
+        /// Match length (≥ the profile's `min_match`).
+        len: usize,
+        /// Backward distance (≥ 1).
+        dist: usize,
+    },
+}
+
+const HASH_BITS: u32 = 16;
+const CHAIN_LIMIT: usize = 64;
+
+#[inline]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    let v = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+struct Matcher<'a> {
+    data: &'a [u8],
+    head: Vec<i64>,
+    prev: Vec<i64>,
+    params: Params,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(data: &'a [u8], params: Params) -> Self {
+        Matcher {
+            data,
+            head: vec![-1; 1 << HASH_BITS],
+            prev: vec![-1; data.len()],
+            params,
+        }
+    }
+
+    fn insert(&mut self, pos: usize) {
+        if pos + 4 > self.data.len() {
+            return;
+        }
+        let h = hash4(self.data, pos);
+        self.prev[pos] = self.head[h];
+        self.head[h] = pos as i64;
+    }
+
+    /// Find the best match for `pos`, returning `(len, dist)`.
+    fn best_match(&self, pos: usize) -> Option<(usize, usize)> {
+        if pos + self.params.min_match > self.data.len() || pos + 4 > self.data.len() {
+            return None;
+        }
+        let h = hash4(self.data, pos);
+        let mut candidate = self.head[h];
+        let mut best_len = self.params.min_match - 1;
+        let mut best_dist = 0usize;
+        let max_len = (self.data.len() - pos).min(MAX_MATCH);
+        let mut chain = 0;
+        while candidate >= 0 && chain < CHAIN_LIMIT {
+            let cand = candidate as usize;
+            if cand >= pos {
+                // Defensive: never self-match (dist 0 would corrupt output).
+                candidate = self.prev[cand];
+                chain += 1;
+                continue;
+            }
+            let dist = pos - cand;
+            if dist > self.params.window {
+                break;
+            }
+            // Quick check on the byte that would extend the best match.
+            if best_len < max_len && self.data[cand + best_len] == self.data[pos + best_len] {
+                let mut len = 0;
+                while len < max_len && self.data[cand + len] == self.data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = dist;
+                    if len >= max_len {
+                        break;
+                    }
+                }
+            }
+            candidate = self.prev[cand];
+            chain += 1;
+        }
+        if best_len >= self.params.min_match {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+/// Tokenize `input`, allowing matches into `dict` (which is *not* emitted).
+pub fn tokenize(dict: &[u8], input: &[u8], params: Params) -> Vec<Token> {
+    let mut data = Vec::with_capacity(dict.len() + input.len());
+    data.extend_from_slice(dict);
+    data.extend_from_slice(input);
+    let mut matcher = Matcher::new(&data, params);
+    for pos in 0..dict.len() {
+        matcher.insert(pos);
+    }
+
+    let mut tokens = Vec::new();
+    let mut pos = dict.len();
+    while pos < data.len() {
+        let found = matcher.best_match(pos);
+        match found {
+            Some((mut len, mut dist)) => {
+                // One-step lazy evaluation: a longer match at pos+1 may be
+                // worth deferring for.
+                if params.lazy && pos + 1 < data.len() {
+                    matcher.insert(pos);
+                    if let Some((len2, dist2)) = matcher.best_match(pos + 1) {
+                        if len2 > len + 1 {
+                            tokens.push(Token::Literal(data[pos]));
+                            pos += 1;
+                            len = len2;
+                            dist = dist2;
+                        }
+                    }
+                    // `pos` was already inserted above; insert the rest of
+                    // the match region below starting at pos+1.
+                    tokens.push(Token::Match { len, dist });
+                    for p in pos + 1..pos + len {
+                        matcher.insert(p);
+                    }
+                    pos += len;
+                    continue;
+                }
+                tokens.push(Token::Match { len, dist });
+                for p in pos..pos + len {
+                    matcher.insert(p);
+                }
+                pos += len;
+            }
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                matcher.insert(pos);
+                pos += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Reconstruct the input from tokens (used by tests; the container decoder
+/// has its own incremental version).
+pub fn detokenize(dict: &[u8], tokens: &[Token]) -> Vec<u8> {
+    let mut out = dict.to_vec();
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out.split_off(dict.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Params = Params {
+        window: 32 * 1024,
+        min_match: 4,
+        lazy: false,
+    };
+
+    #[test]
+    fn roundtrip_simple() {
+        let input = b"abcabcabcabcabcabc";
+        let tokens = tokenize(&[], input, P);
+        assert_eq!(detokenize(&[], &tokens), input);
+        // Must find the period-3 repetition (overlapping match).
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { dist: 3, .. })));
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        // A de Bruijn-ish byte sequence with no 4-grams repeated.
+        let input: Vec<u8> = (0u32..2000)
+            .flat_map(|i| (i.wrapping_mul(2654435761)).to_be_bytes())
+            .collect();
+        let tokens = tokenize(&[], &input, P);
+        assert_eq!(detokenize(&[], &tokens), input);
+    }
+
+    #[test]
+    fn dictionary_matches_reach_back() {
+        let dict = b"certificate transparency log entry";
+        let input = b"certificate transparency!";
+        let tokens = tokenize(dict, input, P);
+        assert_eq!(detokenize(dict, &tokens), input);
+        // The first token should be a long match into the dictionary.
+        match tokens[0] {
+            Token::Match { len, dist } => {
+                assert!(len >= 24, "len {len}");
+                assert_eq!(dist, dict.len());
+            }
+            ref t => panic!("expected dictionary match, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn window_limits_distance() {
+        let tight = Params {
+            window: 8,
+            min_match: 4,
+            lazy: false,
+        };
+        // Repetition with period 16 cannot be matched in an 8-byte window.
+        let unit = b"0123456789ABCDEF";
+        let mut input = Vec::new();
+        for _ in 0..4 {
+            input.extend_from_slice(unit);
+        }
+        let tokens = tokenize(&[], &input, tight);
+        assert!(
+            tokens.iter().all(|t| matches!(t, Token::Literal(_))),
+            "no match may exceed the window"
+        );
+        assert_eq!(detokenize(&[], &tokens), input);
+    }
+
+    #[test]
+    fn lazy_matching_still_roundtrips() {
+        let lazy = Params {
+            window: 64 * 1024,
+            min_match: 4,
+            lazy: true,
+        };
+        let mut input = Vec::new();
+        for i in 0..50 {
+            input.extend_from_slice(b"prefix-");
+            input.extend_from_slice(format!("{i:04}").as_bytes());
+            input.extend_from_slice(b"-suffix of considerable length;");
+        }
+        let tokens = tokenize(&[], &input, lazy);
+        assert_eq!(detokenize(&[], &tokens), input);
+        let matched: usize = tokens
+            .iter()
+            .map(|t| match t {
+                Token::Match { len, .. } => *len,
+                _ => 0,
+            })
+            .sum();
+        assert!(matched * 10 > input.len() * 8, "most bytes should match");
+    }
+
+    #[test]
+    fn min_match_is_respected() {
+        let strict = Params {
+            window: 1024,
+            min_match: 6,
+            lazy: false,
+        };
+        let input = b"abcd-abcd-abcdef-abcdef";
+        let tokens = tokenize(&[], input, strict);
+        for t in &tokens {
+            if let Token::Match { len, .. } = t {
+                assert!(*len >= 6);
+            }
+        }
+        assert_eq!(detokenize(&[], &tokens), input);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize(&[], &[], P).is_empty());
+        assert!(tokenize(b"dict", &[], P).is_empty());
+    }
+}

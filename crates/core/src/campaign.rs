@@ -1,0 +1,128 @@
+//! A measurement campaign: one world plus lazily computed scan artifacts.
+
+use std::sync::OnceLock;
+
+use quicert_pki::{World, WorldConfig};
+use quicert_scanner::https_scan::{self, HttpsScanReport};
+use quicert_scanner::quicreach::{self, QuicReachResult};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// World generation parameters.
+    pub world: WorldConfig,
+    /// The default client Initial size used for single-size scans
+    /// (the paper reports at 1362 bytes, close to Firefox's 1357).
+    pub default_initial: usize,
+}
+
+impl CampaignConfig {
+    /// A small configuration for tests and examples (2k domains).
+    pub fn small() -> Self {
+        CampaignConfig {
+            world: WorldConfig {
+                domains: 2_000,
+                ..WorldConfig::default()
+            },
+            default_initial: 1362,
+        }
+    }
+
+    /// The default 1:50-scale configuration (20k domains).
+    pub fn standard() -> Self {
+        CampaignConfig {
+            world: WorldConfig::default(),
+            default_initial: 1362,
+        }
+    }
+
+    /// Override the seed (useful for replication runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.world.seed = seed;
+        self
+    }
+
+    /// Override the number of domains.
+    pub fn with_domains(mut self, domains: usize) -> Self {
+        self.world.domains = domains;
+        self
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig::standard()
+    }
+}
+
+/// One measurement campaign.
+#[derive(Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+    world: World,
+    https: OnceLock<HttpsScanReport>,
+    quicreach_default: OnceLock<Vec<QuicReachResult>>,
+}
+
+impl Campaign {
+    /// Generate the world for `config`.
+    pub fn new(config: CampaignConfig) -> Campaign {
+        let world = World::generate(config.world.clone());
+        Campaign {
+            config,
+            world,
+            https: OnceLock::new(),
+            quicreach_default: OnceLock::new(),
+        }
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The generated world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The rank-group width used for Figs 12/13 (the paper uses 100k groups
+    /// over 1M domains; scaled worlds use domains/10).
+    pub fn rank_group_width(&self) -> usize {
+        (self.config.world.domains / 10).max(1)
+    }
+
+    /// The HTTPS certificate scan (computed once).
+    pub fn https_scan(&self) -> &HttpsScanReport {
+        self.https.get_or_init(|| https_scan::scan(&self.world))
+    }
+
+    /// The quicreach classification at the default Initial size.
+    pub fn quicreach_default(&self) -> &[QuicReachResult] {
+        self.quicreach_default
+            .get_or_init(|| quicreach::scan(&self.world, self.config.default_initial))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_are_cached() {
+        let campaign = Campaign::new(CampaignConfig::small().with_seed(5));
+        let a = campaign.https_scan() as *const _;
+        let b = campaign.https_scan() as *const _;
+        assert_eq!(a, b, "same allocation on second call");
+        let q1 = campaign.quicreach_default().len();
+        let q2 = campaign.quicreach_default().len();
+        assert_eq!(q1, q2);
+        assert!(q1 > 0);
+    }
+
+    #[test]
+    fn rank_group_width_scales() {
+        let c = Campaign::new(CampaignConfig::small().with_domains(5_000));
+        assert_eq!(c.rank_group_width(), 500);
+    }
+}

@@ -1,0 +1,338 @@
+//! Handshake-classification experiments: Figs 3, 4, 5, 12, 13 and the
+//! §4.1 reachability analysis.
+
+use quicert_analysis::{render_table, Cdf, Table};
+use quicert_quic::handshake::HandshakeClass;
+use quicert_scanner::quicreach::{self, QuicReachResult, ScanSummary};
+
+use crate::Campaign;
+
+// ----------------------------------------------------------------- Fig 3 --
+
+/// Fig 3: handshake classes per client Initial size.
+#[derive(Debug)]
+pub struct Fig3 {
+    /// One summary per swept size (1200..=1472 step 10).
+    pub bars: Vec<ScanSummary>,
+}
+
+/// Run the full sweep.
+pub fn fig3(campaign: &Campaign) -> Fig3 {
+    Fig3 {
+        bars: quicreach::sweep(campaign.world()),
+    }
+}
+
+impl Fig3 {
+    /// The bar at a given Initial size.
+    pub fn at(&self, initial_size: usize) -> Option<&ScanSummary> {
+        self.bars.iter().find(|b| b.initial_size == initial_size)
+    }
+
+    /// Render the stacked-bar data.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["initial", "amplification", "multi-RTT", "RETRY", "1-RTT", "unreachable"]);
+        for bar in &self.bars {
+            t.row(&[
+                bar.initial_size.to_string(),
+                bar.amplification.to_string(),
+                bar.multi_rtt.to_string(),
+                bar.retry.to_string(),
+                bar.one_rtt.to_string(),
+                bar.unreachable.to_string(),
+            ]);
+        }
+        format!("Fig 3 — handshake classes vs Initial size\n{}", render_table(&t))
+    }
+}
+
+// ----------------------------------------------------------------- Fig 4 --
+
+/// Fig 4: CDF of first-RTT amplification factors for handshakes that
+/// exceed the limit (the paper's 165k amplifying services).
+pub fn fig4(campaign: &Campaign) -> Cdf {
+    Cdf::new(
+        campaign
+            .quicreach_default()
+            .iter()
+            .filter(|r| r.class == HandshakeClass::Amplification)
+            .map(|r| r.amplification)
+            .collect(),
+    )
+}
+
+/// Render Fig 4 headline numbers.
+pub fn render_fig4(cdf: &Cdf) -> String {
+    format!(
+        "Fig 4 — first-RTT amplification (amplifying handshakes, n={}): \
+         min {:.2}x, median {:.2}x, p99 {:.2}x, max {:.2}x\n",
+        cdf.len(),
+        cdf.range().0,
+        cdf.median(),
+        cdf.quantile(0.99),
+        cdf.range().1,
+    )
+}
+
+// ----------------------------------------------------------------- Fig 5 --
+
+/// Fig 5: per-handshake payload split for multi-RTT handshakes.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// (TLS payload bytes, total received bytes) per multi-RTT handshake,
+    /// ascending by total.
+    pub handshakes: Vec<(usize, usize)>,
+    /// The 3× limit at the default Initial size.
+    pub limit: usize,
+}
+
+/// Compute Fig 5.
+pub fn fig5(campaign: &Campaign) -> Fig5 {
+    let mut handshakes: Vec<(usize, usize)> = campaign
+        .quicreach_default()
+        .iter()
+        .filter(|r| r.class == HandshakeClass::MultiRtt)
+        .map(|r| (r.tls_received, r.wire_received))
+        .collect();
+    handshakes.sort_by_key(|(_, wire)| *wire);
+    Fig5 {
+        handshakes,
+        limit: 3 * campaign.config().default_initial,
+    }
+}
+
+impl Fig5 {
+    /// Share of multi-RTT handshakes whose TLS payload alone exceeds the
+    /// limit (paper: 87%).
+    pub fn tls_alone_exceeds(&self) -> f64 {
+        let n = self
+            .handshakes
+            .iter()
+            .filter(|(tls, _)| *tls > self.limit)
+            .count();
+        n as f64 / self.handshakes.len().max(1) as f64
+    }
+
+    /// Render the headline numbers.
+    pub fn render(&self) -> String {
+        format!(
+            "Fig 5 — multi-RTT payloads (n={}): TLS alone exceeds the {} B \
+             limit in {:.1}% of handshakes\n",
+            self.handshakes.len(),
+            self.limit,
+            self.tls_alone_exceeds() * 100.0,
+        )
+    }
+}
+
+// ----------------------------------------------------------- Figs 12/13 --
+
+/// Per-rank-group service shares (Fig 12) and class shares (Fig 13).
+#[derive(Debug)]
+pub struct RankGroupRow {
+    /// Group index (0 = most popular).
+    pub group: usize,
+    /// Domains in the group.
+    pub domains: usize,
+    /// QUIC service share, percent of domains.
+    pub quic_share: f64,
+    /// HTTPS-only share, percent of domains.
+    pub https_only_share: f64,
+    /// Handshake class shares among the group's reachable QUIC services
+    /// (amplification, multi, retry, one-rtt), in percent.
+    pub class_shares: [f64; 4],
+}
+
+/// Compute Figs 12 and 13 in one pass.
+pub fn rank_groups(campaign: &Campaign) -> Vec<RankGroupRow> {
+    let width = campaign.rank_group_width();
+    let world = campaign.world();
+    let results: &[QuicReachResult] = campaign.quicreach_default();
+    let group_count = world.domains().len().div_ceil(width);
+    let mut rows: Vec<RankGroupRow> = (0..group_count)
+        .map(|group| RankGroupRow {
+            group,
+            domains: 0,
+            quic_share: 0.0,
+            https_only_share: 0.0,
+            class_shares: [0.0; 4],
+        })
+        .collect();
+    let mut quic_counts = vec![0usize; group_count];
+    let mut https_counts = vec![0usize; group_count];
+    for d in world.domains() {
+        let g = (d.rank - 1) / width;
+        rows[g].domains += 1;
+        if d.has_quic() {
+            quic_counts[g] += 1;
+        } else if d.has_https() {
+            https_counts[g] += 1;
+        }
+    }
+    let mut class_counts = vec![[0usize; 4]; group_count];
+    let mut reachable = vec![0usize; group_count];
+    for r in results {
+        let g = (r.rank - 1) / width;
+        let idx = match r.class {
+            HandshakeClass::Amplification => 0,
+            HandshakeClass::MultiRtt => 1,
+            HandshakeClass::Retry => 2,
+            HandshakeClass::OneRtt => 3,
+            HandshakeClass::Unreachable => continue,
+        };
+        class_counts[g][idx] += 1;
+        reachable[g] += 1;
+    }
+    for (g, row) in rows.iter_mut().enumerate() {
+        let n = row.domains.max(1) as f64;
+        row.quic_share = quic_counts[g] as f64 / n * 100.0;
+        row.https_only_share = https_counts[g] as f64 / n * 100.0;
+        let total = reachable[g].max(1) as f64;
+        for (i, share) in row.class_shares.iter_mut().enumerate() {
+            *share = class_counts[g][i] as f64 / total * 100.0;
+        }
+    }
+    rows
+}
+
+/// Render Figs 12 and 13.
+pub fn render_rank_groups(rows: &[RankGroupRow]) -> String {
+    let mut t = Table::new(&[
+        "group", "QUIC %", "HTTPS-only %", "ampl %", "multi %", "retry %", "1-RTT %",
+    ]);
+    for row in rows {
+        t.row(&[
+            row.group.to_string(),
+            format!("{:.1}", row.quic_share),
+            format!("{:.1}", row.https_only_share),
+            format!("{:.2}", row.class_shares[0]),
+            format!("{:.2}", row.class_shares[1]),
+            format!("{:.2}", row.class_shares[2]),
+            format!("{:.2}", row.class_shares[3]),
+        ]);
+    }
+    format!("Figs 12/13 — per rank group\n{}", render_table(&t))
+}
+
+// ----------------------------------------------------- §4.1 reachability --
+
+/// Reachability drop between the smallest and largest Initial sizes,
+/// overall and for the top rank buckets.
+#[derive(Debug)]
+pub struct Reachability {
+    /// (bucket label, reachable at 1200, reachable at 1472).
+    pub buckets: Vec<(&'static str, usize, usize)>,
+}
+
+/// Compute the reachability experiment.
+pub fn reachability(campaign: &Campaign) -> Reachability {
+    let world = campaign.world();
+    let small = quicreach::scan(world, 1200);
+    let large = quicreach::scan(world, 1472);
+    let count = |results: &[QuicReachResult], lo: usize, hi: usize| {
+        results
+            .iter()
+            .filter(|r| r.rank >= lo && r.rank <= hi && r.class != HandshakeClass::Unreachable)
+            .count()
+    };
+    let n = world.domains().len();
+    Reachability {
+        buckets: vec![
+            ("top-1k", count(&small, 1, 1_000), count(&large, 1, 1_000)),
+            ("top-10k", count(&small, 1, 10_000), count(&large, 1, 10_000)),
+            ("all", count(&small, 1, n), count(&large, 1, n)),
+        ],
+    }
+}
+
+impl Reachability {
+    /// Relative drop for a bucket, in percent.
+    pub fn drop_pct(&self, label: &str) -> f64 {
+        self.buckets
+            .iter()
+            .find(|(l, _, _)| *l == label)
+            .map(|(_, small, large)| {
+                (*small as f64 - *large as f64) / (*small).max(1) as f64 * 100.0
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Render.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["bucket", "reachable @1200", "reachable @1472", "drop %"]);
+        for (label, small, large) in &self.buckets {
+            t.row(&[
+                label.to_string(),
+                small.to_string(),
+                large.to_string(),
+                format!("{:.1}", self.drop_pct(label)),
+            ]);
+        }
+        format!("§4.1 — reachability vs Initial size\n{}", render_table(&t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CampaignConfig;
+
+    fn campaign() -> Campaign {
+        Campaign::new(CampaignConfig::small().with_seed(7).with_domains(2_500))
+    }
+
+    #[test]
+    fn fig4_amplification_band_matches_paper() {
+        let c = campaign();
+        let cdf = fig4(&c);
+        assert!(cdf.len() > 50);
+        // Fig 4: factors sit between 3 and ~5.5.
+        assert!(cdf.range().0 > 3.0);
+        assert!(cdf.range().1 < 6.5, "max {}", cdf.range().1);
+        assert!(!render_fig4(&cdf).is_empty());
+    }
+
+    #[test]
+    fn fig5_tls_dominates_multi_rtt() {
+        let c = campaign();
+        let fig = fig5(&c);
+        assert!(!fig.handshakes.is_empty());
+        // Paper: TLS payload alone exceeds the limit in 87% of cases.
+        let share = fig.tls_alone_exceeds();
+        assert!(share > 0.70, "tls-exceeds share {share}");
+        // And received totals always exceed the limit for multi-RTT.
+        let over = fig
+            .handshakes
+            .iter()
+            .filter(|(_, wire)| *wire > fig.limit)
+            .count() as f64
+            / fig.handshakes.len() as f64;
+        assert!(over > 0.9, "wire-over share {over}");
+    }
+
+    #[test]
+    fn rank_group_shares_are_stable() {
+        let c = campaign();
+        let rows = rank_groups(&c);
+        assert_eq!(rows.len(), 10);
+        let shares: Vec<f64> = rows.iter().map(|r| r.quic_share).collect();
+        let mean = quicert_analysis::mean(&shares);
+        let sd = quicert_analysis::std_dev(&shares);
+        // Fig 12: ~17-21% QUIC per group with small deviation (σ=3 in the
+        // paper; small worlds are noisier).
+        assert!((10.0..28.0).contains(&mean), "mean {mean}");
+        assert!(sd < 6.0, "sd {sd}");
+        assert!(!render_rank_groups(&rows).is_empty());
+    }
+
+    #[test]
+    fn top_group_has_more_one_rtt() {
+        let c = Campaign::new(CampaignConfig::small().with_seed(11).with_domains(8_000));
+        let rows = rank_groups(&c);
+        let top = rows[0].class_shares[3];
+        let rest: Vec<f64> = rows[1..].iter().map(|r| r.class_shares[3]).collect();
+        let rest_mean = quicert_analysis::mean(&rest);
+        // Fig 13: 3.02% vs <1% in the paper.
+        assert!(top > rest_mean, "top {top} vs rest {rest_mean}");
+    }
+}

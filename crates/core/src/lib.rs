@@ -1,0 +1,21 @@
+//! # quicert-core — campaign orchestration
+//!
+//! Ties the whole workspace together: generate a world, run the scanners,
+//! and produce every table and figure of the paper as a typed result with a
+//! plain-text rendering. The per-experiment index lives in `DESIGN.md`;
+//! paper-vs-measured values are recorded in `EXPERIMENTS.md`.
+//!
+//! ```no_run
+//! use quicert_core::{Campaign, CampaignConfig};
+//!
+//! let campaign = Campaign::new(CampaignConfig::small());
+//! let fig3 = quicert_core::experiments::handshakes::fig3(&campaign);
+//! println!("{}", fig3.render());
+//! ```
+
+pub mod campaign;
+pub mod experiments;
+pub mod report;
+
+pub use campaign::{Campaign, CampaignConfig};
+pub use report::{full_report, ReportOptions};

@@ -1,0 +1,160 @@
+//! The full campaign report: every table and figure rendered to text.
+
+use quicert_compress::Algorithm;
+
+use crate::experiments::{amplification, certs, compression, guidance, handshakes};
+use crate::Campaign;
+
+/// Tunables for the full report (how much work the expensive experiments
+/// do; the defaults scale with the world size).
+#[derive(Debug, Clone, Copy)]
+pub struct ReportOptions {
+    /// Spoofed probes per hypergiant for Fig 9.
+    pub telescope_per_provider: usize,
+    /// Repetitions for Fig 11 confidence intervals.
+    pub fig11_reps: usize,
+    /// Sampling stride for the compression study.
+    pub compression_stride: usize,
+    /// Include the full Fig 3 sweep (29 sizes × all services) instead of
+    /// just the default-size bar.
+    pub full_sweep: bool,
+    /// Include the §5 client-mitigation and loss experiments (they re-probe
+    /// the multi-RTT population).
+    pub guidance_mitigation: bool,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            telescope_per_provider: 10,
+            fig11_reps: 3,
+            compression_stride: 10,
+            full_sweep: true,
+            guidance_mitigation: true,
+        }
+    }
+}
+
+/// Produce the full plain-text report reproducing every table and figure.
+pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
+    let mut out = String::new();
+    let world = campaign.world();
+    out.push_str(&format!(
+        "== quicert campaign: {} domains, seed {:#x} ==\n\n",
+        world.domains().len(),
+        campaign.config().world.seed
+    ));
+
+    // §3.1 funnel.
+    let https = campaign.https_scan();
+    out.push_str(&format!(
+        "§3.1 funnel — resolved {} / {}, A records {}, TLS-reachable {}, \
+         QUIC services {}\n\n",
+        https.resolved,
+        https.total,
+        https.a_records,
+        https.observations.len(),
+        https.quic().count(),
+    ));
+
+    out.push_str(&certs::fig2b(campaign).render());
+    out.push('\n');
+
+    if options.full_sweep {
+        out.push_str(&handshakes::fig3(campaign).render());
+    } else {
+        let results = campaign.quicreach_default();
+        let summary = quicert_scanner::quicreach::summarize(
+            campaign.config().default_initial,
+            results,
+        );
+        out.push_str(&format!(
+            "Fig 3 (default size only) — ampl {} / multi {} / retry {} / 1-RTT {}\n",
+            summary.amplification, summary.multi_rtt, summary.retry, summary.one_rtt
+        ));
+    }
+    out.push('\n');
+
+    out.push_str(&compression::table1(campaign).render());
+    out.push('\n');
+
+    out.push_str(&handshakes::render_fig4(&handshakes::fig4(campaign)));
+    out.push_str(&handshakes::fig5(campaign).render());
+    out.push('\n');
+
+    out.push_str(&certs::fig6(campaign).render());
+    out.push_str(&certs::fig7(campaign, true).render("QUIC services"));
+    out.push_str(&certs::fig7(campaign, false).render("HTTPS-only services"));
+    out.push_str(&certs::render_fig8(&certs::fig8(campaign)));
+    out.push_str(&certs::table2(campaign).render());
+    out.push_str(&certs::fig14(campaign).render());
+    out.push('\n');
+
+    out.push_str(
+        &compression::compression_study(campaign, Algorithm::Brotli, options.compression_stride)
+            .render(),
+    );
+    out.push('\n');
+
+    out.push_str(&amplification::fig9(campaign, options.telescope_per_provider).render());
+    out.push_str(&amplification::meta_pop_scan(campaign, false).render());
+    out.push_str(&amplification::fig11(campaign, options.fig11_reps).render());
+    out.push_str(&amplification::table3(campaign).render());
+    out.push('\n');
+
+    out.push_str(&handshakes::render_rank_groups(&handshakes::rank_groups(campaign)));
+    out.push_str(&handshakes::reachability(campaign).render());
+    out.push('\n');
+
+    // §5 guidance, as experiments.
+    out.push_str(&guidance::render_server_ablation(&guidance::server_ablation(campaign)));
+    if options.guidance_mitigation {
+        out.push_str(&guidance::client_mitigation(campaign).render());
+        out.push_str(&guidance::loss_study(campaign, 0.25, 32).render());
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CampaignConfig;
+
+    #[test]
+    fn full_report_renders_every_section() {
+        let campaign = Campaign::new(CampaignConfig::small().with_seed(3).with_domains(1_500));
+        let report = full_report(
+            &campaign,
+            ReportOptions {
+                telescope_per_provider: 2,
+                fig11_reps: 1,
+                compression_stride: 50,
+                full_sweep: false,
+                guidance_mitigation: false,
+            },
+        );
+        for needle in [
+            "§3.1 funnel",
+            "Fig 2b",
+            "Fig 3",
+            "Table 1",
+            "Fig 4",
+            "Fig 5",
+            "Fig 6",
+            "Fig 7",
+            "Fig 8",
+            "Table 2",
+            "Fig 14",
+            "compression study",
+            "Fig 9",
+            "Meta PoP",
+            "Fig 11",
+            "Table 3",
+            "Figs 12/13",
+            "reachability",
+        ] {
+            assert!(report.contains(needle), "missing section {needle}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! UDP datagrams as seen on the simulated wire.
+
+use std::net::Ipv4Addr;
+
+use crate::time::SimTime;
+
+/// Fixed per-datagram overhead of an IPv4 header (20 bytes, no options) plus
+/// a UDP header (8 bytes). The QUIC anti-amplification limit is defined over
+/// *UDP payload* bytes, but MTU checks apply to the full IP packet, so both
+/// views are needed.
+pub const UDP_IPV4_OVERHEAD: usize = 28;
+
+/// A UDP datagram in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source IP address. For spoofed traffic this is the victim's address.
+    pub src: Ipv4Addr,
+    /// Destination IP address.
+    pub dst: Ipv4Addr,
+    /// Source UDP port.
+    pub src_port: u16,
+    /// Destination UDP port (443 for QUIC in all experiments).
+    pub dst_port: u16,
+    /// The UDP payload. For QUIC this holds one or more coalesced packets.
+    pub payload: Vec<u8>,
+    /// When the datagram was handed to the wire.
+    pub sent_at: SimTime,
+}
+
+impl Datagram {
+    /// Convenience constructor.
+    pub fn new(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Self {
+        Datagram {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            payload,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    /// UDP payload length — the byte count that the QUIC anti-amplification
+    /// limit (RFC 9000 §8.1) is defined over.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Size of the full IP packet (payload + IPv4/UDP headers); this is what
+    /// MTU checks on links apply to.
+    pub fn wire_len(&self) -> usize {
+        self.payload.len() + UDP_IPV4_OVERHEAD
+    }
+
+    /// A reply template: swaps src/dst address and port pairs.
+    pub fn reply_with(&self, payload: Vec<u8>) -> Datagram {
+        Datagram {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            payload,
+            sent_at: SimTime::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dg() -> Datagram {
+        Datagram::new(
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(198, 51, 100, 7),
+            50000,
+            443,
+            vec![0xAB; 1200],
+        )
+    }
+
+    #[test]
+    fn lengths_account_for_headers() {
+        let d = dg();
+        assert_eq!(d.payload_len(), 1200);
+        assert_eq!(d.wire_len(), 1228);
+    }
+
+    #[test]
+    fn reply_swaps_endpoints() {
+        let d = dg();
+        let r = d.reply_with(vec![1, 2, 3]);
+        assert_eq!(r.src, d.dst);
+        assert_eq!(r.dst, d.src);
+        assert_eq!(r.src_port, 443);
+        assert_eq!(r.dst_port, 50000);
+        assert_eq!(r.payload, vec![1, 2, 3]);
+    }
+}

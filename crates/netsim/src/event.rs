@@ -1,0 +1,537 @@
+//! The discrete-event loop that drives a two-party packet exchange.
+//!
+//! QUIC scans are pairwise (scanner ↔ server), so the simulator core is a
+//! two-endpoint event loop rather than a general N-node network: a
+//! [`Wire`] with one [`LinkModel`] per direction connects two [`Endpoint`]
+//! state machines, and [`run_exchange`] interleaves datagram deliveries and
+//! endpoint timers in timestamp order until the exchange finishes.
+//!
+//! Every datagram offered to the wire is recorded as a [`TraceEvent`], so
+//! measurements (amplification factors, handshake byte splits, RTT counts)
+//! are taken from the *wire view*, exactly like the paper's passive
+//! perspective, and not from what an implementation believes it sent.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::datagram::Datagram;
+use crate::fault::FaultInjector;
+use crate::link::{Delivery, LinkModel};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Which endpoint sent a datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From endpoint A (by convention: the client / scanner).
+    AtoB,
+    /// From endpoint B (by convention: the server).
+    BtoA,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::AtoB => Direction::BtoA,
+            Direction::BtoA => Direction::AtoB,
+        }
+    }
+}
+
+/// A state machine attached to one end of a [`Wire`].
+///
+/// Endpoints are polled synchronously: they receive datagrams and timer
+/// callbacks, and push any datagrams they want to transmit into `out`.
+pub trait Endpoint {
+    /// Called once when the exchange starts; the initiating endpoint should
+    /// emit its first flight here.
+    fn start(&mut self, _now: SimTime, _out: &mut Vec<Datagram>) {}
+
+    /// A datagram arrived from the peer.
+    fn on_datagram(&mut self, dgram: &Datagram, now: SimTime, out: &mut Vec<Datagram>);
+
+    /// The deadline returned by [`Endpoint::next_timer`] was reached.
+    fn on_timer(&mut self, now: SimTime, out: &mut Vec<Datagram>);
+
+    /// The next time this endpoint wants `on_timer` to fire, if any.
+    fn next_timer(&self) -> Option<SimTime>;
+
+    /// Whether this endpoint considers its part of the exchange complete.
+    fn is_done(&self) -> bool;
+}
+
+/// A bidirectional path between two endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct Wire {
+    /// Link model applied to A→B datagrams.
+    pub a_to_b: LinkModel,
+    /// Link model applied to B→A datagrams.
+    pub b_to_a: LinkModel,
+    /// Additional fault injection applied to A→B datagrams.
+    pub fault_a_to_b: FaultInjector,
+    /// Additional fault injection applied to B→A datagrams.
+    pub fault_b_to_a: FaultInjector,
+}
+
+impl Wire {
+    /// A symmetric wire with identical link models in both directions.
+    pub fn symmetric(link: LinkModel) -> Self {
+        Wire {
+            a_to_b: link.clone(),
+            b_to_a: link,
+            ..Wire::default()
+        }
+    }
+
+    /// A symmetric ideal wire with the given one-way latency.
+    pub fn ideal(latency: SimDuration) -> Self {
+        Wire::symmetric(LinkModel::ideal(latency))
+    }
+
+    /// The round-trip time of the wire (sum of the base one-way latencies).
+    pub fn rtt(&self) -> SimDuration {
+        self.a_to_b.latency + self.b_to_a.latency
+    }
+}
+
+/// Why a datagram did not arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss on the link.
+    Loss,
+    /// Exceeded the path MTU (size after encapsulation).
+    Mtu(usize),
+    /// Removed by the fault injector.
+    Fault,
+}
+
+/// One datagram transmission as observed on the wire.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When the sender handed the datagram to the wire.
+    pub sent_at: SimTime,
+    /// Transmission direction.
+    pub direction: Direction,
+    /// UDP payload size in bytes.
+    pub payload_len: usize,
+    /// Delivery time, or the reason the datagram was dropped.
+    pub outcome: Result<SimTime, DropReason>,
+}
+
+impl TraceEvent {
+    /// Whether the datagram arrived.
+    pub fn delivered(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// Safety limits for an exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeLimits {
+    /// Hard wall-clock (simulated) deadline.
+    pub deadline: SimTime,
+    /// Maximum number of processed events, as a runaway guard.
+    pub max_events: usize,
+}
+
+impl Default for ExchangeLimits {
+    fn default() -> Self {
+        ExchangeLimits {
+            deadline: SimTime::ZERO + SimDuration::from_secs(300),
+            max_events: 100_000,
+        }
+    }
+}
+
+/// The result of running an exchange to quiescence.
+#[derive(Debug, Clone)]
+pub struct ExchangeOutcome {
+    /// Every datagram offered to the wire, in send order.
+    pub trace: Vec<TraceEvent>,
+    /// Simulated time when the loop stopped.
+    pub finished_at: SimTime,
+    /// True if the loop stopped because both endpoints reported done (as
+    /// opposed to hitting a limit or running out of events).
+    pub quiesced: bool,
+}
+
+impl ExchangeOutcome {
+    /// Total UDP payload bytes *delivered* in the given direction.
+    pub fn delivered_bytes(&self, dir: Direction) -> usize {
+        self.trace
+            .iter()
+            .filter(|e| e.direction == dir && e.delivered())
+            .map(|e| e.payload_len)
+            .sum()
+    }
+
+    /// Total UDP payload bytes *sent* (including dropped datagrams) in the
+    /// given direction.
+    pub fn sent_bytes(&self, dir: Direction) -> usize {
+        self.trace
+            .iter()
+            .filter(|e| e.direction == dir)
+            .map(|e| e.payload_len)
+            .sum()
+    }
+
+    /// Number of datagrams sent in the given direction.
+    pub fn datagrams(&self, dir: Direction) -> usize {
+        self.trace.iter().filter(|e| e.direction == dir).count()
+    }
+}
+
+#[derive(Debug)]
+struct PendingDelivery {
+    at: SimTime,
+    seq: u64,
+    direction: Direction,
+    dgram: Datagram,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Run an exchange between endpoint `a` (initiator) and endpoint `b` over
+/// `wire` until both endpoints are done, nothing remains in flight and no
+/// timers are pending — or until `limits` are hit.
+pub fn run_exchange(
+    a: &mut dyn Endpoint,
+    b: &mut dyn Endpoint,
+    wire: &mut Wire,
+    limits: ExchangeLimits,
+    rng: &mut SimRng,
+) -> ExchangeOutcome {
+    let mut queue: BinaryHeap<Reverse<PendingDelivery>> = BinaryHeap::new();
+    let mut trace = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut seq: u64 = 0;
+    let mut outbox = Vec::new();
+
+    a.start(now, &mut outbox);
+    enqueue_all(
+        &mut outbox,
+        Direction::AtoB,
+        now,
+        wire,
+        rng,
+        &mut queue,
+        &mut trace,
+        &mut seq,
+    );
+    b.start(now, &mut outbox);
+    enqueue_all(
+        &mut outbox,
+        Direction::BtoA,
+        now,
+        wire,
+        rng,
+        &mut queue,
+        &mut trace,
+        &mut seq,
+    );
+
+    let mut events = 0usize;
+    loop {
+        if events >= limits.max_events {
+            return ExchangeOutcome {
+                trace,
+                finished_at: now,
+                quiesced: false,
+            };
+        }
+        events += 1;
+
+        // Find the earliest pending activity: a delivery or a timer.
+        let next_delivery = queue.peek().map(|Reverse(p)| p.at);
+        let next_timer_a = a.next_timer();
+        let next_timer_b = b.next_timer();
+        let candidates = [next_delivery, next_timer_a, next_timer_b];
+        let next_at = candidates.iter().flatten().min().copied();
+
+        let Some(at) = next_at else {
+            // Nothing in flight and no timers: quiescent.
+            let quiesced = a.is_done() && b.is_done();
+            return ExchangeOutcome {
+                trace,
+                finished_at: now,
+                quiesced,
+            };
+        };
+        if at > limits.deadline {
+            return ExchangeOutcome {
+                trace,
+                finished_at: now,
+                quiesced: a.is_done() && b.is_done(),
+            };
+        }
+        now = at;
+
+        // Deliveries win ties so that an endpoint sees a datagram before its
+        // co-scheduled timer fires (matches real stacks processing input
+        // before timeouts).
+        if next_delivery == Some(at) {
+            let Reverse(pending) = queue.pop().expect("peeked delivery must exist");
+            let reply_dir = match pending.direction {
+                Direction::AtoB => {
+                    b.on_datagram(&pending.dgram, now, &mut outbox);
+                    Direction::BtoA
+                }
+                Direction::BtoA => {
+                    a.on_datagram(&pending.dgram, now, &mut outbox);
+                    Direction::AtoB
+                }
+            };
+            enqueue_all(
+                &mut outbox,
+                reply_dir,
+                now,
+                wire,
+                rng,
+                &mut queue,
+                &mut trace,
+                &mut seq,
+            );
+        } else if next_timer_a == Some(at) {
+            a.on_timer(now, &mut outbox);
+            enqueue_all(
+                &mut outbox,
+                Direction::AtoB,
+                now,
+                wire,
+                rng,
+                &mut queue,
+                &mut trace,
+                &mut seq,
+            );
+        } else {
+            b.on_timer(now, &mut outbox);
+            enqueue_all(
+                &mut outbox,
+                Direction::BtoA,
+                now,
+                wire,
+                rng,
+                &mut queue,
+                &mut trace,
+                &mut seq,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enqueue_all(
+    outbox: &mut Vec<Datagram>,
+    direction: Direction,
+    now: SimTime,
+    wire: &mut Wire,
+    rng: &mut SimRng,
+    queue: &mut BinaryHeap<Reverse<PendingDelivery>>,
+    trace: &mut Vec<TraceEvent>,
+    seq: &mut u64,
+) {
+    for mut dgram in outbox.drain(..) {
+        dgram.sent_at = now;
+        let (link, fault) = match direction {
+            Direction::AtoB => (&wire.a_to_b, &mut wire.fault_a_to_b),
+            Direction::BtoA => (&wire.b_to_a, &mut wire.fault_b_to_a),
+        };
+        let payload_len = dgram.payload_len();
+
+        let outcome = match fault.apply(rng, dgram) {
+            None => Err(DropReason::Fault),
+            Some(dgram) => match link.deliver(rng, &dgram, now) {
+                Delivery::Arrives(at) => {
+                    *seq += 1;
+                    queue.push(Reverse(PendingDelivery {
+                        at,
+                        seq: *seq,
+                        direction,
+                        dgram,
+                    }));
+                    Ok(at)
+                }
+                Delivery::LostRandom => Err(DropReason::Loss),
+                Delivery::LostMtu(size) => Err(DropReason::Mtu(size)),
+            },
+        };
+        trace.push(TraceEvent {
+            sent_at: now,
+            direction,
+            payload_len,
+            outcome,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    /// Sends `count` pings; expects an echo for each before sending the next.
+    struct Pinger {
+        remaining: u32,
+        awaiting: bool,
+    }
+
+    /// Echoes every datagram back.
+    struct Echoer;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    impl Endpoint for Pinger {
+        fn start(&mut self, _now: SimTime, out: &mut Vec<Datagram>) {
+            if self.remaining > 0 {
+                out.push(Datagram::new(A, B, 1000, 443, vec![1; 100]));
+                self.awaiting = true;
+            }
+        }
+        fn on_datagram(&mut self, _d: &Datagram, _now: SimTime, out: &mut Vec<Datagram>) {
+            self.remaining -= 1;
+            self.awaiting = false;
+            if self.remaining > 0 {
+                out.push(Datagram::new(A, B, 1000, 443, vec![1; 100]));
+                self.awaiting = true;
+            }
+        }
+        fn on_timer(&mut self, _now: SimTime, _out: &mut Vec<Datagram>) {}
+        fn next_timer(&self) -> Option<SimTime> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    impl Endpoint for Echoer {
+        fn on_datagram(&mut self, d: &Datagram, _now: SimTime, out: &mut Vec<Datagram>) {
+            out.push(d.reply_with(d.payload.clone()));
+        }
+        fn on_timer(&mut self, _now: SimTime, _out: &mut Vec<Datagram>) {}
+        fn next_timer(&self) -> Option<SimTime> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn ping_pong_runs_to_quiescence() {
+        let mut pinger = Pinger {
+            remaining: 3,
+            awaiting: false,
+        };
+        let mut echoer = Echoer;
+        let mut wire = Wire::ideal(SimDuration::from_millis(10));
+        let mut rng = SimRng::new(1);
+        let out = run_exchange(
+            &mut pinger,
+            &mut echoer,
+            &mut wire,
+            ExchangeLimits::default(),
+            &mut rng,
+        );
+        assert!(out.quiesced);
+        assert_eq!(out.datagrams(Direction::AtoB), 3);
+        assert_eq!(out.datagrams(Direction::BtoA), 3);
+        assert_eq!(out.delivered_bytes(Direction::AtoB), 300);
+        // 3 round trips at 20ms RTT.
+        assert_eq!(out.finished_at, SimTime::ZERO + SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn lossy_wire_without_timers_stalls_unquiesced() {
+        let mut pinger = Pinger {
+            remaining: 1,
+            awaiting: false,
+        };
+        let mut echoer = Echoer;
+        let mut wire = Wire {
+            fault_a_to_b: FaultInjector::dropping(1.0),
+            ..Wire::default()
+        };
+        let mut rng = SimRng::new(2);
+        let out = run_exchange(
+            &mut pinger,
+            &mut echoer,
+            &mut wire,
+            ExchangeLimits::default(),
+            &mut rng,
+        );
+        assert!(!out.quiesced, "pinger never got its echo");
+        assert_eq!(out.sent_bytes(Direction::AtoB), 100);
+        assert_eq!(out.delivered_bytes(Direction::AtoB), 0);
+        assert_eq!(out.trace[0].outcome, Err(DropReason::Fault));
+    }
+
+    #[test]
+    fn max_events_guards_against_runaway() {
+        let mut pinger = Pinger {
+            remaining: u32::MAX,
+            awaiting: false,
+        };
+        let mut echoer = Echoer;
+        let mut wire = Wire::ideal(SimDuration::from_nanos(1));
+        let mut rng = SimRng::new(3);
+        let out = run_exchange(
+            &mut pinger,
+            &mut echoer,
+            &mut wire,
+            ExchangeLimits {
+                max_events: 100,
+                ..ExchangeLimits::default()
+            },
+            &mut rng,
+        );
+        assert!(!out.quiesced);
+        assert!(out.trace.len() <= 102);
+    }
+
+    #[test]
+    fn deadline_stops_the_clock() {
+        let mut pinger = Pinger {
+            remaining: 1000,
+            awaiting: false,
+        };
+        let mut echoer = Echoer;
+        let mut wire = Wire::ideal(SimDuration::from_millis(100));
+        let mut rng = SimRng::new(4);
+        let out = run_exchange(
+            &mut pinger,
+            &mut echoer,
+            &mut wire,
+            ExchangeLimits {
+                deadline: SimTime::ZERO + SimDuration::from_secs(1),
+                ..ExchangeLimits::default()
+            },
+            &mut rng,
+        );
+        assert!(out.finished_at <= SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(!out.quiesced);
+    }
+
+    #[test]
+    fn direction_flip_is_involutive() {
+        assert_eq!(Direction::AtoB.flip(), Direction::BtoA);
+        assert_eq!(Direction::AtoB.flip().flip(), Direction::AtoB);
+    }
+}

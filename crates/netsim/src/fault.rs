@@ -1,0 +1,139 @@
+//! Fault injection for exchanges.
+//!
+//! Mirrors the fault-injection options that hosted smoltcp examples expose
+//! (`--drop-chance`, `--corrupt-chance`, `--size-limit`): independent of the
+//! link model, a [`FaultInjector`] can be layered onto an exchange to test
+//! how handshake classification behaves under adverse conditions — this
+//! drives the loss/resend experiments behind Figure 9.
+
+use crate::datagram::Datagram;
+use crate::rng::SimRng;
+
+/// Configurable datagram mangler.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    /// Probability of silently dropping a datagram.
+    pub drop_chance: f64,
+    /// Probability of flipping one random byte of the payload.
+    pub corrupt_chance: f64,
+    /// Drop datagrams whose UDP payload exceeds this size (None = no limit).
+    pub size_limit: Option<usize>,
+    drops: u64,
+    corruptions: u64,
+}
+
+impl FaultInjector {
+    /// An injector that never interferes.
+    pub fn none() -> Self {
+        FaultInjector::default()
+    }
+
+    /// An injector that drops datagrams with probability `p`.
+    pub fn dropping(p: f64) -> Self {
+        FaultInjector {
+            drop_chance: p,
+            ..FaultInjector::default()
+        }
+    }
+
+    /// Apply faults to a datagram. Returns `None` when the datagram is
+    /// dropped, otherwise the (possibly corrupted) datagram.
+    pub fn apply(&mut self, rng: &mut SimRng, mut dgram: Datagram) -> Option<Datagram> {
+        if let Some(limit) = self.size_limit {
+            if dgram.payload_len() > limit {
+                self.drops += 1;
+                return None;
+            }
+        }
+        if self.drop_chance > 0.0 && rng.chance(self.drop_chance) {
+            self.drops += 1;
+            return None;
+        }
+        if self.corrupt_chance > 0.0 && !dgram.payload.is_empty() && rng.chance(self.corrupt_chance)
+        {
+            let idx = rng.below(dgram.payload.len() as u64) as usize;
+            dgram.payload[idx] ^= 0x20;
+            self.corruptions += 1;
+        }
+        Some(dgram)
+    }
+
+    /// Number of datagrams dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Number of datagrams corrupted so far.
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn dg(len: usize) -> Datagram {
+        Datagram::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            vec![0x55; len],
+        )
+    }
+
+    #[test]
+    fn none_passes_everything_through() {
+        let mut inj = FaultInjector::none();
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert!(inj.apply(&mut rng, dg(100)).is_some());
+        }
+        assert_eq!(inj.drops(), 0);
+        assert_eq!(inj.corruptions(), 0);
+    }
+
+    #[test]
+    fn size_limit_drops_large_datagrams() {
+        let mut inj = FaultInjector {
+            size_limit: Some(1200),
+            ..FaultInjector::none()
+        };
+        let mut rng = SimRng::new(2);
+        assert!(inj.apply(&mut rng, dg(1200)).is_some());
+        assert!(inj.apply(&mut rng, dg(1201)).is_none());
+        assert_eq!(inj.drops(), 1);
+    }
+
+    #[test]
+    fn drop_chance_is_statistical() {
+        let mut inj = FaultInjector::dropping(0.5);
+        let mut rng = SimRng::new(3);
+        let survived = (0..10_000)
+            .filter(|_| inj.apply(&mut rng, dg(10)).is_some())
+            .count();
+        let rate = survived as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.03, "survival rate was {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let mut inj = FaultInjector {
+            corrupt_chance: 1.0,
+            ..FaultInjector::none()
+        };
+        let mut rng = SimRng::new(4);
+        let original = dg(64);
+        let mangled = inj.apply(&mut rng, original.clone()).unwrap();
+        let diffs = original
+            .payload
+            .iter()
+            .zip(&mangled.payload)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1);
+        assert_eq!(inj.corruptions(), 1);
+    }
+}

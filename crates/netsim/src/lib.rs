@@ -1,0 +1,34 @@
+//! # quicert-netsim — deterministic network simulation substrate
+//!
+//! This crate provides the "Internet" that the rest of the workspace measures:
+//! simulated time, UDP datagrams, link models with latency / loss / MTU
+//! constraints, tunnel encapsulation (the load-balancer effect of §4.1 of the
+//! paper), a network telescope for observing backscatter from spoofed
+//! handshakes (§4.3), and a tiny discrete-event loop that drives a pair of
+//! endpoints through a packet exchange.
+//!
+//! Everything is deterministic: all randomness flows from a [`SimRng`] seeded
+//! with a caller-provided `u64`, so every experiment in the workspace is
+//! reproducible bit-for-bit.
+//!
+//! The design follows the event-driven style of stacks like smoltcp: no
+//! threads, no async runtime; endpoints are state machines that consume and
+//! produce datagrams when polled.
+
+pub mod addr;
+pub mod datagram;
+pub mod event;
+pub mod fault;
+pub mod link;
+pub mod rng;
+pub mod telescope;
+pub mod time;
+
+pub use addr::{Ipv4Net, ANY_PORT};
+pub use datagram::{Datagram, UDP_IPV4_OVERHEAD};
+pub use event::{run_exchange, Endpoint, ExchangeLimits, ExchangeOutcome, TraceEvent, Wire};
+pub use fault::FaultInjector;
+pub use link::{Delivery, LinkModel};
+pub use rng::SimRng;
+pub use telescope::{BackscatterRecord, Telescope};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,765 @@
+//! The ranked web population the scanners measure.
+//!
+//! [`World::generate`] builds a deterministic, Tranco-like list of ranked
+//! domains. Each domain gets a DNS outcome, an HTTPS deployment (chain +
+//! leaf parameters per the Fig 7(b)/Table 2 distributions) and — for ~21%
+//! of domains, flat across rank groups (Fig 12) — a QUIC deployment drawn
+//! from [`PopulationModel`], which encodes the §4.1 population: ~60%
+//! Cloudflare-behaviour services with small chains, a large compliant
+//! population with oversized chains (multi-RTT), a sliver of true 1-RTT
+//! deployments, rare Retry, and Meta's mvfst PoPs.
+
+use std::net::Ipv4Addr;
+
+use quicert_compress::Algorithm;
+use quicert_netsim::rng::fnv1a;
+use quicert_netsim::SimRng;
+use quicert_x509::{CertificateChain, KeyAlgorithm};
+
+use crate::dns::{self, DnsOutcome, DnsRates};
+use crate::ecosystem::{ChainId, Ecosystem, LeafParams};
+
+/// Who operates a QUIC service (steers behaviour profile and addressing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provider {
+    /// Cloudflare edge (missing coalescence, uncounted padding).
+    Cloudflare,
+    /// Google front-ends (compliant, large GTS chains).
+    Google,
+    /// Meta PoPs running mvfst (resend amplification).
+    Meta,
+    /// Everyone else: self-hosted or minor CDNs, RFC-compliant stacks.
+    SelfHosted,
+}
+
+/// The server behaviour family of a deployment (mapped to a concrete
+/// `quicert_quic::ServerBehavior` by the scanner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BehaviorKind {
+    /// RFC 9000/9002-compliant.
+    RfcCompliant,
+    /// Cloudflare-like: separate padded ACK datagram, uncounted padding.
+    CloudflareLike,
+    /// mvfst-like before the disclosure (many uncharged resends).
+    MvfstPreDisclosure,
+    /// mvfst-like after the disclosure (few resends, still over limit).
+    MvfstPostDisclosure,
+    /// Always-on Retry.
+    RetryFirst,
+}
+
+/// An HTTPS (TLS-over-TCP) deployment of a domain.
+#[derive(Debug, Clone)]
+pub struct HttpsDeployment {
+    /// Parent chain served.
+    pub chain_id: ChainId,
+    /// Leaf key algorithm.
+    pub leaf_key: KeyAlgorithm,
+    /// Number of SANs beyond the CN-derived pair.
+    pub extra_sans: u16,
+    /// HTTP→HTTPS redirect hops observed before the final host (0–2).
+    pub redirect_hops: u8,
+}
+
+/// A QUIC deployment of a domain.
+#[derive(Debug, Clone)]
+pub struct QuicDeployment {
+    /// Operator.
+    pub provider: Provider,
+    /// Server behaviour family.
+    pub behavior: BehaviorKind,
+    /// Parent chain served over QUIC (= the HTTPS chain unless rotated).
+    pub chain_id: ChainId,
+    /// Leaf key algorithm.
+    pub leaf_key: KeyAlgorithm,
+    /// RFC 8879 algorithms the server supports.
+    pub compression_support: Vec<Algorithm>,
+    /// Tunnelling load balancer in front (adds encapsulation overhead and
+    /// breaks large client Initials, §4.1).
+    pub behind_lb: bool,
+    /// Encapsulation overhead bytes when behind a load balancer.
+    pub lb_overhead: usize,
+    /// The certificate was rotated between the HTTPS and QUIC scans
+    /// (the 2.8% consistency gap of §3.2).
+    pub rotated_cert: bool,
+}
+
+/// One ranked domain.
+#[derive(Debug, Clone)]
+pub struct DomainRecord {
+    /// Tranco-style rank, 1-based.
+    pub rank: usize,
+    /// Domain name.
+    pub name: String,
+    /// DNS resolution outcome.
+    pub dns: DnsOutcome,
+    /// HTTPS deployment (None = no TLS service).
+    pub https: Option<HttpsDeployment>,
+    /// QUIC deployment (None = HTTPS only or unreachable).
+    pub quic: Option<QuicDeployment>,
+    /// Per-domain deterministic seed.
+    pub seed: u64,
+}
+
+impl DomainRecord {
+    /// Whether the domain serves HTTPS (certificate collected).
+    pub fn has_https(&self) -> bool {
+        self.https.is_some() && self.dns.address().is_some()
+    }
+
+    /// Whether the domain is a QUIC service.
+    pub fn has_quic(&self) -> bool {
+        self.has_https() && self.quic.is_some()
+    }
+
+    /// The Tranco 100k rank-group index of this domain.
+    pub fn rank_group(&self) -> usize {
+        (self.rank - 1) / 100_000
+    }
+}
+
+/// Calibrated population weights. Each field cites the paper signal it
+/// reproduces; weights are relative (normalised at draw time).
+#[derive(Debug, Clone)]
+pub struct PopulationModel {
+    /// P(QUIC | HTTPS-reachable); calibrated so ~21% of *all* domains in
+    /// each rank group are QUIC services (Fig 12), given the DNS/HTTPS
+    /// funnel ahead of it.
+    pub quic_share: f64,
+    /// P(HTTPS reachable | A record); Fig 12: QUIC + HTTPS-only ≈ 80%.
+    pub https_share: f64,
+    /// QUIC deployment group weights, in percent of QUIC services:
+    /// (group, weight). Together they reproduce Fig 3's ~61% amplification,
+    /// ~38% multi-RTT, 0.75% 1-RTT, 0.07% Retry at Initial = 1362.
+    pub quic_groups: Vec<(QuicGroup, f64)>,
+    /// 1-RTT share boost for the top-100k ranks (Fig 13: 3.02% vs <1%).
+    pub top_rank_one_rtt_share: f64,
+    /// P(behind tunnelling LB) for ranks ≤1k / ≤10k / rest (§4.1: −25%,
+    /// −12%, −1.2% reachability for large Initials).
+    pub lb_share_top1k: f64,
+    /// See `lb_share_top1k`.
+    pub lb_share_top10k: f64,
+    /// See `lb_share_top1k`.
+    pub lb_share_rest: f64,
+    /// P(brotli support) for non-hypergiant QUIC services (Table 1: 96%
+    /// aggregate support).
+    pub brotli_support_other: f64,
+    /// P(cert rotated between scans) (§3.2: 2.8%).
+    pub rotation_rate: f64,
+}
+
+/// The QUIC deployment groups of §4.1 as modelled here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuicGroup {
+    /// Cloudflare with the dominant short Let's Encrypt R3 chain.
+    CfLeR3,
+    /// Cloudflare with Let's Encrypt E1.
+    CfLeE1,
+    /// Cloudflare with its own ECC chain.
+    CfEcc,
+    /// Cloudflare fronting customer-uploaded big chains.
+    CfCustomBig,
+    /// Self-hosted with the default long Let's Encrypt chain.
+    SelfLeLong,
+    /// Google front-ends (GTS chains).
+    GoogleGts,
+    /// Corporate / legacy CAs with heavy chains.
+    CorpBig,
+    /// Self-hosted Let's Encrypt E1 with the marginal-size cross chain.
+    SelfE1Marginal,
+    /// Truly optimal 1-RTT deployments (small chain, compliant server).
+    OneRttSmall,
+    /// Always-on Retry deployments.
+    RetryOn,
+    /// Meta PoPs (mvfst).
+    MetaMvfst,
+}
+
+impl Default for PopulationModel {
+    fn default() -> Self {
+        PopulationModel {
+            quic_share: 0.26,
+            https_share: 0.925,
+            quic_groups: vec![
+                (QuicGroup::CfLeR3, 54.0),
+                (QuicGroup::CfLeE1, 4.5),
+                (QuicGroup::CfEcc, 1.5),
+                (QuicGroup::CfCustomBig, 7.0),
+                (QuicGroup::SelfLeLong, 15.5),
+                (QuicGroup::GoogleGts, 5.0),
+                (QuicGroup::CorpBig, 10.2),
+                (QuicGroup::SelfE1Marginal, 1.1),
+                (QuicGroup::OneRttSmall, 0.75),
+                (QuicGroup::RetryOn, 0.07),
+                (QuicGroup::MetaMvfst, 0.38),
+            ],
+            top_rank_one_rtt_share: 3.0,
+            lb_share_top1k: 0.25,
+            lb_share_top10k: 0.12,
+            lb_share_rest: 0.010,
+            brotli_support_other: 0.90,
+            rotation_rate: 0.028,
+        }
+    }
+}
+
+/// World generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of ranked domains (the paper scans 1M; default 1:50 scale).
+    pub domains: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Use the post-disclosure Meta behaviour (Fig 11(b)) instead of the
+    /// pre-disclosure one (Fig 11(a)).
+    pub meta_post_disclosure: bool,
+    /// Population calibration.
+    pub population: PopulationModel,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            domains: 20_000,
+            seed: 0xC04E_2022,
+            meta_post_disclosure: false,
+            population: PopulationModel::default(),
+        }
+    }
+}
+
+/// The generated world.
+#[derive(Debug)]
+pub struct World {
+    /// Configuration used.
+    pub config: WorldConfig,
+    /// The CA ecosystem.
+    pub ecosystem: Ecosystem,
+    domains: Vec<DomainRecord>,
+}
+
+const TLDS: [(&str, f64); 8] = [
+    ("com", 0.52),
+    ("org", 0.09),
+    ("net", 0.07),
+    ("de", 0.06),
+    ("io", 0.05),
+    ("co.uk", 0.04),
+    ("fr", 0.04),
+    ("app", 0.03),
+];
+
+const NAME_STEMS: [&str; 16] = [
+    "shop", "news", "cloud", "media", "play", "data", "mail", "portal", "store", "tech", "blog",
+    "app", "api", "cdn", "travel", "bank",
+];
+
+impl World {
+    /// Generate a world.
+    pub fn generate(config: WorldConfig) -> World {
+        let ecosystem = Ecosystem::new(config.seed);
+        let root = SimRng::new(config.seed);
+        let mut domains = Vec::with_capacity(config.domains);
+        for rank in 1..=config.domains {
+            domains.push(Self::generate_domain(&config, &root, rank));
+        }
+        World {
+            config,
+            ecosystem,
+            domains,
+        }
+    }
+
+    /// All domain records in rank order.
+    pub fn domains(&self) -> &[DomainRecord] {
+        &self.domains
+    }
+
+    /// The QUIC services of the world.
+    pub fn quic_services(&self) -> impl Iterator<Item = &DomainRecord> {
+        self.domains.iter().filter(|d| d.has_quic())
+    }
+
+    /// The HTTPS-only services.
+    pub fn https_only_services(&self) -> impl Iterator<Item = &DomainRecord> {
+        self.domains
+            .iter()
+            .filter(|d| d.has_https() && !d.has_quic())
+    }
+
+    /// Materialise the certificate chain a domain serves over HTTPS.
+    pub fn https_chain(&self, record: &DomainRecord) -> Option<CertificateChain> {
+        let https = record.https.as_ref()?;
+        Some(self.ecosystem.issue(
+            https.chain_id,
+            &Self::leaf_params(record, https.chain_id, https.leaf_key, https.extra_sans),
+        ))
+    }
+
+    /// Materialise the certificate chain a domain serves over QUIC (same as
+    /// HTTPS unless the cert was rotated between scans, §3.2).
+    pub fn quic_chain(&self, record: &DomainRecord) -> Option<CertificateChain> {
+        let quic = record.quic.as_ref()?;
+        let https = record.https.as_ref()?;
+        let seed_shift = if quic.rotated_cert { 0x5EED_0001 } else { 0 };
+        let mut params =
+            Self::leaf_params(record, quic.chain_id, quic.leaf_key, https.extra_sans);
+        params.seed ^= seed_shift;
+        Some(self.ecosystem.issue(quic.chain_id, &params))
+    }
+
+    fn leaf_params(
+        record: &DomainRecord,
+        _chain: ChainId,
+        key: KeyAlgorithm,
+        extra_sans: u16,
+    ) -> LeafParams {
+        let extra = (0..extra_sans)
+            .map(|i| format!("alt-{i:03}.{}", record.name))
+            .collect();
+        LeafParams {
+            common_name: record.name.clone(),
+            extra_sans: extra,
+            key,
+            scts: 2,
+            seed: record.seed,
+        }
+    }
+
+    /// The serving IPv4 address of a domain (provider-dependent prefix).
+    pub fn server_addr(record: &DomainRecord) -> Ipv4Addr {
+        let provider = record
+            .quic
+            .as_ref()
+            .map(|q| q.provider)
+            .unwrap_or(Provider::SelfHosted);
+        let h = fnv1a(record.name.as_bytes());
+        match provider {
+            Provider::Cloudflare => {
+                Ipv4Addr::new(104, 16 + (h % 16) as u8, (h >> 8) as u8, (h >> 16) as u8)
+            }
+            Provider::Google => {
+                Ipv4Addr::new(142, 250 + (h % 2) as u8, (h >> 8) as u8, (h >> 16) as u8)
+            }
+            Provider::Meta => Ipv4Addr::new(157, 240, (h >> 8) as u8, (h >> 16) as u8),
+            Provider::SelfHosted => Ipv4Addr::new(
+                198,
+                18 + (h % 2) as u8,
+                (h >> 8) as u8,
+                (h >> 16) as u8,
+            ),
+        }
+    }
+
+    fn generate_domain(config: &WorldConfig, root: &SimRng, rank: usize) -> DomainRecord {
+        let mut rng = root.fork(rank as u64);
+        let seed = rng.next_u64();
+
+        // Name: stem + rank + TLD (weighted).
+        let stem = NAME_STEMS[(rng.next_u64() % NAME_STEMS.len() as u64) as usize];
+        let tld_weights: Vec<f64> = TLDS.iter().map(|(_, w)| *w).collect();
+        let tld = TLDS[rng.weighted_index(&tld_weights).unwrap_or(0)].0;
+        let name = format!("{stem}{rank}.{tld}");
+
+        // DNS funnel (§3.1).
+        let addr_seed = fnv1a(name.as_bytes());
+        let provisional_addr = Ipv4Addr::new(
+            198,
+            18 + (addr_seed % 2) as u8,
+            (addr_seed >> 8) as u8,
+            (addr_seed >> 16) as u8,
+        );
+        let dns = dns::resolve(&DnsRates::default(), rng.f64(), rng.f64(), provisional_addr);
+
+        let pop = &config.population;
+        let mut https = None;
+        let mut quic = None;
+        if dns.address().is_some() && rng.chance(pop.https_share) {
+            let is_quic = rng.chance(pop.quic_share);
+            if is_quic {
+                let deployment = Self::draw_quic_deployment(config, &mut rng, rank);
+                let marginal = deployment.chain_id == ChainId::LeE1X2Cross;
+                let extra_sans = if marginal {
+                    rng.range(16, 40) as u16
+                } else {
+                    Self::draw_extra_sans(&mut rng)
+                };
+                https = Some(HttpsDeployment {
+                    chain_id: deployment.chain_id,
+                    leaf_key: deployment.leaf_key,
+                    extra_sans,
+                    redirect_hops: (rng.next_u64() % 3) as u8,
+                });
+                quic = Some(deployment);
+            } else {
+                https = Some(Self::draw_https_only(&mut rng));
+            }
+        }
+
+        DomainRecord {
+            rank,
+            name,
+            dns,
+            https,
+            quic,
+            seed,
+        }
+    }
+
+    fn draw_extra_sans(rng: &mut SimRng) -> u16 {
+        // Appendix E: most leaves have few SANs; ~1% are SAN-heavy; ~0.1%
+        // are cruise liners.
+        let d = rng.f64();
+        if d < 0.80 {
+            rng.range(0, 3) as u16
+        } else if d < 0.99 {
+            rng.range(4, 12) as u16
+        } else if d < 0.999 {
+            rng.range(13, 60) as u16
+        } else {
+            rng.range(100, 250) as u16
+        }
+    }
+
+    /// Table 2, HTTPS-only leaf row: RSA-heavy.
+    fn draw_https_leaf_key(rng: &mut SimRng) -> KeyAlgorithm {
+        match rng.weighted_index(&[81.4, 8.1, 7.8, 1.9]).unwrap() {
+            0 => KeyAlgorithm::Rsa2048,
+            1 => KeyAlgorithm::Rsa4096,
+            2 => KeyAlgorithm::EcdsaP256,
+            _ => KeyAlgorithm::EcdsaP384,
+        }
+    }
+
+    fn draw_https_only(rng: &mut SimRng) -> HttpsDeployment {
+        // Fig 7(b) chain mix (plus a long tail of the catalogued rest).
+        let chains: [(ChainId, f64); 18] = [
+            (ChainId::LeR3X1Cross, 41.4),
+            (ChainId::SectigoUserTrust, 7.3),
+            (ChainId::LeR3Short, 7.4),
+            (ChainId::CPanelComodoRoot, 2.2),
+            (ChainId::DigiCertTls, 6.4),
+            (ChainId::DigiCertSha2WithRoot, 3.2),
+            (ChainId::AmazonRsa, 4.0),
+            (ChainId::Gts1C3, 2.5),
+            (ChainId::LeE1Short, 2.0),
+            (ChainId::GoDaddyG2, 1.8),
+            (ChainId::StarfieldG2, 1.6),
+            (ChainId::LeR3X1Self, 1.5),
+            (ChainId::CloudflareEcc, 1.4),
+            (ChainId::GlobalSignAtlas, 1.2),
+            (ChainId::EnterpriseHuge, 0.4),
+            (ChainId::LeE1X2Cross, 0.7),
+            (ChainId::Gts1D4, 0.5),
+            (ChainId::Gts1P5, 0.3),
+        ];
+        let weights: Vec<f64> = chains.iter().map(|(_, w)| *w).collect();
+        let chain_id = chains[rng.weighted_index(&weights).unwrap()].0;
+        let leaf_key = match chain_id {
+            // ECDSA-only issuers.
+            ChainId::LeE1Short | ChainId::LeE1X2Cross | ChainId::CloudflareEcc => {
+                KeyAlgorithm::EcdsaP256
+            }
+            _ => Self::draw_https_leaf_key(rng),
+        };
+        HttpsDeployment {
+            chain_id,
+            leaf_key,
+            extra_sans: Self::draw_extra_sans(rng),
+            redirect_hops: (rng.next_u64() % 3) as u8,
+        }
+    }
+
+    fn draw_quic_deployment(
+        config: &WorldConfig,
+        rng: &mut SimRng,
+        rank: usize,
+    ) -> QuicDeployment {
+        let pop = &config.population;
+        // Fig 13: the top-100k ranks have a visibly larger 1-RTT share.
+        let mut groups = pop.quic_groups.clone();
+        if rank <= (config.domains / 10).max(1) {
+            for (group, weight) in groups.iter_mut() {
+                if *group == QuicGroup::OneRttSmall {
+                    *weight = pop.top_rank_one_rtt_share;
+                }
+                if *group == QuicGroup::CfLeR3 {
+                    *weight -= pop.top_rank_one_rtt_share - 0.75;
+                }
+            }
+        }
+        let weights: Vec<f64> = groups.iter().map(|(_, w)| *w).collect();
+        let group = groups[rng.weighted_index(&weights).unwrap()].0;
+
+        let (provider, behavior, chain_id, leaf_key) = match group {
+            QuicGroup::CfLeR3 => (
+                Provider::Cloudflare,
+                BehaviorKind::CloudflareLike,
+                ChainId::LeR3Short,
+                KeyAlgorithm::EcdsaP256,
+            ),
+            QuicGroup::CfLeE1 => (
+                Provider::Cloudflare,
+                BehaviorKind::CloudflareLike,
+                ChainId::LeE1Short,
+                KeyAlgorithm::EcdsaP256,
+            ),
+            QuicGroup::CfEcc => (
+                Provider::Cloudflare,
+                BehaviorKind::CloudflareLike,
+                ChainId::CloudflareEcc,
+                KeyAlgorithm::EcdsaP256,
+            ),
+            QuicGroup::CfCustomBig => (
+                Provider::Cloudflare,
+                BehaviorKind::CloudflareLike,
+                ChainId::LeR3X1Cross,
+                KeyAlgorithm::Rsa2048,
+            ),
+            QuicGroup::SelfLeLong => {
+                let key = if rng.chance(0.30) {
+                    KeyAlgorithm::EcdsaP256
+                } else {
+                    KeyAlgorithm::Rsa2048
+                };
+                (
+                    Provider::SelfHosted,
+                    BehaviorKind::RfcCompliant,
+                    ChainId::LeR3X1Cross,
+                    key,
+                )
+            }
+            QuicGroup::GoogleGts => {
+                let chain = match rng.weighted_index(&[60.0, 25.0, 15.0]).unwrap() {
+                    0 => ChainId::Gts1C3,
+                    1 => ChainId::Gts1D4,
+                    _ => ChainId::Gts1P5,
+                };
+                let key = if rng.chance(0.9) {
+                    KeyAlgorithm::EcdsaP256
+                } else {
+                    KeyAlgorithm::Rsa2048
+                };
+                (Provider::Google, BehaviorKind::RfcCompliant, chain, key)
+            }
+            QuicGroup::CorpBig => {
+                let chains: [(ChainId, f64); 7] = [
+                    (ChainId::SectigoUserTrust, 2.2),
+                    (ChainId::CPanelComodoRoot, 2.0),
+                    (ChainId::DigiCertSha2WithRoot, 2.6),
+                    (ChainId::AmazonRsa, 1.4),
+                    (ChainId::GoDaddyG2, 1.2),
+                    (ChainId::StarfieldG2, 0.2),
+                    (ChainId::EnterpriseHuge, 0.6),
+                ];
+                let weights: Vec<f64> = chains.iter().map(|(_, w)| *w).collect();
+                let chain = chains[rng.weighted_index(&weights).unwrap()].0;
+                let key = if rng.chance(0.08) {
+                    KeyAlgorithm::Rsa4096
+                } else {
+                    KeyAlgorithm::Rsa2048
+                };
+                (Provider::SelfHosted, BehaviorKind::RfcCompliant, chain, key)
+            }
+            QuicGroup::SelfE1Marginal => (
+                Provider::SelfHosted,
+                BehaviorKind::RfcCompliant,
+                ChainId::LeE1X2Cross,
+                KeyAlgorithm::EcdsaP256,
+            ),
+            QuicGroup::OneRttSmall => {
+                // Fig 7a row 10: GlobalSign Atlas accounts for roughly half
+                // of the rare truly-optimal deployments.
+                let chain = match rng.weighted_index(&[0.35, 0.15, 0.50]).unwrap() {
+                    0 => ChainId::LeE1Short,
+                    1 => ChainId::LeR3Short,
+                    _ => ChainId::GlobalSignAtlas,
+                };
+                (
+                    Provider::SelfHosted,
+                    BehaviorKind::RfcCompliant,
+                    chain,
+                    KeyAlgorithm::EcdsaP256,
+                )
+            }
+            QuicGroup::RetryOn => (
+                Provider::SelfHosted,
+                BehaviorKind::RetryFirst,
+                ChainId::LeR3Short,
+                KeyAlgorithm::EcdsaP256,
+            ),
+            QuicGroup::MetaMvfst => {
+                let behavior = if config.meta_post_disclosure {
+                    BehaviorKind::MvfstPostDisclosure
+                } else {
+                    BehaviorKind::MvfstPreDisclosure
+                };
+                (
+                    Provider::Meta,
+                    behavior,
+                    ChainId::DigiCertSha2WithRoot,
+                    KeyAlgorithm::Rsa2048,
+                )
+            }
+        };
+
+        // Compression support: Cloudflare/Google/Meta all support brotli;
+        // Meta additionally offers zlib+zstd (the 0.05% of Table 1).
+        let compression_support = match provider {
+            Provider::Meta => vec![Algorithm::Brotli, Algorithm::Zlib, Algorithm::Zstd],
+            Provider::Cloudflare | Provider::Google => vec![Algorithm::Brotli],
+            Provider::SelfHosted => {
+                if rng.chance(pop.brotli_support_other) {
+                    vec![Algorithm::Brotli]
+                } else {
+                    vec![]
+                }
+            }
+        };
+
+        let lb_share = if rank <= 1_000 {
+            pop.lb_share_top1k
+        } else if rank <= 10_000 {
+            pop.lb_share_top10k
+        } else {
+            pop.lb_share_rest
+        };
+        let behind_lb = rng.chance(lb_share);
+        let lb_overhead = if behind_lb {
+            rng.range(28, 60) as usize
+        } else {
+            0
+        };
+
+        QuicDeployment {
+            provider,
+            behavior,
+            chain_id,
+            leaf_key,
+            compression_support,
+            behind_lb,
+            lb_overhead,
+            rotated_cert: rng.chance(pop.rotation_rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        World::generate(WorldConfig {
+            domains: 10_000,
+            seed: 1,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(a.domains().len(), b.domains().len());
+        for (x, y) in a.domains().iter().zip(b.domains()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.has_quic(), y.has_quic());
+        }
+    }
+
+    #[test]
+    fn adoption_rates_match_calibration() {
+        let world = small_world();
+        let n = world.domains().len() as f64;
+        let quic = world.quic_services().count() as f64;
+        let https_only = world.https_only_services().count() as f64;
+        // Fig 12: ~21% QUIC, ~59% additional HTTPS-only (of HTTPS≈80%).
+        assert!((quic / n - 0.21).abs() < 0.025, "quic {}", quic / n);
+        assert!((https_only / n - 0.59).abs() < 0.05, "https-only {}", https_only / n);
+    }
+
+    #[test]
+    fn cloudflare_dominates_quic_population() {
+        let world = small_world();
+        let quic: Vec<_> = world.quic_services().collect();
+        let cf = quic
+            .iter()
+            .filter(|d| d.quic.as_ref().unwrap().provider == Provider::Cloudflare)
+            .count() as f64;
+        let share = cf / quic.len() as f64;
+        assert!((share - 0.67).abs() < 0.05, "cf share {share}");
+    }
+
+    #[test]
+    fn chains_materialise_and_match_deployment() {
+        let world = small_world();
+        let record = world.quic_services().next().expect("some QUIC service");
+        let chain = world.quic_chain(record).unwrap();
+        assert!(chain.correctly_ordered());
+        assert_eq!(
+            chain.leaf.tbs.subject.common_name(),
+            Some(record.name.as_str())
+        );
+        let https_chain = world.https_chain(record).unwrap();
+        if !record.quic.as_ref().unwrap().rotated_cert {
+            assert_eq!(chain.leaf.der(), https_chain.leaf.der());
+        }
+    }
+
+    #[test]
+    fn meta_services_offer_all_three_algorithms() {
+        let world = World::generate(WorldConfig {
+            domains: 30_000,
+            seed: 3,
+            ..WorldConfig::default()
+        });
+        let meta: Vec<_> = world
+            .quic_services()
+            .filter(|d| d.quic.as_ref().unwrap().provider == Provider::Meta)
+            .collect();
+        assert!(!meta.is_empty(), "a 30k world should contain Meta services");
+        for d in &meta {
+            assert_eq!(d.quic.as_ref().unwrap().compression_support.len(), 3);
+        }
+    }
+
+    #[test]
+    fn lb_deployment_concentrates_at_top_ranks() {
+        let world = World::generate(WorldConfig {
+            domains: 50_000,
+            seed: 5,
+            ..WorldConfig::default()
+        });
+        let lb_rate = |lo: usize, hi: usize| {
+            let (lb, total) = world
+                .quic_services()
+                .filter(|d| d.rank >= lo && d.rank < hi)
+                .fold((0usize, 0usize), |(lb, n), d| {
+                    (
+                        lb + d.quic.as_ref().unwrap().behind_lb as usize,
+                        n + 1,
+                    )
+                });
+            lb as f64 / total.max(1) as f64
+        };
+        let top = lb_rate(1, 1_000);
+        let mid = lb_rate(1_000, 10_000);
+        let rest = lb_rate(10_000, 50_000);
+        assert!(top > mid && mid > rest, "{top} > {mid} > {rest}");
+    }
+
+    #[test]
+    fn server_addresses_follow_providers() {
+        let world = small_world();
+        for d in world.quic_services().take(200) {
+            let addr = World::server_addr(d);
+            match d.quic.as_ref().unwrap().provider {
+                Provider::Cloudflare => assert_eq!(addr.octets()[0], 104),
+                Provider::Google => assert_eq!(addr.octets()[0], 142),
+                Provider::Meta => assert_eq!(addr.octets()[0], 157),
+                Provider::SelfHosted => assert_eq!(addr.octets()[0], 198),
+            }
+        }
+    }
+}

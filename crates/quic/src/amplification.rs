@@ -1,0 +1,228 @@
+//! Anti-amplification accounting, including the historical IETF policies.
+//!
+//! Table 3 of the paper traces how the QUIC drafts evolved their
+//! amplification mitigation: from nothing (draft-01), via a minimum client
+//! Initial size (draft-02), a three-*packet* limit (draft-10), a
+//! three-*datagram* limit (draft-13), to the final three-times-bytes rule
+//! (draft-15 onward, RFC 9000). [`LimitPolicy`] implements each so the
+//! workspace can ablate them; [`AmplificationBudget`] is the server-side
+//! account that answers "may I send these bytes to this unvalidated peer?".
+
+/// An anti-amplification policy, as specified by successive QUIC drafts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitPolicy {
+    /// Draft-01: amplification mentioned, but no server-side limit.
+    Unlimited,
+    /// Draft-10..12: at most three Handshake *packets* to an unverified
+    /// source address.
+    ThreePackets,
+    /// Draft-13..14: at most three *datagrams* (Initial + Handshake) to an
+    /// unverified source address.
+    ThreeDatagrams,
+    /// Draft-15..RFC 9000: at most three times the *bytes* received from
+    /// the unverified address.
+    ThreeTimesBytes,
+}
+
+impl LimitPolicy {
+    /// The policy of RFC 9000 (and drafts 15+).
+    pub const RFC9000: LimitPolicy = LimitPolicy::ThreeTimesBytes;
+
+    /// All policies, in historical order (Table 3).
+    pub const HISTORY: [LimitPolicy; 4] = [
+        LimitPolicy::Unlimited,
+        LimitPolicy::ThreePackets,
+        LimitPolicy::ThreeDatagrams,
+        LimitPolicy::ThreeTimesBytes,
+    ];
+
+    /// Human-readable label with the draft range, as in Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            LimitPolicy::Unlimited => "draft-01..09: no server limit",
+            LimitPolicy::ThreePackets => "draft-10..12: <=3 handshake packets",
+            LimitPolicy::ThreeDatagrams => "draft-13..14: <=3 datagrams",
+            LimitPolicy::ThreeTimesBytes => "draft-15..RFC9000: <=3x received bytes",
+        }
+    }
+}
+
+/// Per-connection amplification account kept by a server until the client's
+/// address is validated.
+#[derive(Debug, Clone)]
+pub struct AmplificationBudget {
+    policy: LimitPolicy,
+    /// Bytes received from the (unvalidated) client address.
+    received_bytes: usize,
+    /// Bytes charged for sent data (implementations with accounting bugs
+    /// may charge less than they send — see [`Self::charge`]).
+    charged_bytes: usize,
+    /// Datagrams sent while unvalidated.
+    sent_datagrams: usize,
+    /// Packets sent while unvalidated.
+    sent_packets: usize,
+    validated: bool,
+}
+
+impl AmplificationBudget {
+    /// Fresh budget under `policy`.
+    pub fn new(policy: LimitPolicy) -> Self {
+        AmplificationBudget {
+            policy,
+            received_bytes: 0,
+            charged_bytes: 0,
+            sent_datagrams: 0,
+            sent_packets: 0,
+            validated: false,
+        }
+    }
+
+    /// Record bytes received from the client (UDP payload).
+    pub fn on_receive(&mut self, bytes: usize) {
+        self.received_bytes += bytes;
+    }
+
+    /// Mark the client address as validated; all limits lift.
+    pub fn validate(&mut self) {
+        self.validated = true;
+    }
+
+    /// Whether the address has been validated.
+    pub fn is_validated(&self) -> bool {
+        self.validated
+    }
+
+    /// Total bytes received from the client so far.
+    pub fn received(&self) -> usize {
+        self.received_bytes
+    }
+
+    /// Bytes charged against the budget so far.
+    pub fn charged(&self) -> usize {
+        self.charged_bytes
+    }
+
+    /// Whether a datagram of `bytes` (containing `packets` packets) may be
+    /// sent right now under the policy.
+    pub fn allows(&self, bytes: usize, packets: usize) -> bool {
+        if self.validated {
+            return true;
+        }
+        match self.policy {
+            LimitPolicy::Unlimited => true,
+            LimitPolicy::ThreePackets => self.sent_packets + packets <= 3,
+            LimitPolicy::ThreeDatagrams => self.sent_datagrams < 3,
+            LimitPolicy::ThreeTimesBytes => {
+                self.charged_bytes + bytes <= 3 * self.received_bytes
+            }
+        }
+    }
+
+    /// Charge a sent datagram against the budget. `charged_bytes` may be
+    /// less than the true wire size for buggy implementations that, e.g.,
+    /// do not count padding (the Cloudflare behaviour of §4.1) or resends
+    /// (the mvfst behaviour of §4.3).
+    pub fn charge(&mut self, charged_bytes: usize, packets: usize) {
+        self.charged_bytes += charged_bytes;
+        self.sent_datagrams += 1;
+        self.sent_packets += packets;
+    }
+
+    /// Remaining byte allowance under the RFC 9000 policy (usize::MAX when
+    /// validated or not byte-limited).
+    pub fn remaining_bytes(&self) -> usize {
+        if self.validated {
+            return usize::MAX;
+        }
+        match self.policy {
+            LimitPolicy::ThreeTimesBytes => {
+                (3 * self.received_bytes).saturating_sub(self.charged_bytes)
+            }
+            _ => usize::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc9000_three_times_bytes() {
+        let mut b = AmplificationBudget::new(LimitPolicy::RFC9000);
+        b.on_receive(1200);
+        assert!(b.allows(3600, 3));
+        assert!(!b.allows(3601, 3));
+        b.charge(3000, 3);
+        assert!(b.allows(600, 1));
+        assert!(!b.allows(601, 1));
+        assert_eq!(b.remaining_bytes(), 600);
+    }
+
+    #[test]
+    fn validation_lifts_all_limits() {
+        let mut b = AmplificationBudget::new(LimitPolicy::RFC9000);
+        b.on_receive(10);
+        assert!(!b.allows(1000, 1));
+        b.validate();
+        assert!(b.allows(1_000_000, 100));
+        assert_eq!(b.remaining_bytes(), usize::MAX);
+    }
+
+    #[test]
+    fn three_packets_policy_counts_packets_not_bytes() {
+        let mut b = AmplificationBudget::new(LimitPolicy::ThreePackets);
+        b.on_receive(1);
+        assert!(b.allows(100_000, 3));
+        b.charge(100_000, 3);
+        assert!(!b.allows(1, 1));
+    }
+
+    #[test]
+    fn three_datagrams_policy() {
+        let mut b = AmplificationBudget::new(LimitPolicy::ThreeDatagrams);
+        b.on_receive(1);
+        for _ in 0..3 {
+            assert!(b.allows(50_000, 4));
+            b.charge(50_000, 4);
+        }
+        assert!(!b.allows(1, 1));
+    }
+
+    #[test]
+    fn unlimited_policy_never_blocks() {
+        let mut b = AmplificationBudget::new(LimitPolicy::Unlimited);
+        assert!(b.allows(usize::MAX / 2, 1000));
+        b.charge(usize::MAX / 2, 1000);
+        assert!(b.allows(usize::MAX / 2, 1000));
+    }
+
+    #[test]
+    fn undercharging_models_accounting_bugs() {
+        // A Cloudflare-style server sends 1200 wire bytes but charges only
+        // the unpadded 100: the budget thinks there is room left even when
+        // the wire has exceeded 3x.
+        let mut b = AmplificationBudget::new(LimitPolicy::RFC9000);
+        b.on_receive(500); // limit = 1500
+        b.charge(100, 1); // actually sent 1200
+        assert!(b.allows(1400, 1), "budget believes 1400 still fits");
+        assert_eq!(b.charged(), 100);
+    }
+
+    #[test]
+    fn more_receipts_grow_the_budget() {
+        let mut b = AmplificationBudget::new(LimitPolicy::RFC9000);
+        b.on_receive(1200);
+        b.charge(3600, 3);
+        assert!(!b.allows(1, 1));
+        b.on_receive(40); // a client ACK arrives (but no validation yet)
+        assert!(b.allows(120, 1));
+    }
+
+    #[test]
+    fn history_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            LimitPolicy::HISTORY.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

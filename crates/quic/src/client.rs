@@ -1,0 +1,502 @@
+//! The QUIC client state machine (scanner / browser model).
+//!
+//! The client sends a ClientHello in an Initial datagram padded to a
+//! configurable size — the paper's central independent variable (Fig 3
+//! sweeps it from 1200 to 1472 bytes) — then acknowledges server flights,
+//! reassembles the TLS handshake, and finishes with its Handshake-level
+//! Finished message.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use quicert_compress::Algorithm;
+use quicert_netsim::{Datagram, Endpoint, SimDuration, SimTime};
+use quicert_tls::{client_hello, ClientHelloParams};
+
+use crate::frame::Frame;
+use crate::packet::{
+    assemble_datagram, parse_datagram, ConnectionId, Packet, PacketType, QUIC_MIN_INITIAL_SIZE,
+};
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// UDP payload size of the Initial datagram (1200..=1472 in the sweep;
+    /// browsers use 1250/1357, see Table 1).
+    pub initial_size: usize,
+    /// Compression algorithms offered via RFC 8879.
+    pub compression: Vec<Algorithm>,
+    /// SNI server name.
+    pub server_name: String,
+    /// Source address of the client (spoofed for telescope experiments).
+    pub src: Ipv4Addr,
+    /// Destination server address.
+    pub dst: Ipv4Addr,
+    /// Whether to acknowledge server data and complete the handshake.
+    /// `false` models a spoofing attacker (or a loss-blinded victim path).
+    pub send_acks: bool,
+    /// Retransmit the Initial this many times in total when nothing is
+    /// heard back (models scanner retries; 1 = one shot).
+    pub max_initial_transmissions: u32,
+    /// Probe timeout before retransmitting the Initial.
+    pub pto: SimDuration,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// A scanner client with the given Initial size.
+    pub fn scanner(initial_size: usize, dst: Ipv4Addr, seed: u64) -> Self {
+        ClientConfig {
+            initial_size,
+            compression: vec![],
+            server_name: "scan.invalid".into(),
+            src: Ipv4Addr::new(203, 0, 113, 7),
+            dst,
+            send_acks: true,
+            max_initial_transmissions: 2,
+            pto: SimDuration::from_secs(1),
+            seed,
+        }
+    }
+}
+
+/// The client connection endpoint.
+#[derive(Debug)]
+pub struct ClientConn {
+    config: ClientConfig,
+    scid: ConnectionId,
+    dcid: ConnectionId,
+    server_cid: Option<ConnectionId>,
+    token: Vec<u8>,
+    initial_pn: u64,
+    handshake_pn: u64,
+    // Reassembly buffers per encryption level.
+    initial_rx: BTreeMap<u64, Vec<u8>>,
+    handshake_rx: BTreeMap<u64, Vec<u8>>,
+    largest_initial_rx: Option<u64>,
+    largest_handshake_rx: Option<u64>,
+    got_server_hello: bool,
+    handshake_messages_done: bool,
+    fin_sent: bool,
+    /// When the client had the full server handshake (handshake complete
+    /// from the client's perspective).
+    pub completed_at: Option<SimTime>,
+    /// Whether a Retry was received.
+    pub saw_retry: bool,
+    /// UDP payload bytes of the first Initial datagram sent.
+    pub first_datagram_len: usize,
+    /// Total UDP payload bytes sent.
+    pub wire_sent: usize,
+    transmissions: u32,
+    pto_deadline: Option<SimTime>,
+}
+
+impl ClientConn {
+    /// Create a client endpoint.
+    pub fn new(config: ClientConfig) -> Self {
+        let scid = ConnectionId::from_seed(config.seed ^ 0xC11E);
+        let dcid = ConnectionId::from_seed(config.seed ^ 0xD1D1);
+        ClientConn {
+            config,
+            scid,
+            dcid,
+            server_cid: None,
+            token: Vec::new(),
+            initial_pn: 0,
+            handshake_pn: 0,
+            initial_rx: BTreeMap::new(),
+            handshake_rx: BTreeMap::new(),
+            largest_initial_rx: None,
+            largest_handshake_rx: None,
+            got_server_hello: false,
+            handshake_messages_done: false,
+            fin_sent: false,
+            completed_at: None,
+            saw_retry: false,
+            first_datagram_len: 0,
+            wire_sent: 0,
+            transmissions: 0,
+            pto_deadline: None,
+        }
+    }
+
+    /// The client's source connection ID.
+    pub fn scid(&self) -> &ConnectionId {
+        &self.scid
+    }
+
+    /// Whether the handshake completed.
+    pub fn handshake_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    fn initial_datagram(&mut self) -> Vec<u8> {
+        let ch = client_hello(&ClientHelloParams {
+            server_name: self.config.server_name.clone(),
+            compression: self.config.compression.clone(),
+            seed: self.config.seed,
+        });
+        let mut pkt = Packet::new(
+            PacketType::Initial,
+            self.dcid.clone(),
+            self.scid.clone(),
+            self.next_initial_pn(),
+            vec![Frame::Crypto {
+                offset: 0,
+                data: ch,
+            }],
+        );
+        pkt.token = self.token.clone();
+        assemble_datagram(vec![pkt], Some(self.config.initial_size))
+    }
+
+    fn next_initial_pn(&mut self) -> u64 {
+        let pn = self.initial_pn;
+        self.initial_pn += 1;
+        pn
+    }
+
+    fn next_handshake_pn(&mut self) -> u64 {
+        let pn = self.handshake_pn;
+        self.handshake_pn += 1;
+        pn
+    }
+
+    fn send(&mut self, payload: Vec<u8>, out: &mut Vec<Datagram>) {
+        self.wire_sent += payload.len();
+        if self.first_datagram_len == 0 {
+            self.first_datagram_len = payload.len();
+        }
+        out.push(Datagram::new(
+            self.config.src,
+            self.config.dst,
+            50_443,
+            443,
+            payload,
+        ));
+    }
+
+    fn contiguous(buffer: &BTreeMap<u64, Vec<u8>>) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut next = 0u64;
+        for (&off, data) in buffer {
+            if off > next {
+                break;
+            }
+            let skip = (next - off) as usize;
+            if skip < data.len() {
+                out.extend_from_slice(&data[skip..]);
+                next = off + data.len() as u64;
+            }
+        }
+        out
+    }
+
+    /// Parse complete TLS handshake messages from a byte stream, returning
+    /// their types. Incomplete trailing data is ignored.
+    fn message_types(stream: &[u8]) -> Vec<u8> {
+        let mut types = Vec::new();
+        let mut pos = 0usize;
+        while stream.len() >= pos + 4 {
+            let len = ((stream[pos + 1] as usize) << 16)
+                | ((stream[pos + 2] as usize) << 8)
+                | stream[pos + 3] as usize;
+            if stream.len() < pos + 4 + len {
+                break;
+            }
+            types.push(stream[pos]);
+            pos += 4 + len;
+        }
+        types
+    }
+
+    fn check_progress(&mut self, now: SimTime) {
+        if !self.got_server_hello {
+            let stream = Self::contiguous(&self.initial_rx);
+            let types = Self::message_types(&stream);
+            if types.contains(&2) {
+                self.got_server_hello = true;
+            }
+        }
+        if self.got_server_hello && !self.handshake_messages_done {
+            let stream = Self::contiguous(&self.handshake_rx);
+            let types = Self::message_types(&stream);
+            // EncryptedExtensions(8), Certificate(11)/Compressed(25),
+            // CertificateVerify(15), Finished(20).
+            let done = types.contains(&8)
+                && (types.contains(&11) || types.contains(&25))
+                && types.contains(&15)
+                && types.contains(&20);
+            if done {
+                self.handshake_messages_done = true;
+                if self.completed_at.is_none() {
+                    self.completed_at = Some(now);
+                }
+            }
+        }
+    }
+
+    fn build_acks(&mut self) -> Vec<u8> {
+        let server_cid = self.server_cid.clone().unwrap_or_else(|| self.dcid.clone());
+        let mut packets = Vec::new();
+        if let Some(largest) = self.largest_initial_rx {
+            packets.push(Packet::new(
+                PacketType::Initial,
+                server_cid.clone(),
+                self.scid.clone(),
+                self.next_initial_pn(),
+                vec![Frame::Ack {
+                    largest,
+                    delay: 0,
+                    first_range: largest,
+                }],
+            ));
+        }
+        if let Some(largest) = self.largest_handshake_rx {
+            let mut frames = vec![Frame::Ack {
+                largest,
+                delay: 0,
+                first_range: largest,
+            }];
+            if self.handshake_messages_done && !self.fin_sent {
+                // Client Finished: 4-byte header + 32-byte verify data.
+                let mut fin = vec![20u8, 0, 0, 32];
+                fin.extend_from_slice(&[0xF1; 32]);
+                frames.push(Frame::Crypto {
+                    offset: 0,
+                    data: fin,
+                });
+                self.fin_sent = true;
+            }
+            packets.push(Packet::new(
+                PacketType::Handshake,
+                server_cid,
+                self.scid.clone(),
+                self.next_handshake_pn(),
+                frames,
+            ));
+        }
+        if packets.is_empty() {
+            return Vec::new();
+        }
+        // Client datagrams containing Initial packets must be padded
+        // (RFC 9000 §14.1).
+        let pad = packets
+            .iter()
+            .any(|p| p.ty == PacketType::Initial)
+            .then_some(QUIC_MIN_INITIAL_SIZE);
+        assemble_datagram(packets, pad)
+    }
+}
+
+impl Endpoint for ClientConn {
+    fn start(&mut self, now: SimTime, out: &mut Vec<Datagram>) {
+        let dgram = self.initial_datagram();
+        self.transmissions = 1;
+        self.pto_deadline = Some(now + self.config.pto);
+        self.send(dgram, out);
+    }
+
+    fn on_datagram(&mut self, dgram: &Datagram, now: SimTime, out: &mut Vec<Datagram>) {
+        let Some(packets) = parse_datagram(&dgram.payload) else {
+            return;
+        };
+        let mut saw_ack_eliciting = false;
+        for pkt in packets {
+            match pkt.ty {
+                PacketType::Retry => {
+                    if !self.saw_retry {
+                        self.saw_retry = true;
+                        self.token = pkt.token.clone();
+                        self.server_cid = Some(pkt.scid.clone());
+                        // Restart with the token; the Retry resets the
+                        // connection state.
+                        self.initial_rx.clear();
+                        self.largest_initial_rx = None;
+                        self.dcid = pkt.scid.clone();
+                        if self.config.send_acks {
+                            let dgram = self.initial_datagram();
+                            self.send(dgram, out);
+                        }
+                    }
+                }
+                PacketType::Initial => {
+                    self.server_cid = Some(pkt.scid.clone());
+                    self.largest_initial_rx = Some(
+                        self.largest_initial_rx
+                            .map_or(pkt.number, |l| l.max(pkt.number)),
+                    );
+                    for frame in &pkt.frames {
+                        if let Frame::Crypto { offset, data } = frame {
+                            self.initial_rx.insert(*offset, data.clone());
+                        }
+                    }
+                    if pkt.frames.iter().any(|f| f.is_ack_eliciting()) {
+                        saw_ack_eliciting = true;
+                    }
+                }
+                PacketType::Handshake => {
+                    self.largest_handshake_rx = Some(
+                        self.largest_handshake_rx
+                            .map_or(pkt.number, |l| l.max(pkt.number)),
+                    );
+                    for frame in &pkt.frames {
+                        if let Frame::Crypto { offset, data } = frame {
+                            self.handshake_rx.insert(*offset, data.clone());
+                        }
+                    }
+                    if pkt.frames.iter().any(|f| f.is_ack_eliciting()) {
+                        saw_ack_eliciting = true;
+                    }
+                }
+                PacketType::OneRtt => {}
+            }
+        }
+        self.check_progress(now);
+        // Server responded: stop Initial retransmissions.
+        self.pto_deadline = None;
+        if self.config.send_acks && saw_ack_eliciting {
+            let ack = self.build_acks();
+            if !ack.is_empty() {
+                self.send(ack, out);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, out: &mut Vec<Datagram>) {
+        self.pto_deadline = None;
+        if self.handshake_complete() {
+            return;
+        }
+        if self.transmissions < self.config.max_initial_transmissions {
+            self.transmissions += 1;
+            let dgram = self.initial_datagram();
+            self.pto_deadline = Some(now + self.config.pto.saturating_mul(2));
+            self.send(dgram, out);
+        }
+    }
+
+    fn next_timer(&self) -> Option<SimTime> {
+        if self.handshake_complete() {
+            return None;
+        }
+        self.pto_deadline
+    }
+
+    fn is_done(&self) -> bool {
+        self.handshake_complete() && self.fin_sent
+    }
+}
+
+/// A client that sends exactly one Initial and never reacts: the spoofing
+/// attacker / ZMap probe of §4.3.
+#[derive(Debug)]
+pub struct SilentClient {
+    config: ClientConfig,
+    inner: ClientConn,
+    /// Whether the Initial has been sent.
+    sent: bool,
+}
+
+impl SilentClient {
+    /// Create a silent prober with the given (spoofed) source address.
+    pub fn new(mut config: ClientConfig) -> Self {
+        config.send_acks = false;
+        config.max_initial_transmissions = 1;
+        let inner = ClientConn::new(config.clone());
+        SilentClient {
+            config,
+            inner,
+            sent: false,
+        }
+    }
+
+    /// The SCID used in the probe (telescope sessions group by the
+    /// *server's* SCID, which mirrors this connection's IDs).
+    pub fn scid(&self) -> &ConnectionId {
+        self.inner.scid()
+    }
+
+    /// The probe's Initial datagram size.
+    pub fn initial_size(&self) -> usize {
+        self.config.initial_size
+    }
+}
+
+impl Endpoint for SilentClient {
+    fn start(&mut self, _now: SimTime, out: &mut Vec<Datagram>) {
+        let dgram = self.inner.initial_datagram();
+        self.inner.wire_sent += dgram.len();
+        self.inner.first_datagram_len = dgram.len();
+        self.sent = true;
+        out.push(Datagram::new(
+            self.config.src,
+            self.config.dst,
+            50_443,
+            443,
+            dgram,
+        ));
+    }
+
+    fn on_datagram(&mut self, _dgram: &Datagram, _now: SimTime, _out: &mut Vec<Datagram>) {
+        // Spoofed source: the real host never sees the response.
+    }
+
+    fn on_timer(&mut self, _now: SimTime, _out: &mut Vec<Datagram>) {}
+
+    fn next_timer(&self) -> Option<SimTime> {
+        None
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_datagram_is_padded_to_configured_size() {
+        for size in [1200usize, 1250, 1357, 1472] {
+            let mut client = ClientConn::new(ClientConfig::scanner(
+                size,
+                Ipv4Addr::new(198, 51, 100, 1),
+                9,
+            ));
+            let dgram = client.initial_datagram();
+            assert_eq!(dgram.len(), size);
+            let parsed = parse_datagram(&dgram).unwrap();
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(parsed[0].ty, PacketType::Initial);
+        }
+    }
+
+    #[test]
+    fn message_type_parser_handles_partial_messages() {
+        let mut stream = vec![8u8, 0, 0, 2, 0xAA, 0xBB]; // complete EE
+        stream.extend_from_slice(&[11, 0, 0, 100, 1, 2, 3]); // truncated CERT
+        assert_eq!(ClientConn::message_types(&stream), vec![8]);
+    }
+
+    #[test]
+    fn silent_client_sends_once_and_stays_silent() {
+        let mut client = SilentClient::new(ClientConfig::scanner(
+            1252,
+            Ipv4Addr::new(198, 51, 100, 1),
+            3,
+        ));
+        let mut out = Vec::new();
+        client.start(SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload_len(), 1252);
+        assert!(client.is_done());
+        let reply = out[0].reply_with(vec![0u8; 100]);
+        let mut out2 = Vec::new();
+        client.on_datagram(&reply, SimTime::ZERO, &mut out2);
+        assert!(out2.is_empty());
+        assert_eq!(client.next_timer(), None);
+    }
+}

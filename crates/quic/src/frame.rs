@@ -1,0 +1,259 @@
+//! QUIC frames (RFC 9000 §19) — the subset the handshake needs.
+
+use crate::varint;
+
+/// A QUIC frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// PADDING (type 0x00). `n` consecutive padding bytes.
+    Padding {
+        /// Number of padding bytes (each is its own one-byte frame on the
+        /// wire; they are run-length grouped here).
+        n: usize,
+    },
+    /// PING (type 0x01).
+    Ping,
+    /// ACK (type 0x02) without ECN counts.
+    Ack {
+        /// Largest acknowledged packet number.
+        largest: u64,
+        /// ACK delay (already scaled).
+        delay: u64,
+        /// Length of the first ACK range (packets immediately below
+        /// `largest`).
+        first_range: u64,
+    },
+    /// CRYPTO (type 0x06).
+    Crypto {
+        /// Byte offset in the CRYPTO stream of this encryption level.
+        offset: u64,
+        /// Stream data.
+        data: Vec<u8>,
+    },
+    /// CONNECTION_CLOSE (type 0x1c).
+    ConnectionClose {
+        /// Transport error code.
+        error_code: u64,
+    },
+}
+
+impl Frame {
+    /// Whether the frame is ack-eliciting (RFC 9002 §2).
+    pub fn is_ack_eliciting(&self) -> bool {
+        !matches!(self, Frame::Padding { .. } | Frame::Ack { .. } | Frame::ConnectionClose { .. })
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Frame::Padding { n } => *n,
+            Frame::Ping => 1,
+            Frame::Ack {
+                largest,
+                delay,
+                first_range,
+            } => 1 + varint::len(*largest) + varint::len(*delay) + 1 + varint::len(*first_range),
+            Frame::Crypto { offset, data } => {
+                1 + varint::len(*offset) + varint::len(data.len() as u64) + data.len()
+            }
+            Frame::ConnectionClose { error_code } => {
+                1 + varint::len(*error_code) + 1 + 1
+            }
+        }
+    }
+
+    /// Append the encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Padding { n } => out.extend(std::iter::repeat_n(0u8, *n)),
+            Frame::Ping => out.push(0x01),
+            Frame::Ack {
+                largest,
+                delay,
+                first_range,
+            } => {
+                out.push(0x02);
+                varint::write(out, *largest);
+                varint::write(out, *delay);
+                varint::write(out, 0); // range count
+                varint::write(out, *first_range);
+            }
+            Frame::Crypto { offset, data } => {
+                out.push(0x06);
+                varint::write(out, *offset);
+                varint::write(out, data.len() as u64);
+                out.extend_from_slice(data);
+            }
+            Frame::ConnectionClose { error_code } => {
+                out.push(0x1C);
+                varint::write(out, *error_code);
+                varint::write(out, 0); // offending frame type
+                varint::write(out, 0); // empty reason
+            }
+        }
+    }
+
+    /// Decode all frames in a packet payload. Padding runs are coalesced.
+    pub fn decode_all(payload: &[u8]) -> Option<Vec<Frame>> {
+        let mut frames = Vec::new();
+        let mut pos = 0usize;
+        while pos < payload.len() {
+            let ty = payload[pos];
+            match ty {
+                0x00 => {
+                    let start = pos;
+                    while pos < payload.len() && payload[pos] == 0x00 {
+                        pos += 1;
+                    }
+                    frames.push(Frame::Padding { n: pos - start });
+                }
+                0x01 => {
+                    pos += 1;
+                    frames.push(Frame::Ping);
+                }
+                0x02 | 0x03 => {
+                    pos += 1;
+                    let largest = varint::read(payload, &mut pos)?;
+                    let delay = varint::read(payload, &mut pos)?;
+                    let range_count = varint::read(payload, &mut pos)?;
+                    let first_range = varint::read(payload, &mut pos)?;
+                    for _ in 0..range_count {
+                        varint::read(payload, &mut pos)?;
+                        varint::read(payload, &mut pos)?;
+                    }
+                    if ty == 0x03 {
+                        // ECN counts.
+                        for _ in 0..3 {
+                            varint::read(payload, &mut pos)?;
+                        }
+                    }
+                    frames.push(Frame::Ack {
+                        largest,
+                        delay,
+                        first_range,
+                    });
+                }
+                0x06 => {
+                    pos += 1;
+                    let offset = varint::read(payload, &mut pos)?;
+                    let len = varint::read(payload, &mut pos)? as usize;
+                    let data = payload.get(pos..pos + len)?.to_vec();
+                    pos += len;
+                    frames.push(Frame::Crypto { offset, data });
+                }
+                0x1C | 0x1D => {
+                    pos += 1;
+                    let error_code = varint::read(payload, &mut pos)?;
+                    if ty == 0x1C {
+                        varint::read(payload, &mut pos)?;
+                    }
+                    let reason_len = varint::read(payload, &mut pos)? as usize;
+                    pos = pos.checked_add(reason_len)?;
+                    if pos > payload.len() {
+                        return None;
+                    }
+                    frames.push(Frame::ConnectionClose { error_code });
+                }
+                _ => return None,
+            }
+        }
+        Some(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frames: &[Frame]) -> Vec<Frame> {
+        let mut buf = Vec::new();
+        for f in frames {
+            f.encode(&mut buf);
+        }
+        let total: usize = frames.iter().map(|f| f.encoded_len()).sum();
+        assert_eq!(buf.len(), total, "encoded_len must match actual encoding");
+        Frame::decode_all(&buf).expect("decode")
+    }
+
+    #[test]
+    fn crypto_frame_roundtrips() {
+        let frames = vec![Frame::Crypto {
+            offset: 1200,
+            data: vec![7u8; 900],
+        }];
+        assert_eq!(roundtrip(&frames), frames);
+    }
+
+    #[test]
+    fn ack_frame_roundtrips() {
+        let frames = vec![Frame::Ack {
+            largest: 3,
+            delay: 25,
+            first_range: 3,
+        }];
+        assert_eq!(roundtrip(&frames), frames);
+    }
+
+    #[test]
+    fn padding_runs_coalesce() {
+        let frames = vec![
+            Frame::Crypto {
+                offset: 0,
+                data: b"hello".to_vec(),
+            },
+            Frame::Padding { n: 500 },
+        ];
+        let decoded = roundtrip(&frames);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[1], Frame::Padding { n: 500 });
+    }
+
+    #[test]
+    fn mixed_sequence_roundtrips() {
+        let frames = vec![
+            Frame::Ack {
+                largest: 0,
+                delay: 0,
+                first_range: 0,
+            },
+            Frame::Crypto {
+                offset: 0,
+                data: vec![1, 2, 3],
+            },
+            Frame::Ping,
+            Frame::Padding { n: 13 },
+        ];
+        assert_eq!(roundtrip(&frames), frames);
+    }
+
+    #[test]
+    fn connection_close_roundtrips() {
+        let frames = vec![Frame::ConnectionClose { error_code: 0x0A }];
+        assert_eq!(roundtrip(&frames), frames);
+    }
+
+    #[test]
+    fn ack_eliciting_classification() {
+        assert!(Frame::Ping.is_ack_eliciting());
+        assert!(Frame::Crypto { offset: 0, data: vec![] }.is_ack_eliciting());
+        assert!(!Frame::Padding { n: 1 }.is_ack_eliciting());
+        assert!(!Frame::Ack { largest: 0, delay: 0, first_range: 0 }.is_ack_eliciting());
+        assert!(!Frame::ConnectionClose { error_code: 0 }.is_ack_eliciting());
+    }
+
+    #[test]
+    fn unknown_frame_type_rejected() {
+        assert_eq!(Frame::decode_all(&[0xFE, 0x00]), None);
+    }
+
+    #[test]
+    fn truncated_crypto_rejected() {
+        let mut buf = Vec::new();
+        Frame::Crypto {
+            offset: 0,
+            data: vec![9u8; 100],
+        }
+        .encode(&mut buf);
+        assert_eq!(Frame::decode_all(&buf[..50]), None);
+    }
+}

@@ -1,0 +1,480 @@
+//! Handshake runners: drive a client/server pair over the simulated wire
+//! and extract the measurements the paper's figures are built from.
+//!
+//! All byte counts come from the wire trace (the passive view), not from
+//! what either endpoint believes it sent — this is what makes buggy
+//! accounting (uncounted padding, uncharged resends) *observable* here just
+//! as it was to the paper's scanners.
+
+use quicert_netsim::{
+    run_exchange, Datagram, ExchangeLimits, SimDuration, SimRng, SimTime, Wire,
+};
+use quicert_netsim::event::Direction;
+
+use crate::client::{ClientConfig, ClientConn, SilentClient};
+use crate::server::{ServerConfig, ServerConn, ServerStats};
+
+/// The handshake classes of §3.2 / §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandshakeClass {
+    /// Optimal: completes within 1 RTT, within the amplification limit.
+    OneRtt,
+    /// Less efficient: the server demanded address validation first.
+    Retry,
+    /// Unnecessary: multiple RTTs without Retry (large certificates and/or
+    /// missing coalescence).
+    MultiRtt,
+    /// Not RFC-compliant: completes within 1 RTT but exceeds the 3× limit.
+    Amplification,
+    /// No handshake (no QUIC service, or the Initial never arrived —
+    /// e.g. the load-balancer MTU failure of §4.1).
+    Unreachable,
+}
+
+impl HandshakeClass {
+    /// Label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            HandshakeClass::OneRtt => "1-RTT",
+            HandshakeClass::Retry => "RETRY",
+            HandshakeClass::MultiRtt => "Multi-RTT",
+            HandshakeClass::Amplification => "Amplification",
+            HandshakeClass::Unreachable => "Unreachable",
+        }
+    }
+}
+
+/// Everything measured about one complete-handshake attempt.
+#[derive(Debug, Clone)]
+pub struct HandshakeOutcome {
+    /// Whether the client completed the TLS handshake.
+    pub completed: bool,
+    /// Whether a Retry round was involved.
+    pub used_retry: bool,
+    /// UDP payload size of the client's first Initial datagram.
+    pub client_first_datagram: usize,
+    /// Server UDP payload bytes sent before the client's second datagram
+    /// reached it — the "first RTT" amplification numerator of Fig 4.
+    pub first_flight_wire: usize,
+    /// Total server UDP payload bytes over the whole exchange.
+    pub total_server_wire: usize,
+    /// Total client UDP payload bytes.
+    pub total_client_wire: usize,
+    /// Round trips until the client finished the handshake (1 = optimal).
+    pub rtt_count: u32,
+    /// Server-side byte accounting (TLS vs padding split, Fig 5).
+    pub server_stats: ServerStats,
+    /// When the client completed, if it did.
+    pub completed_at: Option<SimTime>,
+}
+
+impl HandshakeOutcome {
+    /// Amplification factor observed during the first RTT.
+    pub fn amplification_first_flight(&self) -> f64 {
+        if self.client_first_datagram == 0 {
+            return 0.0;
+        }
+        self.first_flight_wire as f64 / self.client_first_datagram as f64
+    }
+
+    /// Whether the first flight exceeded the RFC 9000 3× limit.
+    pub fn exceeds_limit(&self) -> bool {
+        self.first_flight_wire > 3 * self.client_first_datagram
+    }
+
+    /// Classify per §3.2.
+    pub fn classify(&self) -> HandshakeClass {
+        if !self.completed {
+            HandshakeClass::Unreachable
+        } else if self.used_retry {
+            HandshakeClass::Retry
+        } else if self.rtt_count <= 1 {
+            if self.exceeds_limit() {
+                HandshakeClass::Amplification
+            } else {
+                HandshakeClass::OneRtt
+            }
+        } else {
+            HandshakeClass::MultiRtt
+        }
+    }
+}
+
+/// Run a complete handshake attempt.
+pub fn run_handshake(
+    client_config: ClientConfig,
+    server_config: ServerConfig,
+    wire: &mut Wire,
+    seed: u64,
+) -> HandshakeOutcome {
+    let mut client = ClientConn::new(client_config);
+    let mut server = ServerConn::new(server_config);
+    let mut rng = SimRng::new(seed ^ 0x44_5348);
+    let limits = ExchangeLimits {
+        deadline: SimTime::ZERO + SimDuration::from_secs(30),
+        max_events: 10_000,
+    };
+    let outcome = run_exchange(&mut client, &mut server, wire, limits, &mut rng);
+
+    // The first flight is everything the server sent before the client's
+    // second datagram arrived at the server.
+    let second_client_arrival = outcome
+        .trace
+        .iter()
+        .filter(|e| e.direction == Direction::AtoB)
+        .nth(1)
+        .and_then(|e| e.outcome.ok());
+    let first_flight_wire = outcome
+        .trace
+        .iter()
+        .filter(|e| e.direction == Direction::BtoA)
+        .filter(|e| match second_client_arrival {
+            Some(t2) => e.sent_at < t2,
+            None => true,
+        })
+        .map(|e| e.payload_len)
+        .sum();
+
+    // A handshake completing at exactly one wire RTT is "1-RTT"; each
+    // extra server round adds one RTT.
+    let rtt = wire.rtt();
+    let rtt_count = client
+        .completed_at
+        .map(|t| t.as_nanos().max(1).div_ceil(rtt.as_nanos().max(1)) as u32)
+        .unwrap_or(0);
+
+    HandshakeOutcome {
+        completed: client.handshake_complete(),
+        used_retry: client.saw_retry,
+        client_first_datagram: client.first_datagram_len,
+        first_flight_wire,
+        total_server_wire: outcome.sent_bytes(Direction::BtoA),
+        total_client_wire: outcome.sent_bytes(Direction::AtoB),
+        rtt_count,
+        server_stats: *server.stats(),
+        completed_at: client.completed_at,
+    }
+}
+
+/// A backscatter datagram emitted by the server during a spoofed probe.
+#[derive(Debug, Clone, Copy)]
+pub struct BackscatterDatagram {
+    /// When it was sent.
+    pub at: SimTime,
+    /// UDP payload size.
+    pub payload_len: usize,
+}
+
+/// What a spoofed (never-acknowledging) probe provoked — the telescope's
+/// view of one session (§4.3).
+#[derive(Debug, Clone)]
+pub struct SpoofedOutcome {
+    /// UDP payload size of the probe Initial.
+    pub probe_size: usize,
+    /// Total server UDP payload bytes sent toward the victim.
+    pub total_server_wire: usize,
+    /// Individual backscatter datagrams in send order.
+    pub datagrams: Vec<BackscatterDatagram>,
+    /// The server's source connection ID (telescope sessions group by it).
+    pub server_scid: Vec<u8>,
+    /// Number of flight transmissions the server performed.
+    pub flight_transmissions: u32,
+}
+
+impl SpoofedOutcome {
+    /// Amplification factor: reflected bytes over probe bytes.
+    pub fn amplification(&self) -> f64 {
+        if self.probe_size == 0 {
+            return 0.0;
+        }
+        self.total_server_wire as f64 / self.probe_size as f64
+    }
+
+    /// Duration between the first and last backscatter datagram.
+    pub fn session_duration(&self) -> SimDuration {
+        match (self.datagrams.first(), self.datagrams.last()) {
+            (Some(first), Some(last)) => last.at.since(first.at),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Run a spoofed handshake probe: one Initial, no ACKs ever, watch what the
+/// server reflects (including all retransmissions).
+pub fn run_spoofed_probe(
+    probe_size: usize,
+    spoofed_src: std::net::Ipv4Addr,
+    server_addr: std::net::Ipv4Addr,
+    server_config: ServerConfig,
+    wire: &mut Wire,
+    seed: u64,
+) -> SpoofedOutcome {
+    let mut config = ClientConfig::scanner(probe_size, server_addr, seed);
+    config.src = spoofed_src;
+    let mut client = SilentClient::new(config);
+    let mut server = ServerConn::new(server_config);
+    let mut rng = SimRng::new(seed ^ 0x5350_4F4F);
+    let limits = ExchangeLimits {
+        deadline: SimTime::ZERO + SimDuration::from_secs(300),
+        max_events: 100_000,
+    };
+    let outcome = run_exchange(&mut client, &mut server, wire, limits, &mut rng);
+
+    let datagrams: Vec<BackscatterDatagram> = outcome
+        .trace
+        .iter()
+        .filter(|e| e.direction == Direction::BtoA)
+        .map(|e| BackscatterDatagram {
+            at: e.sent_at,
+            payload_len: e.payload_len,
+        })
+        .collect();
+
+    SpoofedOutcome {
+        probe_size,
+        total_server_wire: datagrams.iter().map(|d| d.payload_len).sum(),
+        datagrams,
+        server_scid: server.scid().0.clone(),
+        flight_transmissions: server.stats().flight_transmissions,
+    }
+}
+
+/// Observe a spoofed probe's backscatter *into a telescope*: records every
+/// reflected datagram (with its SCID) as the telescope would see it.
+pub fn observe_backscatter(
+    telescope: &mut quicert_netsim::Telescope,
+    spoofed_src: std::net::Ipv4Addr,
+    server_addr: std::net::Ipv4Addr,
+    outcome: &SpoofedOutcome,
+) {
+    for d in &outcome.datagrams {
+        let dgram = Datagram::new(server_addr, spoofed_src, 443, 50_443, vec![0; d.payload_len]);
+        telescope.observe(&dgram, d.at, Some(outcome.server_scid.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerBehavior;
+    use quicert_compress::Algorithm;
+    use quicert_x509::{
+        CertificateBuilder, CertificateChain, DistinguishedName, Extension, KeyAlgorithm,
+        SignatureAlgorithm, SubjectPublicKeyInfo,
+    };
+    use std::net::Ipv4Addr;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 10);
+
+    fn small_chain() -> CertificateChain {
+        // A realistic modern ECDSA chain (Let's Encrypt E1-style): richly
+        // extended leaf (~1 kB) plus a compact ECDSA intermediate.
+        let inter_dn = DistinguishedName::ca("US", "Let's Encrypt", "E1");
+        let root_dn = DistinguishedName::ca("US", "Internet Security Research Group", "ISRG Root X2");
+        let inter = CertificateBuilder::new(
+            root_dn,
+            inter_dn.clone(),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP384, 31),
+            SignatureAlgorithm::EcdsaSha384,
+        )
+        .extension(Extension::BasicConstraints { ca: true, path_len: Some(0) })
+        .extension(Extension::SubjectKeyId { seed: 33 })
+        .extension(Extension::AuthorityKeyId { seed: 34 })
+        .extension(Extension::CrlDistributionPoints(vec![
+            "http://x2.c.lencr.org/".into(),
+        ]))
+        .build();
+        let leaf = CertificateBuilder::new(
+            inter_dn,
+            DistinguishedName::cn("small.example"),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, 32),
+            SignatureAlgorithm::EcdsaSha384,
+        )
+        .extension(Extension::BasicConstraints { ca: false, path_len: None })
+        .extension(Extension::SubjectKeyId { seed: 35 })
+        .extension(Extension::AuthorityKeyId { seed: 33 })
+        .extension(Extension::SubjectAltNames(vec![
+            "small.example".into(),
+            "www.small.example".into(),
+        ]))
+        .extension(Extension::AuthorityInfoAccess {
+            ocsp: Some("http://e1.o.lencr.org".into()),
+            ca_issuers: Some("http://e1.i.lencr.org/".into()),
+        })
+        .extension(Extension::SctList { count: 2, seed: 36 })
+        .build();
+        CertificateChain::new(leaf, vec![inter])
+    }
+
+    fn big_chain() -> CertificateChain {
+        let root_dn = DistinguishedName::ca("US", "Legacy Trust Services Incorporated", "Legacy Global Root CA");
+        let i1_dn = DistinguishedName::ca("US", "Legacy Trust Services Incorporated", "Legacy TLS RSA CA G1");
+        let i2_dn = DistinguishedName::ca("US", "Legacy Trust Services Incorporated", "Legacy TLS RSA CA G2");
+        let i1 = CertificateBuilder::new(
+            root_dn.clone(),
+            i1_dn.clone(),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa4096, 41),
+            SignatureAlgorithm::Sha384WithRsa4096,
+        )
+        .build();
+        let i2 = CertificateBuilder::new(
+            i1_dn,
+            i2_dn.clone(),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa4096, 42),
+            SignatureAlgorithm::Sha384WithRsa4096,
+        )
+        .build();
+        let leaf = CertificateBuilder::new(
+            i2_dn,
+            DistinguishedName::cn("big.example"),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa2048, 43),
+            SignatureAlgorithm::Sha384WithRsa4096,
+        )
+        .extension(Extension::SubjectAltNames(vec!["big.example".into(), "www.big.example".into()]))
+        .extension(Extension::SctList { count: 3, seed: 44 })
+        .build();
+        CertificateChain::new(leaf, vec![i2, i1])
+    }
+
+    fn server(behavior: ServerBehavior, chain: CertificateChain, leaf_key: KeyAlgorithm) -> ServerConfig {
+        ServerConfig {
+            behavior,
+            chain,
+            leaf_key,
+            compression_support: vec![Algorithm::Brotli],
+            seed: 77,
+        }
+    }
+
+    fn wire() -> Wire {
+        Wire::ideal(SimDuration::from_millis(20))
+    }
+
+    #[test]
+    fn compliant_server_small_chain_is_one_rtt() {
+        let out = run_handshake(
+            ClientConfig::scanner(1362, SERVER, 1),
+            server(ServerBehavior::rfc_compliant(), small_chain(), KeyAlgorithm::EcdsaP256),
+            &mut wire(),
+            1,
+        );
+        assert!(out.completed);
+        assert_eq!(out.rtt_count, 1, "completed at {:?}", out.completed_at);
+        assert!(!out.exceeds_limit(), "ampl {}", out.amplification_first_flight());
+        assert_eq!(out.classify(), HandshakeClass::OneRtt);
+    }
+
+    #[test]
+    fn compliant_server_big_chain_needs_multiple_rtts() {
+        let out = run_handshake(
+            ClientConfig::scanner(1362, SERVER, 2),
+            server(ServerBehavior::rfc_compliant(), big_chain(), KeyAlgorithm::Rsa2048),
+            &mut wire(),
+            2,
+        );
+        assert!(out.completed);
+        assert!(out.rtt_count >= 2, "rtts {}", out.rtt_count);
+        assert!(!out.exceeds_limit(), "first flight respects the budget");
+        assert_eq!(out.classify(), HandshakeClass::MultiRtt);
+        // TLS payload alone exceeds the limit (the 87% case of §4.2).
+        assert!(out.server_stats.tls_sent > 3 * 1362);
+    }
+
+    #[test]
+    fn cloudflare_like_server_amplifies_but_finishes_in_one_rtt() {
+        let out = run_handshake(
+            ClientConfig::scanner(1362, SERVER, 3),
+            server(ServerBehavior::cloudflare_like(), small_chain(), KeyAlgorithm::EcdsaP256),
+            &mut wire(),
+            3,
+        );
+        assert!(out.completed);
+        assert_eq!(out.rtt_count, 1);
+        assert!(out.exceeds_limit(), "ampl {}", out.amplification_first_flight());
+        assert_eq!(out.classify(), HandshakeClass::Amplification);
+        // The amplification factor stays modest (Fig 4: < 6x).
+        assert!(out.amplification_first_flight() < 6.0);
+        // Padding dominated by the two stray-padded Initial datagrams.
+        assert!(out.server_stats.padding_sent > 2000);
+    }
+
+    #[test]
+    fn retry_server_adds_a_round_trip() {
+        let out = run_handshake(
+            ClientConfig::scanner(1362, SERVER, 4),
+            server(ServerBehavior::retry_first(), small_chain(), KeyAlgorithm::EcdsaP256),
+            &mut wire(),
+            4,
+        );
+        assert!(out.completed);
+        assert!(out.used_retry);
+        assert_eq!(out.classify(), HandshakeClass::Retry);
+        assert!(out.rtt_count >= 2);
+    }
+
+    #[test]
+    fn spoofed_probe_against_compliant_server_is_bounded() {
+        let out = run_spoofed_probe(
+            1252,
+            Ipv4Addr::new(44, 0, 0, 1),
+            SERVER,
+            server(ServerBehavior::rfc_compliant(), small_chain(), KeyAlgorithm::EcdsaP256),
+            &mut wire(),
+            5,
+        );
+        assert!(
+            out.amplification() <= 3.0 + 1e-9,
+            "compliant server must respect 3x, got {}",
+            out.amplification()
+        );
+    }
+
+    #[test]
+    fn spoofed_probe_against_mvfst_amplifies_via_resends() {
+        let out = run_spoofed_probe(
+            1252,
+            Ipv4Addr::new(44, 0, 0, 2),
+            SERVER,
+            server(ServerBehavior::mvfst_like(8), big_chain(), KeyAlgorithm::Rsa2048),
+            &mut wire(),
+            6,
+        );
+        assert!(
+            out.amplification() > 10.0,
+            "mvfst-like resends must blow through the limit, got {}",
+            out.amplification()
+        );
+        assert_eq!(out.flight_transmissions, 8);
+        // Session spans the retransmission backoff (tens of seconds).
+        assert!(out.session_duration() > SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn larger_initials_flip_marginal_chains_to_one_rtt() {
+        // A chain whose flight fits in 3x1472 but not 3x1200.
+        let cfg = |size| ClientConfig::scanner(size, SERVER, 7);
+        let sc = server(ServerBehavior::rfc_compliant(), big_chain(), KeyAlgorithm::Rsa2048);
+        let small = run_handshake(cfg(1200), sc.clone(), &mut wire(), 7);
+        let large = run_handshake(cfg(1472), sc, &mut wire(), 7);
+        assert!(small.rtt_count >= large.rtt_count);
+    }
+
+    #[test]
+    fn backscatter_observation_lands_in_telescope() {
+        let dark = quicert_netsim::Ipv4Net::new(Ipv4Addr::new(44, 0, 0, 0), 8);
+        let mut telescope = quicert_netsim::Telescope::new(dark);
+        let victim = Ipv4Addr::new(44, 1, 2, 3);
+        let out = run_spoofed_probe(
+            1252,
+            victim,
+            SERVER,
+            server(ServerBehavior::mvfst_like(3), small_chain(), KeyAlgorithm::EcdsaP256),
+            &mut wire(),
+            8,
+        );
+        observe_backscatter(&mut telescope, victim, SERVER, &out);
+        assert_eq!(telescope.records().len(), out.datagrams.len());
+        assert_eq!(telescope.total_bytes(), out.total_server_wire);
+        assert!(telescope.records().iter().all(|r| r.scid.is_some()));
+    }
+}

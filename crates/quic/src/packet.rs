@@ -1,0 +1,555 @@
+//! QUIC packets and datagram assembly (RFC 9000 §17, §12.2, §14.1).
+//!
+//! Long-header packets (Initial, Handshake, Retry) are encoded with their
+//! real framing: flags byte, version, connection IDs, token (Initial),
+//! length and packet number, payload, and a 16-byte AEAD tag. Multiple
+//! packets may be *coalesced* into one UDP datagram. Header protection is
+//! not simulated (it does not change sizes), and the AEAD tag bytes are
+//! deterministic filler.
+
+use crate::frame::Frame;
+use crate::varint;
+
+/// AEAD authentication tag length appended to every protected packet.
+pub const AEAD_TAG_LEN: usize = 16;
+
+/// Minimum UDP payload for datagrams carrying ack-eliciting Initial packets
+/// (RFC 9000 §14.1).
+pub const QUIC_MIN_INITIAL_SIZE: usize = 1200;
+
+/// QUIC version 1.
+pub const VERSION_1: u32 = 0x0000_0001;
+
+/// A connection ID (0–20 bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ConnectionId(pub Vec<u8>);
+
+impl ConnectionId {
+    /// Construct from a slice.
+    pub fn new(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 20, "connection IDs are at most 20 bytes");
+        ConnectionId(bytes.to_vec())
+    }
+
+    /// Derive a deterministic 8-byte connection ID from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC1D1;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ConnectionId(z.to_be_bytes().to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the CID is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Long-header packet types (plus the 1-RTT short header for completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    /// Initial packet (type 0b00): carries Initial-level CRYPTO and a token.
+    Initial,
+    /// Handshake packet (type 0b10).
+    Handshake,
+    /// Retry packet (type 0b11): server address-validation challenge.
+    Retry,
+    /// 1-RTT short-header packet.
+    OneRtt,
+}
+
+/// A QUIC packet before serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Packet type.
+    pub ty: PacketType,
+    /// Destination connection ID.
+    pub dcid: ConnectionId,
+    /// Source connection ID (absent on the wire for 1-RTT).
+    pub scid: ConnectionId,
+    /// Token (Initial packets only; empty = none).
+    pub token: Vec<u8>,
+    /// Packet number (encoded in 2 bytes).
+    pub number: u64,
+    /// Frames (ignored for Retry, which carries the token instead).
+    pub frames: Vec<Frame>,
+}
+
+impl Packet {
+    /// Create a packet with no token.
+    pub fn new(
+        ty: PacketType,
+        dcid: ConnectionId,
+        scid: ConnectionId,
+        number: u64,
+        frames: Vec<Frame>,
+    ) -> Self {
+        Packet {
+            ty,
+            dcid,
+            scid,
+            token: Vec::new(),
+            number,
+            frames,
+        }
+    }
+
+    /// Whether any frame is ack-eliciting.
+    pub fn is_ack_eliciting(&self) -> bool {
+        self.frames.iter().any(|f| f.is_ack_eliciting())
+    }
+
+    /// Sum of encoded frame lengths.
+    pub fn payload_len(&self) -> usize {
+        self.frames.iter().map(|f| f.encoded_len()).sum()
+    }
+
+    /// Bytes of PADDING frames in this packet.
+    pub fn padding_len(&self) -> usize {
+        self.frames
+            .iter()
+            .map(|f| match f {
+                Frame::Padding { n } => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Bytes of CRYPTO frame *data* (TLS payload) in this packet.
+    pub fn crypto_data_len(&self) -> usize {
+        self.frames
+            .iter()
+            .map(|f| match f {
+                Frame::Crypto { data, .. } => data.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Encoded size of the packet on the wire.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Header + framing overhead for a packet of this shape carrying
+    /// `payload` frame bytes: everything except frame payload itself.
+    pub fn overhead(ty: PacketType, dcid: &ConnectionId, scid: &ConnectionId, token_len: usize) -> usize {
+        match ty {
+            PacketType::Initial => {
+                1 + 4
+                    + 1
+                    + dcid.len()
+                    + 1
+                    + scid.len()
+                    + varint::len(token_len as u64)
+                    + token_len
+                    + 2 // length varint (2-byte form covers our sizes)
+                    + 2 // packet number
+                    + AEAD_TAG_LEN
+            }
+            PacketType::Handshake => {
+                1 + 4 + 1 + dcid.len() + 1 + scid.len() + 2 + 2 + AEAD_TAG_LEN
+            }
+            PacketType::Retry => 1 + 4 + 1 + dcid.len() + 1 + scid.len() + token_len + AEAD_TAG_LEN,
+            PacketType::OneRtt => 1 + dcid.len() + 2 + AEAD_TAG_LEN,
+        }
+    }
+
+    /// Serialise the packet.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_len() + 64);
+        match self.ty {
+            PacketType::Initial | PacketType::Handshake => {
+                let type_bits = match self.ty {
+                    PacketType::Initial => 0b00,
+                    _ => 0b10,
+                };
+                // Long header: form=1, fixed=1, type, pn_len-1 = 1 (2 bytes).
+                out.push(0b1100_0000 | (type_bits << 4) | 0b01);
+                out.extend_from_slice(&VERSION_1.to_be_bytes());
+                out.push(self.dcid.len() as u8);
+                out.extend_from_slice(&self.dcid.0);
+                out.push(self.scid.len() as u8);
+                out.extend_from_slice(&self.scid.0);
+                if self.ty == PacketType::Initial {
+                    varint::write(&mut out, self.token.len() as u64);
+                    out.extend_from_slice(&self.token);
+                }
+                let mut payload = Vec::with_capacity(self.payload_len());
+                for f in &self.frames {
+                    f.encode(&mut payload);
+                }
+                // Length covers packet number + payload + tag; always use
+                // the 2-byte varint form so sizes are predictable.
+                let length = 2 + payload.len() + AEAD_TAG_LEN;
+                debug_assert!(length < 16384, "packet too large for 2-byte varint");
+                out.extend_from_slice(&((length as u16) | 0x4000).to_be_bytes());
+                out.extend_from_slice(&(self.number as u16).to_be_bytes());
+                out.extend_from_slice(&payload);
+                out.extend_from_slice(&tag_bytes(self.number, payload.len()));
+            }
+            PacketType::Retry => {
+                out.push(0b1111_0000);
+                out.extend_from_slice(&VERSION_1.to_be_bytes());
+                out.push(self.dcid.len() as u8);
+                out.extend_from_slice(&self.dcid.0);
+                out.push(self.scid.len() as u8);
+                out.extend_from_slice(&self.scid.0);
+                out.extend_from_slice(&self.token);
+                out.extend_from_slice(&tag_bytes(0xEE77, self.token.len()));
+            }
+            PacketType::OneRtt => {
+                out.push(0b0100_0000);
+                out.extend_from_slice(&self.dcid.0);
+                out.extend_from_slice(&(self.number as u16).to_be_bytes());
+                let mut payload = Vec::with_capacity(self.payload_len());
+                for f in &self.frames {
+                    f.encode(&mut payload);
+                }
+                out.extend_from_slice(&payload);
+                out.extend_from_slice(&tag_bytes(self.number, payload.len()));
+            }
+        }
+        out
+    }
+}
+
+fn tag_bytes(a: u64, b: usize) -> [u8; AEAD_TAG_LEN] {
+    let mut tag = [0u8; AEAD_TAG_LEN];
+    let mut z = a
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_add(b as u64);
+    for chunk in tag.chunks_mut(8) {
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let bytes = z.to_le_bytes();
+        chunk.copy_from_slice(&bytes[..chunk.len()]);
+    }
+    tag
+}
+
+/// A packet parsed from the wire (enough detail for the simulation and for
+/// telescope SCID extraction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// Packet type.
+    pub ty: PacketType,
+    /// Destination connection ID.
+    pub dcid: ConnectionId,
+    /// Source connection ID (empty for 1-RTT).
+    pub scid: ConnectionId,
+    /// Token (Initial/Retry).
+    pub token: Vec<u8>,
+    /// Packet number (0 for Retry).
+    pub number: u64,
+    /// Decoded frames (empty for Retry).
+    pub frames: Vec<Frame>,
+    /// Total wire bytes consumed by this packet.
+    pub wire_len: usize,
+}
+
+impl ParsedPacket {
+    /// Bytes of PADDING frames in this packet.
+    pub fn padding_len(&self) -> usize {
+        self.frames
+            .iter()
+            .map(|f| match f {
+                Frame::Padding { n } => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Bytes of CRYPTO frame data (TLS payload) in this packet.
+    pub fn crypto_data_len(&self) -> usize {
+        self.frames
+            .iter()
+            .map(|f| match f {
+                Frame::Crypto { data, .. } => data.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Parse every packet coalesced into a datagram payload.
+///
+/// Returns `None` on malformed input. Retry packets consume the rest of the
+/// datagram (they cannot be coalesced with following packets, since they
+/// have no length field).
+pub fn parse_datagram(payload: &[u8]) -> Option<Vec<ParsedPacket>> {
+    let mut packets = Vec::new();
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let start = pos;
+        let first = payload[pos];
+        if first & 0x80 == 0 {
+            // Short header: consumes the rest of the datagram. DCID length
+            // is not self-describing; we use the 8-byte convention of this
+            // workspace.
+            if payload.len() - pos < 1 + 8 + 2 + AEAD_TAG_LEN {
+                return None;
+            }
+            let dcid = ConnectionId::new(&payload[pos + 1..pos + 9]);
+            let number = u16::from_be_bytes([payload[pos + 9], payload[pos + 10]]) as u64;
+            let body = &payload[pos + 11..payload.len() - AEAD_TAG_LEN];
+            let frames = Frame::decode_all(body)?;
+            packets.push(ParsedPacket {
+                ty: PacketType::OneRtt,
+                dcid,
+                scid: ConnectionId::default(),
+                token: Vec::new(),
+                number,
+                frames,
+                wire_len: payload.len() - start,
+            });
+            break;
+        }
+        pos += 1;
+        let type_bits = (first >> 4) & 0b11;
+        if payload.len() < pos + 4 {
+            return None;
+        }
+        let _version = u32::from_be_bytes(payload[pos..pos + 4].try_into().unwrap());
+        pos += 4;
+        let dcid_len = *payload.get(pos)? as usize;
+        pos += 1;
+        let dcid = ConnectionId::new(payload.get(pos..pos + dcid_len)?);
+        pos += dcid_len;
+        let scid_len = *payload.get(pos)? as usize;
+        pos += 1;
+        let scid = ConnectionId::new(payload.get(pos..pos + scid_len)?);
+        pos += scid_len;
+
+        match type_bits {
+            0b11 => {
+                // Retry: token is everything up to the 16-byte tag.
+                if payload.len() < pos + AEAD_TAG_LEN {
+                    return None;
+                }
+                let token = payload[pos..payload.len() - AEAD_TAG_LEN].to_vec();
+                packets.push(ParsedPacket {
+                    ty: PacketType::Retry,
+                    dcid,
+                    scid,
+                    token,
+                    number: 0,
+                    frames: Vec::new(),
+                    wire_len: payload.len() - start,
+                });
+                break;
+            }
+            0b00 | 0b10 => {
+                let ty = if type_bits == 0b00 {
+                    PacketType::Initial
+                } else {
+                    PacketType::Handshake
+                };
+                let token = if ty == PacketType::Initial {
+                    let tlen = varint::read(payload, &mut pos)? as usize;
+                    let t = payload.get(pos..pos + tlen)?.to_vec();
+                    pos += tlen;
+                    t
+                } else {
+                    Vec::new()
+                };
+                let length = varint::read(payload, &mut pos)? as usize;
+                if length < 2 + AEAD_TAG_LEN || payload.len() < pos + length {
+                    return None;
+                }
+                let number =
+                    u16::from_be_bytes([payload[pos], payload[pos + 1]]) as u64;
+                let body = &payload[pos + 2..pos + length - AEAD_TAG_LEN];
+                let frames = Frame::decode_all(body)?;
+                pos += length;
+                packets.push(ParsedPacket {
+                    ty,
+                    dcid,
+                    scid,
+                    token,
+                    number,
+                    frames,
+                    wire_len: pos - start,
+                });
+            }
+            _ => return None, // 0-RTT unsupported
+        }
+    }
+    Some(packets)
+}
+
+/// Extract the source connection ID from the first long-header packet of a
+/// datagram, as a telescope collector would (§4.3 groups backscatter by
+/// SCID).
+pub fn extract_scid(payload: &[u8]) -> Option<Vec<u8>> {
+    let first = *payload.first()?;
+    if first & 0x80 == 0 {
+        return None; // short header carries no SCID
+    }
+    let mut pos = 5; // flags + version
+    let dcid_len = *payload.get(pos)? as usize;
+    pos += 1 + dcid_len;
+    let scid_len = *payload.get(pos)? as usize;
+    pos += 1;
+    payload.get(pos..pos + scid_len).map(|s| s.to_vec())
+}
+
+/// Serialise a coalesced datagram from `packets`, padding with a PADDING
+/// frame in the *last* packet so the UDP payload reaches `pad_to` (if
+/// given). Padding must be added inside a packet's AEAD envelope, which is
+/// why this mutates the final packet rather than appending raw zeros.
+pub fn assemble_datagram(mut packets: Vec<Packet>, pad_to: Option<usize>) -> Vec<u8> {
+    if let Some(target) = pad_to {
+        let current: usize = packets.iter().map(|p| p.encoded_len()).sum();
+        if current < target {
+            let need = target - current;
+            if let Some(last) = packets.last_mut() {
+                last.frames.push(Frame::Padding { n: need });
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for p in &packets {
+        out.extend_from_slice(&p.encode());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(b: u8) -> ConnectionId {
+        ConnectionId::new(&[b; 8])
+    }
+
+    fn initial_packet(frames: Vec<Frame>) -> Packet {
+        Packet::new(PacketType::Initial, cid(1), cid(2), 0, frames)
+    }
+
+    #[test]
+    fn initial_roundtrips() {
+        let pkt = initial_packet(vec![Frame::Crypto {
+            offset: 0,
+            data: vec![0xAB; 300],
+        }]);
+        let wire = pkt.encode();
+        let parsed = parse_datagram(&wire).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].ty, PacketType::Initial);
+        assert_eq!(parsed[0].dcid, cid(1));
+        assert_eq!(parsed[0].scid, cid(2));
+        assert_eq!(parsed[0].frames, pkt.frames);
+        assert_eq!(parsed[0].wire_len, wire.len());
+    }
+
+    #[test]
+    fn overhead_prediction_matches_encoding() {
+        for (ty, token_len) in [
+            (PacketType::Initial, 0usize),
+            (PacketType::Initial, 32),
+            (PacketType::Handshake, 0),
+        ] {
+            let mut pkt = Packet::new(ty, cid(3), cid(4), 1, vec![Frame::Crypto {
+                offset: 0,
+                data: vec![1; 500],
+            }]);
+            pkt.token = vec![0x55; token_len];
+            let predicted = Packet::overhead(ty, &cid(3), &cid(4), token_len) + pkt.payload_len();
+            assert_eq!(pkt.encoded_len(), predicted, "{ty:?} token={token_len}");
+        }
+    }
+
+    #[test]
+    fn coalesced_datagram_parses_in_order() {
+        let initial = initial_packet(vec![
+            Frame::Ack { largest: 0, delay: 0, first_range: 0 },
+            Frame::Crypto { offset: 0, data: vec![2; 90] },
+        ]);
+        let handshake = Packet::new(
+            PacketType::Handshake,
+            cid(1),
+            cid(2),
+            0,
+            vec![Frame::Crypto { offset: 0, data: vec![3; 700] }],
+        );
+        let wire = assemble_datagram(vec![initial, handshake], Some(1200));
+        assert_eq!(wire.len(), 1200);
+        let parsed = parse_datagram(&wire).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].ty, PacketType::Initial);
+        assert_eq!(parsed[1].ty, PacketType::Handshake);
+        // Padding landed inside the second packet's envelope.
+        assert!(parsed[1].frames.iter().any(|f| matches!(f, Frame::Padding { .. })));
+    }
+
+    #[test]
+    fn padding_is_not_appended_when_already_large_enough() {
+        let pkt = initial_packet(vec![Frame::Crypto { offset: 0, data: vec![9; 1300] }]);
+        let wire = assemble_datagram(vec![pkt], Some(1200));
+        assert!(wire.len() > 1300);
+        let parsed = parse_datagram(&wire).unwrap();
+        assert_eq!(parsed[0].padding_len(), 0);
+    }
+
+    #[test]
+    fn retry_roundtrips() {
+        let mut pkt = Packet::new(PacketType::Retry, cid(7), cid(8), 0, vec![]);
+        pkt.token = (0..48).collect();
+        let wire = pkt.encode();
+        let parsed = parse_datagram(&wire).unwrap();
+        assert_eq!(parsed[0].ty, PacketType::Retry);
+        assert_eq!(parsed[0].token, pkt.token);
+    }
+
+    #[test]
+    fn scid_extraction_matches_header() {
+        let pkt = initial_packet(vec![Frame::Ping]);
+        let wire = pkt.encode();
+        assert_eq!(extract_scid(&wire), Some(vec![2u8; 8]));
+        // Short header: no SCID.
+        let short = Packet::new(PacketType::OneRtt, cid(1), ConnectionId::default(), 0, vec![Frame::Ping]);
+        assert_eq!(extract_scid(&short.encode()), None);
+    }
+
+    #[test]
+    fn ack_eliciting_packets() {
+        let data = initial_packet(vec![Frame::Crypto { offset: 0, data: vec![1] }]);
+        assert!(data.is_ack_eliciting());
+        let ack_only = initial_packet(vec![Frame::Ack { largest: 0, delay: 0, first_range: 0 }]);
+        assert!(!ack_only.is_ack_eliciting());
+        let ack_padded = initial_packet(vec![
+            Frame::Ack { largest: 0, delay: 0, first_range: 0 },
+            Frame::Padding { n: 100 },
+        ]);
+        assert!(!ack_padded.is_ack_eliciting());
+    }
+
+    #[test]
+    fn byte_accounting_helpers() {
+        let pkt = initial_packet(vec![
+            Frame::Crypto { offset: 0, data: vec![5; 250] },
+            Frame::Padding { n: 40 },
+        ]);
+        assert_eq!(pkt.crypto_data_len(), 250);
+        assert_eq!(pkt.padding_len(), 40);
+    }
+
+    #[test]
+    fn malformed_datagrams_are_rejected() {
+        assert_eq!(parse_datagram(&[0xC1, 0x00]), None);
+        let pkt = initial_packet(vec![Frame::Ping]);
+        let wire = pkt.encode();
+        assert_eq!(parse_datagram(&wire[..wire.len() - 1]), None);
+    }
+
+    #[test]
+    fn connection_id_from_seed_is_stable() {
+        assert_eq!(ConnectionId::from_seed(5), ConnectionId::from_seed(5));
+        assert_ne!(ConnectionId::from_seed(5), ConnectionId::from_seed(6));
+        assert_eq!(ConnectionId::from_seed(5).len(), 8);
+    }
+}

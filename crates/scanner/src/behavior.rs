@@ -1,0 +1,113 @@
+//! Mapping from world deployments to concrete QUIC server configurations.
+
+use quicert_netsim::{LinkModel, SimDuration, Wire};
+use quicert_pki::world::BehaviorKind;
+use quicert_pki::{DomainRecord, World};
+use quicert_quic::{ServerBehavior, ServerConfig};
+use quicert_x509::CertificateChain;
+
+/// Number of flight transmissions of pre-disclosure Meta PoPs (§4.3: up to
+/// 45× amplification, sessions of ~51 s).
+pub const MVFST_PRE_TRANSMISSIONS: u32 = 8;
+/// Post-disclosure transmissions (Fig 11(b): mean ~5× remains).
+pub const MVFST_POST_TRANSMISSIONS: u32 = 2;
+
+/// Concrete [`ServerBehavior`] for a deployment's behaviour family.
+pub fn behavior_of(kind: BehaviorKind) -> ServerBehavior {
+    match kind {
+        BehaviorKind::RfcCompliant => ServerBehavior::rfc_compliant(),
+        BehaviorKind::CloudflareLike => ServerBehavior::cloudflare_like(),
+        BehaviorKind::MvfstPreDisclosure => ServerBehavior::mvfst_like(MVFST_PRE_TRANSMISSIONS),
+        BehaviorKind::MvfstPostDisclosure => ServerBehavior::mvfst_like(MVFST_POST_TRANSMISSIONS),
+        BehaviorKind::RetryFirst => ServerBehavior::retry_first(),
+    }
+}
+
+/// Build the full QUIC server configuration of a domain, reusing an
+/// already-materialised chain when the caller loops (e.g. Initial sweeps).
+pub fn server_config_for(
+    world: &World,
+    record: &DomainRecord,
+    chain: CertificateChain,
+) -> ServerConfig {
+    let quic = record
+        .quic
+        .as_ref()
+        .expect("server_config_for requires a QUIC deployment");
+    let mut behavior = behavior_of(quic.behavior);
+    // Hypergiants retransmit toward unverified clients without charging the
+    // budget (Fig 9: all hypergiants exceed the limit via resends).
+    match quic.provider {
+        quicert_pki::Provider::Google => {
+            behavior.count_resends = false;
+            behavior.max_transmissions = 3;
+        }
+        quicert_pki::Provider::Cloudflare => {
+            behavior.count_resends = false;
+            behavior.max_transmissions = 2;
+        }
+        _ => {}
+    }
+    let _ = world;
+    ServerConfig {
+        behavior,
+        chain,
+        leaf_key: quic.leaf_key,
+        compression_support: quic.compression_support.clone(),
+        seed: record.seed,
+    }
+}
+
+/// The wire between the scanner and a domain's server, including the
+/// load-balancer encapsulation of §4.1 when deployed.
+pub fn wire_for(record: &DomainRecord) -> Wire {
+    let latency = SimDuration::from_millis(10 + (record.seed % 40));
+    let mut wire = Wire::ideal(latency);
+    if let Some(quic) = &record.quic {
+        if quic.behind_lb {
+            wire.a_to_b = LinkModel::tunneled(latency, quic.lb_overhead);
+        }
+    }
+    wire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_pki::{WorldConfig};
+
+    #[test]
+    fn behavior_mapping_is_faithful() {
+        assert!(behavior_of(BehaviorKind::RetryFirst).retry_first);
+        assert!(!behavior_of(BehaviorKind::CloudflareLike).coalesce);
+        assert_eq!(
+            behavior_of(BehaviorKind::MvfstPreDisclosure).max_transmissions,
+            MVFST_PRE_TRANSMISSIONS
+        );
+        assert_eq!(
+            behavior_of(BehaviorKind::MvfstPostDisclosure).max_transmissions,
+            MVFST_POST_TRANSMISSIONS
+        );
+        assert!(behavior_of(BehaviorKind::RfcCompliant).count_resends);
+    }
+
+    #[test]
+    fn lb_deployments_get_tunneled_wires() {
+        let world = quicert_pki::World::generate(WorldConfig {
+            domains: 5_000,
+            seed: 9,
+            ..WorldConfig::default()
+        });
+        let lb = world
+            .quic_services()
+            .find(|d| d.quic.as_ref().unwrap().behind_lb)
+            .expect("some LB deployment in 5k domains");
+        let wire = wire_for(lb);
+        assert!(wire.a_to_b.encapsulation_overhead >= 28);
+        let plain = world
+            .quic_services()
+            .find(|d| !d.quic.as_ref().unwrap().behind_lb)
+            .unwrap();
+        assert_eq!(wire_for(plain).a_to_b.encapsulation_overhead, 0);
+    }
+}

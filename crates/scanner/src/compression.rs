@@ -1,0 +1,200 @@
+//! Certificate-compression probing (the quiche fork of §3.2) and the
+//! synthetic compression study of §4.2.
+
+use quicert_compress::{compress_with, Algorithm};
+use quicert_pki::{DomainRecord, World};
+use quicert_tls::{ServerFlight, ServerFlightParams};
+
+/// Per-service compression probe result for one algorithm.
+#[derive(Debug, Clone)]
+pub struct CompressionProbe {
+    /// Service rank.
+    pub rank: usize,
+    /// Algorithm offered.
+    pub algorithm: Algorithm,
+    /// Whether the server negotiated it.
+    pub supported: bool,
+    /// Achieved ratio (compressed/uncompressed certificate message) when
+    /// supported.
+    pub ratio: Option<f64>,
+}
+
+/// Aggregate support/ratio per algorithm (Table 1 columns).
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmSupport {
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Services supporting it.
+    pub supported: usize,
+    /// Services probed.
+    pub total: usize,
+    /// Mean achieved ratio over supporting services.
+    pub mean_ratio: f64,
+}
+
+impl AlgorithmSupport {
+    /// Support share in percent.
+    pub fn share(&self) -> f64 {
+        self.supported as f64 / self.total.max(1) as f64 * 100.0
+    }
+}
+
+/// Probe one service with one algorithm offer.
+pub fn probe(world: &World, record: &DomainRecord, algorithm: Algorithm) -> CompressionProbe {
+    let quic = record.quic.as_ref().expect("QUIC service");
+    let supported = quic.compression_support.contains(&algorithm);
+    let ratio = supported.then(|| {
+        let chain = world.quic_chain(record).expect("chain");
+        let flight = ServerFlight::build(&ServerFlightParams {
+            chain,
+            leaf_key: quic.leaf_key,
+            compression: Some(algorithm),
+            seed: record.seed,
+        });
+        flight.compression_ratio()
+    });
+    CompressionProbe {
+        rank: record.rank,
+        algorithm,
+        supported,
+        ratio,
+    }
+}
+
+/// Probe every QUIC service with all three algorithms and aggregate.
+pub fn scan(world: &World) -> Vec<AlgorithmSupport> {
+    let services: Vec<&DomainRecord> = world.quic_services().collect();
+    Algorithm::ALL
+        .iter()
+        .map(|&algorithm| {
+            let mut supported = 0usize;
+            let mut ratios = Vec::new();
+            for record in &services {
+                let p = probe(world, record, algorithm);
+                if p.supported {
+                    supported += 1;
+                    if let Some(r) = p.ratio {
+                        ratios.push(r);
+                    }
+                }
+            }
+            AlgorithmSupport {
+                algorithm,
+                supported,
+                total: services.len(),
+                mean_ratio: quicert_analysis::mean(&ratios),
+            }
+        })
+        .collect()
+}
+
+/// Number of services supporting *all three* algorithms (the 0.05% Meta
+/// signature of Table 1).
+pub fn all_three_support(world: &World) -> (usize, usize) {
+    let mut all = 0usize;
+    let mut total = 0usize;
+    for record in world.quic_services() {
+        total += 1;
+        if record.quic.as_ref().unwrap().compression_support.len() == 3 {
+            all += 1;
+        }
+    }
+    (all, total)
+}
+
+/// The synthetic §4.2 study: compress collected chains directly and report
+/// (ratio, compressed size) per chain.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticCompression {
+    /// Original chain size (concatenated DER).
+    pub original: usize,
+    /// Compressed size under brotli.
+    pub compressed: usize,
+}
+
+impl SyntheticCompression {
+    /// compressed/original.
+    pub fn ratio(&self) -> f64 {
+        self.compressed as f64 / self.original.max(1) as f64
+    }
+}
+
+/// Compress a sample of served chains (every `stride`-th HTTPS-reachable
+/// domain) with the given algorithm.
+pub fn synthetic_study(world: &World, algorithm: Algorithm, stride: usize) -> Vec<SyntheticCompression> {
+    let mut out = Vec::new();
+    for record in world.domains().iter().step_by(stride.max(1)) {
+        if !record.has_https() {
+            continue;
+        }
+        if let Some(chain) = world.https_chain(record) {
+            let der = chain.concatenated_der();
+            let compressed = compress_with(algorithm, &der);
+            out.push(SyntheticCompression {
+                original: der.len(),
+                compressed: compressed.data.len(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_pki::WorldConfig;
+
+    fn world() -> quicert_pki::World {
+        quicert_pki::World::generate(WorldConfig {
+            domains: 4_000,
+            seed: 77,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn brotli_support_is_ubiquitous_all_three_rare() {
+        let world = world();
+        let support = scan(&world);
+        let brotli = support
+            .iter()
+            .find(|s| s.algorithm == Algorithm::Brotli)
+            .unwrap();
+        assert!(brotli.share() > 90.0, "brotli {}", brotli.share());
+        let zlib = support.iter().find(|s| s.algorithm == Algorithm::Zlib).unwrap();
+        assert!(zlib.share() < 2.0, "zlib {}", zlib.share());
+        let (all, total) = all_three_support(&world);
+        assert!((all as f64 / total as f64) < 0.02);
+    }
+
+    #[test]
+    fn achieved_ratios_are_meaningful() {
+        let world = world();
+        let support = scan(&world);
+        for s in &support {
+            if s.supported > 0 {
+                assert!(
+                    (0.2..0.95).contains(&s.mean_ratio),
+                    "{}: ratio {}",
+                    s.algorithm,
+                    s.mean_ratio
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_study_keeps_most_chains_under_the_limit() {
+        let world = world();
+        let results = synthetic_study(&world, Algorithm::Brotli, 7);
+        assert!(results.len() > 100);
+        let limit = 3 * 1357;
+        let under = results.iter().filter(|r| r.compressed <= limit).count();
+        let share = under as f64 / results.len() as f64;
+        // §4.2: compression keeps ~99% of chains under the limit.
+        assert!(share > 0.95, "under-limit share {share}");
+        let ratios: Vec<f64> = results.iter().map(|r| r.ratio()).collect();
+        let median = quicert_analysis::median(&ratios);
+        assert!((0.3..0.85).contains(&median), "median ratio {median}");
+    }
+}

@@ -1,0 +1,204 @@
+//! HTTPS certificate collection (§3.1): resolve, connect, follow
+//! redirects, collect and summarise TLS chains.
+
+use quicert_pki::{ChainId, DnsOutcome, DomainRecord, World};
+use quicert_x509::{CertificateChain, FieldSizes, KeyAlgorithm};
+
+/// Size/shape summary of one served certificate chain. Keeping summaries
+/// instead of DER keeps million-domain scans in memory.
+#[derive(Debug, Clone)]
+pub struct ChainSummary {
+    /// Which catalogued parent chain was served.
+    pub chain_id: ChainId,
+    /// Number of certificates.
+    pub depth: usize,
+    /// Total DER bytes of the chain.
+    pub total_der: usize,
+    /// DER bytes of the non-leaf part.
+    pub parent_der: usize,
+    /// DER bytes of the leaf.
+    pub leaf_der: usize,
+    /// Bytes of the leaf's subjectAltName extension (Fig 14).
+    pub leaf_san_bytes: usize,
+    /// Number of SAN entries on the leaf.
+    pub leaf_san_count: usize,
+    /// Field sizes per certificate, leaf first (Fig 2b / Fig 8).
+    pub cert_fields: Vec<FieldSizes>,
+    /// Key algorithm per certificate, leaf first (Table 2).
+    pub cert_keys: Vec<KeyAlgorithm>,
+    /// Whether each certificate is issued by the next (Fig 7 filters on
+    /// this).
+    pub correctly_ordered: bool,
+    /// Whether a self-signed trust anchor is superfluously included (§4.2).
+    pub includes_root: bool,
+}
+
+impl ChainSummary {
+    /// Summarise a materialised chain.
+    pub fn of(chain: &CertificateChain, chain_id: ChainId) -> ChainSummary {
+        ChainSummary {
+            chain_id,
+            depth: chain.depth(),
+            total_der: chain.total_der_len(),
+            parent_der: chain.parent_der_len(),
+            leaf_der: chain.leaf.der_len(),
+            leaf_san_bytes: chain.leaf.san_bytes(),
+            leaf_san_count: chain.leaf.san_count(),
+            cert_fields: chain.certs().map(|c| c.field_sizes()).collect(),
+            cert_keys: chain.certs().map(|c| c.tbs.spki.algorithm).collect(),
+            correctly_ordered: chain.correctly_ordered(),
+            includes_root: chain.includes_trust_anchor(),
+        }
+    }
+}
+
+/// One TLS-reachable domain.
+#[derive(Debug, Clone)]
+pub struct HttpsObservation {
+    /// Tranco-style rank.
+    pub rank: usize,
+    /// Whether the domain also runs QUIC (set by the QUIC scan pass).
+    pub is_quic: bool,
+    /// Redirect hops followed before the certificate was collected.
+    pub redirect_hops: u8,
+    /// The collected chain.
+    pub summary: ChainSummary,
+}
+
+/// Result of the full HTTPS scan.
+#[derive(Debug, Clone, Default)]
+pub struct HttpsScanReport {
+    /// Names attempted.
+    pub total: usize,
+    /// Names that resolved (got any DNS answer).
+    pub resolved: usize,
+    /// SERVFAIL count.
+    pub servfail: usize,
+    /// NXDOMAIN count.
+    pub nxdomain: usize,
+    /// Timeout/REFUSED count.
+    pub timeout_refused: usize,
+    /// Names with an A record.
+    pub a_records: usize,
+    /// Names along redirect paths (≥ number of TLS domains).
+    pub names_seen: usize,
+    /// Per-domain observations for every TLS-reachable name.
+    pub observations: Vec<HttpsObservation>,
+}
+
+impl HttpsScanReport {
+    /// Observations for QUIC services only.
+    pub fn quic(&self) -> impl Iterator<Item = &HttpsObservation> {
+        self.observations.iter().filter(|o| o.is_quic)
+    }
+
+    /// Observations for HTTPS-only services.
+    pub fn https_only(&self) -> impl Iterator<Item = &HttpsObservation> {
+        self.observations.iter().filter(|o| !o.is_quic)
+    }
+}
+
+/// Run the HTTPS certificate scan over the whole world.
+pub fn scan(world: &World) -> HttpsScanReport {
+    let mut report = HttpsScanReport {
+        total: world.domains().len(),
+        ..HttpsScanReport::default()
+    };
+    for record in world.domains() {
+        match record.dns {
+            DnsOutcome::ServFail => report.servfail += 1,
+            DnsOutcome::NxDomain => report.nxdomain += 1,
+            DnsOutcome::Timeout | DnsOutcome::Refused => report.timeout_refused += 1,
+            _ => report.resolved += 1,
+        }
+        if record.dns.address().is_some() {
+            report.a_records += 1;
+        }
+        if let Some(obs) = observe(world, record) {
+            report.names_seen += 1 + obs.redirect_hops as usize;
+            report.observations.push(obs);
+        }
+    }
+    report
+}
+
+fn observe(world: &World, record: &DomainRecord) -> Option<HttpsObservation> {
+    if !record.has_https() {
+        return None;
+    }
+    let https = record.https.as_ref()?;
+    let chain = world.https_chain(record)?;
+    Some(HttpsObservation {
+        rank: record.rank,
+        is_quic: record.has_quic(),
+        redirect_hops: https.redirect_hops,
+        summary: ChainSummary::of(&chain, https.chain_id),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_pki::WorldConfig;
+
+    fn report() -> HttpsScanReport {
+        let world = quicert_pki::World::generate(WorldConfig {
+            domains: 5_000,
+            seed: 21,
+            ..WorldConfig::default()
+        });
+        scan(&world)
+    }
+
+    #[test]
+    fn funnel_counts_are_consistent() {
+        let r = report();
+        assert_eq!(r.total, 5_000);
+        assert_eq!(
+            r.total,
+            r.resolved + r.servfail + r.nxdomain + r.timeout_refused
+        );
+        assert!(r.a_records <= r.resolved);
+        assert!(r.observations.len() <= r.a_records);
+        assert!(r.names_seen >= r.observations.len());
+    }
+
+    #[test]
+    fn rates_follow_the_paper_funnel() {
+        let r = report();
+        let resolved_rate = r.resolved as f64 / r.total as f64;
+        assert!((resolved_rate - 0.976).abs() < 0.01, "{resolved_rate}");
+        // ~80% of domains end up TLS-reachable (Fig 12).
+        let tls_rate = r.observations.len() as f64 / r.total as f64;
+        assert!((tls_rate - 0.80).abs() < 0.03, "{tls_rate}");
+    }
+
+    #[test]
+    fn quic_chains_are_smaller_in_the_median() {
+        // Fig 6: QUIC domains use smaller certificates (median 2329 vs 4022
+        // in the paper).
+        let r = report();
+        let median = |xs: Vec<f64>| quicert_analysis::median(&xs);
+        let quic_median = median(r.quic().map(|o| o.summary.total_der as f64).collect());
+        let https_median = median(r.https_only().map(|o| o.summary.total_der as f64).collect());
+        assert!(
+            quic_median + 500.0 < https_median,
+            "quic {quic_median} vs https-only {https_median}"
+        );
+        assert!((1800.0..3000.0).contains(&quic_median), "quic median {quic_median}");
+        assert!((3200.0..5200.0).contains(&https_median), "https median {https_median}");
+    }
+
+    #[test]
+    fn summaries_account_every_byte() {
+        let r = report();
+        for obs in r.observations.iter().take(50) {
+            let s = &obs.summary;
+            assert_eq!(s.total_der, s.parent_der + s.leaf_der);
+            let field_total: usize = s.cert_fields.iter().map(|f| f.total()).sum();
+            assert_eq!(field_total, s.total_der);
+            assert_eq!(s.cert_keys.len(), s.depth);
+            assert!(s.correctly_ordered);
+        }
+    }
+}

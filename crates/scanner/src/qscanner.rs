@@ -1,0 +1,131 @@
+//! Certificate collection over QUIC (QScanner, §3.2) and the
+//! QUIC-vs-HTTPS consistency check.
+
+use quicert_pki::{DomainRecord, World};
+
+use crate::https_scan::ChainSummary;
+
+/// Per-service result of the QUIC certificate fetch.
+#[derive(Debug, Clone)]
+pub struct QuicCertObservation {
+    /// Service rank.
+    pub rank: usize,
+    /// The chain served over QUIC.
+    pub summary: ChainSummary,
+    /// Whether it matches the chain seen over HTTPS.
+    pub matches_https: bool,
+    /// Why it differs, when it does.
+    pub difference: Option<CertDifference>,
+}
+
+/// Why a QUIC chain differed from the HTTPS chain (§3.2: 2.83% rotations,
+/// 0.47% other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertDifference {
+    /// Rotated between the two scans.
+    Rotation,
+    /// Genuinely different deployment.
+    Other,
+}
+
+/// Consistency summary across all QUIC services.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConsistencyReport {
+    /// Services compared.
+    pub total: usize,
+    /// Identical chains.
+    pub same: usize,
+    /// Differences attributed to rotation.
+    pub rotated: usize,
+    /// Differences with other causes.
+    pub other: usize,
+}
+
+impl ConsistencyReport {
+    /// Fraction of services with identical chains (the paper's 96.7%).
+    pub fn same_rate(&self) -> f64 {
+        self.same as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Fetch the certificate chain of one QUIC service.
+pub fn fetch(world: &World, record: &DomainRecord) -> Option<QuicCertObservation> {
+    let quic = record.quic.as_ref()?;
+    let chain = world.quic_chain(record)?;
+    let https_chain = world.https_chain(record)?;
+    let matches_https = chain.leaf.der() == https_chain.leaf.der();
+    // A small residue differs for reasons other than rotation (0.47% in the
+    // paper); we derive it deterministically from the domain seed.
+    let other_diff = !quic.rotated_cert && record.seed % 10_000 < 47;
+    let difference = if quic.rotated_cert {
+        Some(CertDifference::Rotation)
+    } else if other_diff {
+        Some(CertDifference::Other)
+    } else {
+        None
+    };
+    Some(QuicCertObservation {
+        rank: record.rank,
+        summary: ChainSummary::of(&chain, quic.chain_id),
+        matches_https: matches_https && difference.is_none(),
+        difference,
+    })
+}
+
+/// Fetch all QUIC chains and compute the consistency report.
+pub fn scan(world: &World) -> (Vec<QuicCertObservation>, ConsistencyReport) {
+    let mut observations = Vec::new();
+    let mut report = ConsistencyReport::default();
+    for record in world.quic_services() {
+        if let Some(obs) = fetch(world, record) {
+            report.total += 1;
+            match obs.difference {
+                None => report.same += 1,
+                Some(CertDifference::Rotation) => report.rotated += 1,
+                Some(CertDifference::Other) => report.other += 1,
+            }
+            observations.push(obs);
+        }
+    }
+    (observations, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_pki::WorldConfig;
+
+    #[test]
+    fn consistency_matches_section_3_2() {
+        let world = quicert_pki::World::generate(WorldConfig {
+            domains: 20_000,
+            seed: 55,
+            ..WorldConfig::default()
+        });
+        let (observations, report) = scan(&world);
+        assert_eq!(report.total, observations.len());
+        assert_eq!(report.total, report.same + report.rotated + report.other);
+        // Paper: 96.7% identical, ~2.8% rotation, ~0.5% other.
+        assert!((report.same_rate() - 0.967).abs() < 0.015, "{}", report.same_rate());
+        let rot_rate = report.rotated as f64 / report.total as f64;
+        assert!((rot_rate - 0.028).abs() < 0.01, "{rot_rate}");
+        let other_rate = report.other as f64 / report.total as f64;
+        assert!(other_rate < 0.012, "{other_rate}");
+    }
+
+    #[test]
+    fn rotated_chains_really_differ() {
+        let world = quicert_pki::World::generate(WorldConfig {
+            domains: 20_000,
+            seed: 56,
+            ..WorldConfig::default()
+        });
+        let (observations, _) = scan(&world);
+        for obs in &observations {
+            if obs.difference == Some(CertDifference::Rotation) {
+                assert!(!obs.matches_https);
+            }
+        }
+        assert!(observations.iter().any(|o| o.matches_https));
+    }
+}

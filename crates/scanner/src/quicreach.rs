@@ -1,0 +1,216 @@
+//! QUIC handshake classification (quicreach with Retry support, §3.2).
+
+use quicert_netsim::UDP_IPV4_OVERHEAD;
+use quicert_pki::{DomainRecord, World};
+use quicert_quic::handshake::HandshakeClass;
+use quicert_quic::{run_handshake, ClientConfig};
+
+use crate::behavior::{server_config_for, wire_for};
+
+/// The Initial sizes the paper sweeps: 1200 to 1472 bytes in steps of 10
+/// (the upper bound is dictated by a 1500-byte MTU).
+pub fn sweep_sizes() -> Vec<usize> {
+    let mut sizes: Vec<usize> = (1200..=1472).step_by(10).collect();
+    if *sizes.last().unwrap() != 1472 {
+        sizes.push(1472);
+    }
+    sizes
+}
+
+/// Classification result for one service at one Initial size.
+#[derive(Debug, Clone)]
+pub struct QuicReachResult {
+    /// Service rank.
+    pub rank: usize,
+    /// Handshake class.
+    pub class: HandshakeClass,
+    /// Amplification factor during the first RTT.
+    pub amplification: f64,
+    /// Total server wire bytes.
+    pub wire_received: usize,
+    /// TLS payload bytes received (CRYPTO data).
+    pub tls_received: usize,
+    /// QUIC padding bytes received.
+    pub padding_received: usize,
+    /// Round trips to completion (0 when unreachable).
+    pub rtt_count: u32,
+}
+
+/// Aggregated class counts at one Initial size (one bar of Fig 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanSummary {
+    /// Client Initial size.
+    pub initial_size: usize,
+    /// 1-RTT handshakes.
+    pub one_rtt: usize,
+    /// Retry handshakes.
+    pub retry: usize,
+    /// Multi-RTT handshakes.
+    pub multi_rtt: usize,
+    /// Amplifying handshakes.
+    pub amplification: usize,
+    /// Unreachable services.
+    pub unreachable: usize,
+}
+
+impl ScanSummary {
+    /// Reachable services (the height of a Fig 3 bar).
+    pub fn reachable(&self) -> usize {
+        self.one_rtt + self.retry + self.multi_rtt + self.amplification
+    }
+
+    /// Add one classified result.
+    pub fn add(&mut self, class: HandshakeClass) {
+        match class {
+            HandshakeClass::OneRtt => self.one_rtt += 1,
+            HandshakeClass::Retry => self.retry += 1,
+            HandshakeClass::MultiRtt => self.multi_rtt += 1,
+            HandshakeClass::Amplification => self.amplification += 1,
+            HandshakeClass::Unreachable => self.unreachable += 1,
+        }
+    }
+
+    /// Share of a class among reachable services, in percent.
+    pub fn share(&self, class: HandshakeClass) -> f64 {
+        let n = self.reachable().max(1) as f64;
+        let count = match class {
+            HandshakeClass::OneRtt => self.one_rtt,
+            HandshakeClass::Retry => self.retry,
+            HandshakeClass::MultiRtt => self.multi_rtt,
+            HandshakeClass::Amplification => self.amplification,
+            HandshakeClass::Unreachable => self.unreachable,
+        };
+        count as f64 / n * 100.0
+    }
+}
+
+/// Probe one service at one Initial size.
+pub fn scan_service(world: &World, record: &DomainRecord, initial_size: usize) -> QuicReachResult {
+    let chain = world
+        .quic_chain(record)
+        .expect("QUIC services have chains");
+    let server = server_config_for(world, record, chain);
+    let mut wire = wire_for(record);
+    // quicreach's stack offers no certificate compression (§3.2).
+    let client = ClientConfig::scanner(
+        initial_size,
+        quicert_pki::World::server_addr(record),
+        record.seed ^ initial_size as u64,
+    );
+    let out = run_handshake(client, server, &mut wire, record.seed);
+    QuicReachResult {
+        rank: record.rank,
+        class: out.classify(),
+        amplification: out.amplification_first_flight(),
+        wire_received: out.total_server_wire,
+        tls_received: out.server_stats.tls_sent,
+        padding_received: out.server_stats.padding_sent,
+        rtt_count: out.rtt_count,
+    }
+}
+
+/// Probe every QUIC service at one Initial size.
+pub fn scan(world: &World, initial_size: usize) -> Vec<QuicReachResult> {
+    world
+        .quic_services()
+        .map(|record| scan_service(world, record, initial_size))
+        .collect()
+}
+
+/// Aggregate results into a Fig 3 bar.
+pub fn summarize(initial_size: usize, results: &[QuicReachResult]) -> ScanSummary {
+    let mut summary = ScanSummary {
+        initial_size,
+        ..ScanSummary::default()
+    };
+    for r in results {
+        summary.add(r.class);
+    }
+    summary
+}
+
+/// Run the full Fig 3 sweep. Handshakes to the same service at different
+/// sizes are independent connections (the paper pauses 30 minutes between
+/// them; simulated time makes that free).
+pub fn sweep(world: &World) -> Vec<ScanSummary> {
+    sweep_sizes()
+        .into_iter()
+        .map(|size| summarize(size, &scan(world, size)))
+        .collect()
+}
+
+/// The largest Initial a 1500-byte MTU admits (sanity bound used in tests).
+pub fn mtu_bound() -> usize {
+    1500 - UDP_IPV4_OVERHEAD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_pki::WorldConfig;
+
+    fn world() -> quicert_pki::World {
+        quicert_pki::World::generate(WorldConfig {
+            domains: 3_000,
+            seed: 33,
+            ..WorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn sweep_sizes_match_the_paper() {
+        let sizes = sweep_sizes();
+        assert_eq!(sizes[0], 1200);
+        assert_eq!(*sizes.last().unwrap(), 1472);
+        assert_eq!(sizes.len(), 29);
+        assert_eq!(mtu_bound(), 1472);
+    }
+
+    #[test]
+    fn classification_shares_match_fig3_at_default_initial() {
+        let world = world();
+        let results = scan(&world, 1362);
+        let summary = summarize(1362, &results);
+        let ampl = summary.share(quicert_quic::handshake::HandshakeClass::Amplification);
+        let multi = summary.share(quicert_quic::handshake::HandshakeClass::MultiRtt);
+        let one = summary.share(quicert_quic::handshake::HandshakeClass::OneRtt);
+        // Paper: 61% / 38% / 0.75% (±tolerance for a 3k-domain world).
+        assert!((ampl - 61.0).abs() < 8.0, "amplification {ampl}");
+        assert!((multi - 38.0).abs() < 8.0, "multi-rtt {multi}");
+        assert!(one < 4.0, "one-rtt {one}");
+    }
+
+    #[test]
+    fn larger_initials_shift_multi_rtt_to_one_rtt() {
+        let world = world();
+        let small = summarize(1200, &scan(&world, 1200));
+        let large = summarize(1472, &scan(&world, 1472));
+        assert!(large.one_rtt >= small.one_rtt);
+        assert!(large.multi_rtt <= small.multi_rtt);
+    }
+
+    #[test]
+    fn reachability_drops_for_large_initials() {
+        let world = world();
+        let small = summarize(1200, &scan(&world, 1200));
+        let large = summarize(1472, &scan(&world, 1472));
+        assert!(
+            large.reachable() < small.reachable(),
+            "LB-tunnelled services must vanish at 1472 ({} vs {})",
+            large.reachable(),
+            small.reachable()
+        );
+    }
+
+    #[test]
+    fn amplifying_handshakes_have_modest_factors() {
+        // Fig 4: amplification factors for complete handshakes stay < 6x.
+        let world = world();
+        for r in scan(&world, 1362) {
+            if r.class == quicert_quic::handshake::HandshakeClass::Amplification {
+                assert!(r.amplification > 3.0);
+                assert!(r.amplification < 6.5, "factor {}", r.amplification);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The server's first TLS flight, split the way QUIC transports it.
+//!
+//! RFC 9001 maps TLS handshake messages onto QUIC encryption levels:
+//! ServerHello travels in *Initial* packets, while EncryptedExtensions,
+//! Certificate(/Compressed), CertificateVerify and Finished travel in
+//! *Handshake* packets. [`ServerFlight`] encodes both parts so the QUIC
+//! layer can frame them into CRYPTO streams.
+
+use quicert_compress::Algorithm;
+use quicert_x509::{CertificateChain, KeyAlgorithm};
+
+use crate::messages;
+
+/// What the server puts into its first flight.
+#[derive(Debug, Clone)]
+pub struct ServerFlightParams {
+    /// The certificate chain to present.
+    pub chain: CertificateChain,
+    /// The leaf key algorithm (sizes the CertificateVerify signature).
+    pub leaf_key: KeyAlgorithm,
+    /// Compression algorithm to use for the Certificate message, if the
+    /// client offered one the server supports.
+    pub compression: Option<Algorithm>,
+    /// Deterministic seed for randoms/signatures.
+    pub seed: u64,
+}
+
+/// The encoded server flight, split by QUIC encryption level.
+#[derive(Debug, Clone)]
+pub struct ServerFlight {
+    /// CRYPTO payload at the Initial encryption level (ServerHello).
+    pub initial_crypto: Vec<u8>,
+    /// CRYPTO payload at the Handshake encryption level
+    /// (EE ‖ Certificate[Compressed] ‖ CertificateVerify ‖ Finished).
+    pub handshake_crypto: Vec<u8>,
+    /// Size of the (possibly compressed) certificate message inside
+    /// `handshake_crypto`.
+    pub certificate_message_len: usize,
+    /// Size the certificate message would have had uncompressed.
+    pub uncompressed_certificate_len: usize,
+}
+
+impl ServerFlight {
+    /// Build the flight for the given parameters.
+    pub fn build(params: &ServerFlightParams) -> ServerFlight {
+        let initial_crypto = messages::server_hello(params.seed);
+
+        let plain_cert = messages::certificate_message(&params.chain);
+        let uncompressed_certificate_len = plain_cert.len();
+        let cert_msg = match params.compression {
+            Some(alg) => {
+                let compressed = messages::compressed_certificate_message(&params.chain, alg);
+                // RFC 8879 servers fall back to the plain message if
+                // compression would not help.
+                if compressed.len() < plain_cert.len() {
+                    compressed
+                } else {
+                    plain_cert
+                }
+            }
+            None => plain_cert,
+        };
+        let certificate_message_len = cert_msg.len();
+
+        let mut handshake_crypto = messages::encrypted_extensions(params.seed);
+        handshake_crypto.extend_from_slice(&cert_msg);
+        handshake_crypto
+            .extend_from_slice(&messages::certificate_verify(params.leaf_key, params.seed));
+        handshake_crypto.extend_from_slice(&messages::finished(params.seed));
+
+        ServerFlight {
+            initial_crypto,
+            handshake_crypto,
+            certificate_message_len,
+            uncompressed_certificate_len,
+        }
+    }
+
+    /// Total TLS bytes in the flight (both levels).
+    pub fn total_tls_len(&self) -> usize {
+        self.initial_crypto.len() + self.handshake_crypto.len()
+    }
+
+    /// Whether the certificate message ended up compressed.
+    pub fn is_compressed(&self) -> bool {
+        self.certificate_message_len < self.uncompressed_certificate_len
+    }
+
+    /// Achieved compression ratio of the certificate message
+    /// (compressed/uncompressed; 1.0 when uncompressed).
+    pub fn compression_ratio(&self) -> f64 {
+        self.certificate_message_len as f64 / self.uncompressed_certificate_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_x509::{
+        CertificateBuilder, DistinguishedName, Extension, SignatureAlgorithm,
+        SubjectPublicKeyInfo,
+    };
+
+    fn chain(leaf_key: KeyAlgorithm) -> CertificateChain {
+        let inter_dn = DistinguishedName::ca("US", "Let's Encrypt", "R3");
+        let root_dn = DistinguishedName::ca("US", "Internet Security Research Group", "ISRG Root X1");
+        let inter = CertificateBuilder::new(
+            root_dn,
+            inter_dn.clone(),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa2048, 11),
+            SignatureAlgorithm::Sha256WithRsa2048,
+        )
+        .build();
+        let leaf = CertificateBuilder::new(
+            inter_dn,
+            DistinguishedName::cn("quic.example"),
+            SubjectPublicKeyInfo::new(leaf_key, 12),
+            SignatureAlgorithm::Sha256WithRsa2048,
+        )
+        .extension(Extension::SubjectAltNames(vec!["quic.example".into()]))
+        .extension(Extension::SctList { count: 2, seed: 13 })
+        .build();
+        CertificateChain::new(leaf, vec![inter])
+    }
+
+    fn params(compression: Option<Algorithm>) -> ServerFlightParams {
+        ServerFlightParams {
+            chain: chain(KeyAlgorithm::EcdsaP256),
+            leaf_key: KeyAlgorithm::EcdsaP256,
+            compression,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn flight_is_dominated_by_the_chain() {
+        let p = params(None);
+        let flight = ServerFlight::build(&p);
+        assert!(flight.handshake_crypto.len() > p.chain.total_der_len());
+        assert!(flight.initial_crypto.len() < 150);
+        assert_eq!(
+            flight.total_tls_len(),
+            flight.initial_crypto.len() + flight.handshake_crypto.len()
+        );
+        assert!(!flight.is_compressed());
+        assert_eq!(flight.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn compression_shrinks_the_flight() {
+        let plain = ServerFlight::build(&params(None));
+        for alg in Algorithm::ALL {
+            let compressed = ServerFlight::build(&params(Some(alg)));
+            assert!(
+                compressed.handshake_crypto.len() < plain.handshake_crypto.len(),
+                "{alg} must shrink the flight"
+            );
+            assert!(compressed.is_compressed());
+            assert!(compressed.compression_ratio() < 1.0);
+        }
+    }
+
+    #[test]
+    fn rsa_leaf_grows_certificate_verify() {
+        let mut p = params(None);
+        p.chain = chain(KeyAlgorithm::Rsa2048);
+        p.leaf_key = KeyAlgorithm::Rsa2048;
+        let rsa = ServerFlight::build(&p);
+        let ecdsa = ServerFlight::build(&params(None));
+        assert!(rsa.handshake_crypto.len() > ecdsa.handshake_crypto.len() + 180);
+    }
+
+    #[test]
+    fn deterministic_flights() {
+        let a = ServerFlight::build(&params(Some(Algorithm::Brotli)));
+        let b = ServerFlight::build(&params(Some(Algorithm::Brotli)));
+        assert_eq!(a.handshake_crypto, b.handshake_crypto);
+        assert_eq!(a.initial_crypto, b.initial_crypto);
+    }
+}

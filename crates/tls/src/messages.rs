@@ -1,0 +1,366 @@
+//! TLS 1.3 handshake message encoders.
+//!
+//! Each function returns a full handshake message: a one-byte type, a
+//! three-byte length, and the body (RFC 8446 §4). Sizes track the real
+//! protocol; contents that would be cryptographic are deterministic filler.
+
+use quicert_compress::Algorithm;
+use quicert_x509::CertificateChain;
+
+/// TLS handshake message types (RFC 8446 §4, RFC 8879 §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HandshakeType {
+    /// ClientHello
+    ClientHello = 1,
+    /// ServerHello
+    ServerHello = 2,
+    /// EncryptedExtensions
+    EncryptedExtensions = 8,
+    /// Certificate
+    Certificate = 11,
+    /// CertificateVerify
+    CertificateVerify = 15,
+    /// Finished
+    Finished = 20,
+    /// CompressedCertificate (RFC 8879)
+    CompressedCertificate = 25,
+}
+
+fn fill(seed: u64, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        let mut z = seed
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        *b = (z >> 32) as u8;
+    }
+}
+
+fn handshake_message(ty: HandshakeType, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 4);
+    out.push(ty as u8);
+    out.extend_from_slice(&u24(body.len()));
+    out.extend_from_slice(body);
+    out
+}
+
+fn u24(v: usize) -> [u8; 3] {
+    debug_assert!(v < 1 << 24);
+    [(v >> 16) as u8, (v >> 8) as u8, v as u8]
+}
+
+fn u16be(v: usize) -> [u8; 2] {
+    debug_assert!(v < 1 << 16);
+    [(v >> 8) as u8, v as u8]
+}
+
+fn extension(ty: u16, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 4);
+    out.extend_from_slice(&ty.to_be_bytes());
+    out.extend_from_slice(&u16be(data.len()));
+    out.extend_from_slice(data);
+    out
+}
+
+// Extension type code points.
+const EXT_SERVER_NAME: u16 = 0;
+const EXT_SUPPORTED_GROUPS: u16 = 10;
+const EXT_ALPN: u16 = 16;
+const EXT_SIGNATURE_ALGORITHMS: u16 = 13;
+const EXT_SUPPORTED_VERSIONS: u16 = 43;
+const EXT_KEY_SHARE: u16 = 51;
+const EXT_QUIC_TRANSPORT_PARAMS: u16 = 0x0039;
+/// RFC 8879 compress_certificate extension.
+pub const EXT_COMPRESS_CERTIFICATE: u16 = 27;
+
+/// Parameters of a ClientHello.
+#[derive(Debug, Clone)]
+pub struct ClientHelloParams {
+    /// SNI host name.
+    pub server_name: String,
+    /// Offered certificate compression algorithms (empty = extension
+    /// omitted).
+    pub compression: Vec<Algorithm>,
+    /// Deterministic seed for random fields.
+    pub seed: u64,
+}
+
+/// Encode a ClientHello handshake message.
+pub fn client_hello(params: &ClientHelloParams) -> Vec<u8> {
+    let mut body = Vec::with_capacity(512);
+    body.extend_from_slice(&[0x03, 0x03]); // legacy_version TLS 1.2
+    let mut random = [0u8; 32];
+    fill(params.seed, &mut random);
+    body.extend_from_slice(&random);
+    // legacy_session_id: QUIC clients send empty.
+    body.push(0);
+    // cipher_suites: the three TLS 1.3 suites.
+    body.extend_from_slice(&u16be(6));
+    body.extend_from_slice(&[0x13, 0x01, 0x13, 0x02, 0x13, 0x03]);
+    // legacy_compression_methods: null only.
+    body.extend_from_slice(&[0x01, 0x00]);
+
+    let mut exts: Vec<u8> = Vec::new();
+    // server_name: list(2) + type(1) + len(2) + name.
+    let name = params.server_name.as_bytes();
+    let mut sni = Vec::with_capacity(name.len() + 5);
+    sni.extend_from_slice(&u16be(name.len() + 3));
+    sni.push(0);
+    sni.extend_from_slice(&u16be(name.len()));
+    sni.extend_from_slice(name);
+    exts.extend(extension(EXT_SERVER_NAME, &sni));
+    // supported_versions: TLS 1.3 only.
+    exts.extend(extension(EXT_SUPPORTED_VERSIONS, &[0x02, 0x03, 0x04]));
+    // supported_groups: x25519, P-256, P-384.
+    exts.extend(extension(
+        EXT_SUPPORTED_GROUPS,
+        &[0x00, 0x06, 0x00, 0x1D, 0x00, 0x17, 0x00, 0x18],
+    ));
+    // signature_algorithms: the common nine.
+    let algs: &[u16] = &[0x0403, 0x0804, 0x0401, 0x0503, 0x0805, 0x0501, 0x0806, 0x0601, 0x0201];
+    let mut sig = Vec::with_capacity(algs.len() * 2 + 2);
+    sig.extend_from_slice(&u16be(algs.len() * 2));
+    for a in algs {
+        sig.extend_from_slice(&a.to_be_bytes());
+    }
+    exts.extend(extension(EXT_SIGNATURE_ALGORITHMS, &sig));
+    // key_share: one x25519 share.
+    let mut share = [0u8; 32];
+    fill(params.seed ^ 0x4B45_5953_4841_5245, &mut share);
+    let mut ks = Vec::with_capacity(42);
+    ks.extend_from_slice(&u16be(36));
+    ks.extend_from_slice(&[0x00, 0x1D]);
+    ks.extend_from_slice(&u16be(32));
+    ks.extend_from_slice(&share);
+    exts.extend(extension(EXT_KEY_SHARE, &ks));
+    // ALPN: h3.
+    exts.extend(extension(EXT_ALPN, &[0x00, 0x03, 0x02, b'h', b'3']));
+    // psk_key_exchange_modes: psk_dhe_ke.
+    exts.extend(extension(45, &[0x01, 0x01]));
+    // status_request: OCSP stapling.
+    exts.extend(extension(5, &[0x01, 0x00, 0x00, 0x00, 0x00]));
+    // QUIC transport parameters (opaque, typical ~60 bytes).
+    let mut tp = [0u8; 58];
+    fill(params.seed ^ 0x7061_7261, &mut tp);
+    exts.extend(extension(EXT_QUIC_TRANSPORT_PARAMS, &tp));
+    // compress_certificate (RFC 8879), only if offered.
+    if !params.compression.is_empty() {
+        let mut cc = Vec::with_capacity(params.compression.len() * 2 + 1);
+        cc.push((params.compression.len() * 2) as u8);
+        for alg in &params.compression {
+            cc.extend_from_slice(&alg.code_point().to_be_bytes());
+        }
+        exts.extend(extension(EXT_COMPRESS_CERTIFICATE, &cc));
+    }
+
+    body.extend_from_slice(&u16be(exts.len()));
+    body.extend_from_slice(&exts);
+    handshake_message(HandshakeType::ClientHello, &body)
+}
+
+/// Encode a ServerHello handshake message.
+pub fn server_hello(seed: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(128);
+    body.extend_from_slice(&[0x03, 0x03]);
+    let mut random = [0u8; 32];
+    fill(seed ^ 0x5348_4C4F, &mut random);
+    body.extend_from_slice(&random);
+    body.push(0); // echo empty session id
+    body.extend_from_slice(&[0x13, 0x01]); // TLS_AES_128_GCM_SHA256
+    body.push(0); // null compression
+    let mut exts: Vec<u8> = Vec::new();
+    exts.extend(extension(EXT_SUPPORTED_VERSIONS, &[0x03, 0x04]));
+    let mut share = [0u8; 32];
+    fill(seed ^ 0x4B45_5953, &mut share);
+    let mut ks = Vec::with_capacity(38);
+    ks.extend_from_slice(&[0x00, 0x1D]);
+    ks.extend_from_slice(&u16be(32));
+    ks.extend_from_slice(&share);
+    exts.extend(extension(EXT_KEY_SHARE, &ks));
+    body.extend_from_slice(&u16be(exts.len()));
+    body.extend_from_slice(&exts);
+    handshake_message(HandshakeType::ServerHello, &body)
+}
+
+/// Encode EncryptedExtensions (ALPN echo + QUIC transport parameters).
+pub fn encrypted_extensions(seed: u64) -> Vec<u8> {
+    let mut exts: Vec<u8> = Vec::new();
+    exts.extend(extension(EXT_ALPN, &[0x00, 0x03, 0x02, b'h', b'3']));
+    let mut tp = [0u8; 61];
+    fill(seed ^ 0x7472_7073, &mut tp);
+    exts.extend(extension(EXT_QUIC_TRANSPORT_PARAMS, &tp));
+    let mut body = Vec::with_capacity(exts.len() + 2);
+    body.extend_from_slice(&u16be(exts.len()));
+    body.extend_from_slice(&exts);
+    handshake_message(HandshakeType::EncryptedExtensions, &body)
+}
+
+/// Encode a Certificate message carrying `chain` (RFC 8446 §4.4.2).
+pub fn certificate_message(chain: &CertificateChain) -> Vec<u8> {
+    let mut list = Vec::with_capacity(chain.total_der_len() + chain.depth() * 5);
+    for cert in chain.certs() {
+        list.extend_from_slice(&u24(cert.der_len()));
+        list.extend_from_slice(cert.der());
+        list.extend_from_slice(&u16be(0)); // no per-certificate extensions
+    }
+    let mut body = Vec::with_capacity(list.len() + 4);
+    body.push(0); // empty certificate_request_context
+    body.extend_from_slice(&u24(list.len()));
+    body.extend_from_slice(&list);
+    handshake_message(HandshakeType::Certificate, &body)
+}
+
+/// Encode a CompressedCertificate message (RFC 8879 §5): the inner
+/// Certificate message compressed with `algorithm`.
+pub fn compressed_certificate_message(
+    chain: &CertificateChain,
+    algorithm: Algorithm,
+) -> Vec<u8> {
+    let inner = certificate_message(chain);
+    let compressed = quicert_compress::compress(algorithm, &inner);
+    let mut body = Vec::with_capacity(compressed.len() + 8);
+    body.extend_from_slice(&algorithm.code_point().to_be_bytes());
+    body.extend_from_slice(&u24(inner.len()));
+    body.extend_from_slice(&u24(compressed.len()));
+    body.extend_from_slice(&compressed);
+    handshake_message(HandshakeType::CompressedCertificate, &body)
+}
+
+/// Encode CertificateVerify. The signature size follows the leaf key
+/// algorithm (RSA-PSS for RSA keys, ECDSA otherwise).
+pub fn certificate_verify(leaf_key: quicert_x509::KeyAlgorithm, seed: u64) -> Vec<u8> {
+    use quicert_x509::KeyAlgorithm::*;
+    let (alg_id, sig_len): (u16, usize) = match leaf_key {
+        Rsa2048 => (0x0804, 256),  // rsa_pss_rsae_sha256
+        Rsa4096 => (0x0805, 512),  // rsa_pss_rsae_sha384
+        EcdsaP256 => (0x0403, 71), // ecdsa_secp256r1_sha256 (typical DER size)
+        EcdsaP384 => (0x0503, 103),
+    };
+    let mut sig = vec![0u8; sig_len];
+    fill(seed ^ 0x6376_6679, &mut sig);
+    let mut body = Vec::with_capacity(sig_len + 4);
+    body.extend_from_slice(&alg_id.to_be_bytes());
+    body.extend_from_slice(&u16be(sig_len));
+    body.extend_from_slice(&sig);
+    handshake_message(HandshakeType::CertificateVerify, &body)
+}
+
+/// Encode Finished (32-byte verify_data for the SHA-256 suites).
+pub fn finished(seed: u64) -> Vec<u8> {
+    let mut mac = [0u8; 32];
+    fill(seed ^ 0x6669_6E21, &mut mac);
+    handshake_message(HandshakeType::Finished, &mac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_x509::{
+        CertificateBuilder, DistinguishedName, Extension, KeyAlgorithm, SignatureAlgorithm,
+        SubjectPublicKeyInfo,
+    };
+
+    fn chain() -> CertificateChain {
+        let inter_dn = DistinguishedName::ca("US", "Let's Encrypt", "R3");
+        let root_dn = DistinguishedName::ca("US", "ISRG", "ISRG Root X1");
+        let inter = CertificateBuilder::new(
+            root_dn,
+            inter_dn.clone(),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa2048, 1),
+            SignatureAlgorithm::Sha256WithRsa2048,
+        )
+        .build();
+        let leaf = CertificateBuilder::new(
+            inter_dn,
+            DistinguishedName::cn("example.org"),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, 2),
+            SignatureAlgorithm::Sha256WithRsa2048,
+        )
+        .extension(Extension::SubjectAltNames(vec!["example.org".into()]))
+        .build();
+        CertificateChain::new(leaf, vec![inter])
+    }
+
+    fn params(compression: Vec<quicert_compress::Algorithm>) -> ClientHelloParams {
+        ClientHelloParams {
+            server_name: "example.org".into(),
+            compression,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn client_hello_has_realistic_size() {
+        let ch = client_hello(&params(vec![]));
+        // Real browser ClientHellos (without GREASE/padding) run ~230–450 B.
+        assert!((230..500).contains(&ch.len()), "was {}", ch.len());
+        assert_eq!(ch[0], HandshakeType::ClientHello as u8);
+        let body_len = ((ch[1] as usize) << 16) | ((ch[2] as usize) << 8) | ch[3] as usize;
+        assert_eq!(body_len + 4, ch.len());
+    }
+
+    #[test]
+    fn compression_offer_adds_extension() {
+        let without = client_hello(&params(vec![]));
+        let with = client_hello(&params(vec![quicert_compress::Algorithm::Brotli]));
+        assert!(with.len() > without.len());
+        // Extension code point 27 appears in the encoding.
+        let needle = [0x00u8, 27];
+        assert!(with.windows(2).any(|w| w == needle));
+        assert!(!without.windows(2).any(|w| w == needle));
+    }
+
+    #[test]
+    fn server_hello_size_is_realistic() {
+        let sh = server_hello(3);
+        // Real TLS 1.3 ServerHellos are ~90–130 bytes.
+        assert!((85..140).contains(&sh.len()), "was {}", sh.len());
+    }
+
+    #[test]
+    fn certificate_message_wraps_chain_with_framing() {
+        let c = chain();
+        let msg = certificate_message(&c);
+        // 4 (hs hdr) + 1 (ctx) + 3 (list len) + per cert 3 + DER + 2.
+        let expected = 4 + 1 + 3 + c.depth() * 5 + c.total_der_len();
+        assert_eq!(msg.len(), expected);
+        assert_eq!(msg[0], HandshakeType::Certificate as u8);
+    }
+
+    #[test]
+    fn compressed_certificate_is_smaller() {
+        let c = chain();
+        let plain = certificate_message(&c);
+        for alg in quicert_compress::Algorithm::ALL {
+            let compressed = compressed_certificate_message(&c, alg);
+            assert!(
+                compressed.len() < plain.len(),
+                "{alg}: {} !< {}",
+                compressed.len(),
+                plain.len()
+            );
+            assert_eq!(compressed[0], HandshakeType::CompressedCertificate as u8);
+        }
+    }
+
+    #[test]
+    fn certificate_verify_size_tracks_key_algorithm() {
+        let ecdsa = certificate_verify(KeyAlgorithm::EcdsaP256, 1);
+        let rsa = certificate_verify(KeyAlgorithm::Rsa2048, 1);
+        assert_eq!(ecdsa.len(), 4 + 2 + 2 + 71);
+        assert_eq!(rsa.len(), 4 + 2 + 2 + 256);
+    }
+
+    #[test]
+    fn finished_is_fixed_size() {
+        assert_eq!(finished(1).len(), 4 + 32);
+    }
+
+    #[test]
+    fn messages_are_deterministic() {
+        assert_eq!(client_hello(&params(vec![])), client_hello(&params(vec![])));
+        assert_eq!(server_hello(5), server_hello(5));
+        assert_ne!(server_hello(5), server_hello(6));
+    }
+}

@@ -1,0 +1,302 @@
+//! Public-key and signature algorithms.
+//!
+//! Table 2 of the paper reports the algorithm/key-length mix in the wild
+//! (RSA-2048/4096, ECDSA P-256/P-384); the byte-size consequences of that
+//! choice drive Figures 6–8. This module encodes SubjectPublicKeyInfo and
+//! signature values with exactly the DER layout (and therefore exactly the
+//! sizes) of the real algorithms.
+
+use crate::der;
+use crate::fill_deterministic;
+use crate::oid;
+
+/// Public-key algorithm and key length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyAlgorithm {
+    /// RSA with a 2048-bit modulus.
+    Rsa2048,
+    /// RSA with a 4096-bit modulus.
+    Rsa4096,
+    /// ECDSA on P-256 (prime256v1).
+    EcdsaP256,
+    /// ECDSA on P-384 (secp384r1).
+    EcdsaP384,
+}
+
+impl KeyAlgorithm {
+    /// All supported algorithms, in Table 2 column order.
+    pub const ALL: [KeyAlgorithm; 4] = [
+        KeyAlgorithm::Rsa2048,
+        KeyAlgorithm::Rsa4096,
+        KeyAlgorithm::EcdsaP256,
+        KeyAlgorithm::EcdsaP384,
+    ];
+
+    /// Human-readable label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyAlgorithm::Rsa2048 => "RSA-2048",
+            KeyAlgorithm::Rsa4096 => "RSA-4096",
+            KeyAlgorithm::EcdsaP256 => "ECDSA-256",
+            KeyAlgorithm::EcdsaP384 => "ECDSA-384",
+        }
+    }
+
+    /// Whether this is an RSA variant.
+    pub fn is_rsa(self) -> bool {
+        matches!(self, KeyAlgorithm::Rsa2048 | KeyAlgorithm::Rsa4096)
+    }
+
+    /// The modulus / field size in bytes.
+    pub fn key_bytes(self) -> usize {
+        match self {
+            KeyAlgorithm::Rsa2048 => 256,
+            KeyAlgorithm::Rsa4096 => 512,
+            KeyAlgorithm::EcdsaP256 => 32,
+            KeyAlgorithm::EcdsaP384 => 48,
+        }
+    }
+
+    /// The signature algorithm a CA holding this key signs with.
+    pub fn signature_algorithm(self) -> SignatureAlgorithm {
+        match self {
+            KeyAlgorithm::Rsa2048 => SignatureAlgorithm::Sha256WithRsa2048,
+            KeyAlgorithm::Rsa4096 => SignatureAlgorithm::Sha384WithRsa4096,
+            KeyAlgorithm::EcdsaP256 => SignatureAlgorithm::EcdsaSha256,
+            KeyAlgorithm::EcdsaP384 => SignatureAlgorithm::EcdsaSha384,
+        }
+    }
+}
+
+/// A signature algorithm (hash + key flavour), as it appears both in the
+/// `signatureAlgorithm` field and in the signature value size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignatureAlgorithm {
+    /// sha256WithRSAEncryption over a 2048-bit key (256-byte signature).
+    Sha256WithRsa2048,
+    /// sha384WithRSAEncryption over a 4096-bit key (512-byte signature).
+    Sha384WithRsa4096,
+    /// ecdsa-with-SHA256 (DER-encoded r/s pair, ~70 bytes).
+    EcdsaSha256,
+    /// ecdsa-with-SHA384 (DER-encoded r/s pair, ~102 bytes).
+    EcdsaSha384,
+}
+
+impl SignatureAlgorithm {
+    /// Encode the AlgorithmIdentifier SEQUENCE.
+    pub fn encode_algorithm_identifier(self) -> Vec<u8> {
+        match self {
+            // RSA algorithm identifiers carry an explicit NULL parameter.
+            SignatureAlgorithm::Sha256WithRsa2048 => {
+                der::sequence(&[oid::SHA256_WITH_RSA.encode(), der::null()])
+            }
+            SignatureAlgorithm::Sha384WithRsa4096 => {
+                der::sequence(&[oid::SHA384_WITH_RSA.encode(), der::null()])
+            }
+            // ECDSA identifiers have absent parameters.
+            SignatureAlgorithm::EcdsaSha256 => {
+                der::sequence(&[oid::ECDSA_WITH_SHA256.encode()])
+            }
+            SignatureAlgorithm::EcdsaSha384 => {
+                der::sequence(&[oid::ECDSA_WITH_SHA384.encode()])
+            }
+        }
+    }
+
+    /// Produce a deterministic placeholder signature value with the exact
+    /// size/structure of a real signature made with this algorithm.
+    pub fn placeholder_signature(self, seed: u64) -> Vec<u8> {
+        match self {
+            SignatureAlgorithm::Sha256WithRsa2048 => deterministic_bytes(seed, 256),
+            SignatureAlgorithm::Sha384WithRsa4096 => deterministic_bytes(seed, 512),
+            SignatureAlgorithm::EcdsaSha256 => ecdsa_sig_value(seed, 32),
+            SignatureAlgorithm::EcdsaSha384 => ecdsa_sig_value(seed, 48),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SignatureAlgorithm::Sha256WithRsa2048 => "sha256WithRSAEncryption",
+            SignatureAlgorithm::Sha384WithRsa4096 => "sha384WithRSAEncryption",
+            SignatureAlgorithm::EcdsaSha256 => "ecdsa-with-SHA256",
+            SignatureAlgorithm::EcdsaSha384 => "ecdsa-with-SHA384",
+        }
+    }
+}
+
+fn deterministic_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut v = vec![0u8; n];
+    fill_deterministic(seed, &mut v);
+    // An RSA signature is an integer below the modulus: clear the top bit so
+    // the placeholder stays structurally plausible.
+    if let Some(first) = v.first_mut() {
+        *first &= 0x7F;
+        *first |= 0x40;
+    }
+    v
+}
+
+/// An ECDSA signature value: SEQUENCE { r INTEGER, s INTEGER }. The high bit
+/// of each scalar is cleared so no sign-padding byte is needed, giving the
+/// canonical fixed size (2·(n+2)+2 bytes).
+fn ecdsa_sig_value(seed: u64, scalar_len: usize) -> Vec<u8> {
+    let mut r = vec![0u8; scalar_len];
+    fill_deterministic(seed ^ 0x5252_5252, &mut r);
+    r[0] = (r[0] & 0x7F) | 0x40;
+    let mut s = vec![0u8; scalar_len];
+    fill_deterministic(seed ^ 0x5353_5353, &mut s);
+    s[0] = (s[0] & 0x7F) | 0x40;
+    der::sequence(&[der::integer_bytes(&r), der::integer_bytes(&s)])
+}
+
+/// A subject public key: algorithm identifier plus placeholder key material
+/// of exactly the right encoded size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubjectPublicKeyInfo {
+    /// Key algorithm.
+    pub algorithm: KeyAlgorithm,
+    /// Deterministic seed the key bytes are derived from.
+    pub seed: u64,
+}
+
+impl SubjectPublicKeyInfo {
+    /// Create an SPKI for `algorithm` with key bytes derived from `seed`.
+    pub fn new(algorithm: KeyAlgorithm, seed: u64) -> Self {
+        SubjectPublicKeyInfo { algorithm, seed }
+    }
+
+    /// Encode the full SubjectPublicKeyInfo SEQUENCE.
+    pub fn encode(&self) -> Vec<u8> {
+        match self.algorithm {
+            KeyAlgorithm::Rsa2048 | KeyAlgorithm::Rsa4096 => {
+                let alg = der::sequence(&[oid::RSA_ENCRYPTION.encode(), der::null()]);
+                let n_len = self.algorithm.key_bytes();
+                let mut modulus = vec![0u8; n_len];
+                fill_deterministic(self.seed, &mut modulus);
+                // A real modulus has its top bit set (it is exactly n bits).
+                modulus[0] |= 0x80;
+                let rsa_key =
+                    der::sequence(&[der::integer_bytes(&modulus), der::integer_u64(65537)]);
+                let key_bits = der::bit_string(&rsa_key, 0);
+                der::sequence(&[alg, key_bits])
+            }
+            KeyAlgorithm::EcdsaP256 | KeyAlgorithm::EcdsaP384 => {
+                let curve = match self.algorithm {
+                    KeyAlgorithm::EcdsaP256 => oid::PRIME256V1.encode(),
+                    _ => oid::SECP384R1.encode(),
+                };
+                let alg = der::sequence(&[oid::EC_PUBLIC_KEY.encode(), curve]);
+                // Uncompressed point: 0x04 || X || Y.
+                let coord = self.algorithm.key_bytes();
+                let mut point = vec![0u8; 1 + 2 * coord];
+                fill_deterministic(self.seed, &mut point);
+                point[0] = 0x04;
+                let key_bits = der::bit_string(&point, 0);
+                der::sequence(&[alg, key_bits])
+            }
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::der::parse_one;
+
+    #[test]
+    fn spki_sizes_match_real_world_values() {
+        // Reference sizes from real certificates (openssl asn1parse).
+        assert_eq!(
+            SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa2048, 1).encoded_len(),
+            294
+        );
+        assert_eq!(
+            SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa4096, 1).encoded_len(),
+            550
+        );
+        assert_eq!(
+            SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, 1).encoded_len(),
+            91
+        );
+        assert_eq!(
+            SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP384, 1).encoded_len(),
+            120
+        );
+    }
+
+    #[test]
+    fn spki_is_wellformed_der() {
+        for alg in KeyAlgorithm::ALL {
+            let spki = SubjectPublicKeyInfo::new(alg, 99).encode();
+            let parsed = parse_one(&spki).unwrap();
+            let children = parsed.children().unwrap();
+            assert_eq!(children.len(), 2, "{alg:?}: AlgId + BIT STRING");
+            assert_eq!(children[1].tag, 0x03);
+        }
+    }
+
+    #[test]
+    fn signature_sizes_match_real_world_values() {
+        assert_eq!(
+            SignatureAlgorithm::Sha256WithRsa2048
+                .placeholder_signature(5)
+                .len(),
+            256
+        );
+        assert_eq!(
+            SignatureAlgorithm::Sha384WithRsa4096
+                .placeholder_signature(5)
+                .len(),
+            512
+        );
+        // Canonical ECDSA DER size with sign-bit-free scalars.
+        assert_eq!(SignatureAlgorithm::EcdsaSha256.placeholder_signature(5).len(), 70);
+        assert_eq!(SignatureAlgorithm::EcdsaSha384.placeholder_signature(5).len(), 102);
+    }
+
+    #[test]
+    fn signatures_are_deterministic_per_seed() {
+        let a = SignatureAlgorithm::EcdsaSha256.placeholder_signature(7);
+        let b = SignatureAlgorithm::EcdsaSha256.placeholder_signature(7);
+        let c = SignatureAlgorithm::EcdsaSha256.placeholder_signature(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ecdsa_signature_parses_as_two_integers() {
+        let sig = SignatureAlgorithm::EcdsaSha384.placeholder_signature(3);
+        let parsed = parse_one(&sig).unwrap();
+        let ints = parsed.children().unwrap();
+        assert_eq!(ints.len(), 2);
+        assert!(ints.iter().all(|i| i.tag == 0x02));
+        assert!(ints.iter().all(|i| i.content.len() == 48));
+    }
+
+    #[test]
+    fn algorithm_identifier_parameter_conventions() {
+        // RSA: NULL params present.
+        let rsa = SignatureAlgorithm::Sha256WithRsa2048.encode_algorithm_identifier();
+        let rsa_children = parse_one(&rsa).unwrap().children().unwrap();
+        assert_eq!(rsa_children.len(), 2);
+        assert_eq!(rsa_children[1].tag, 0x05);
+        // ECDSA: params absent.
+        let ec = SignatureAlgorithm::EcdsaSha256.encode_algorithm_identifier();
+        let ec_children = parse_one(&ec).unwrap().children().unwrap();
+        assert_eq!(ec_children.len(), 1);
+    }
+
+    #[test]
+    fn table2_labels() {
+        assert_eq!(KeyAlgorithm::Rsa2048.label(), "RSA-2048");
+        assert_eq!(KeyAlgorithm::EcdsaP384.label(), "ECDSA-384");
+        assert!(KeyAlgorithm::Rsa4096.is_rsa());
+        assert!(!KeyAlgorithm::EcdsaP256.is_rsa());
+    }
+}

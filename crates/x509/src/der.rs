@@ -1,0 +1,412 @@
+//! DER (Distinguished Encoding Rules) primitives.
+//!
+//! Only the subset of ASN.1/DER needed by X.509 is implemented: single-byte
+//! tags, definite lengths, and the universal types that appear in
+//! certificates. Encoding functions return owned byte vectors; structures
+//! are built bottom-up (children first, then wrapped), which matches how
+//! certificate sizes are attributed to fields elsewhere in the workspace.
+
+/// ASN.1 universal tag numbers (with constructed bit where conventional).
+pub mod tag {
+    /// BOOLEAN
+    pub const BOOLEAN: u8 = 0x01;
+    /// INTEGER
+    pub const INTEGER: u8 = 0x02;
+    /// BIT STRING
+    pub const BIT_STRING: u8 = 0x03;
+    /// OCTET STRING
+    pub const OCTET_STRING: u8 = 0x04;
+    /// NULL
+    pub const NULL: u8 = 0x05;
+    /// OBJECT IDENTIFIER
+    pub const OID: u8 = 0x06;
+    /// UTF8String
+    pub const UTF8_STRING: u8 = 0x0C;
+    /// PrintableString
+    pub const PRINTABLE_STRING: u8 = 0x13;
+    /// IA5String
+    pub const IA5_STRING: u8 = 0x16;
+    /// UTCTime
+    pub const UTC_TIME: u8 = 0x17;
+    /// GeneralizedTime
+    pub const GENERALIZED_TIME: u8 = 0x18;
+    /// SEQUENCE (constructed)
+    pub const SEQUENCE: u8 = 0x30;
+    /// SET (constructed)
+    pub const SET: u8 = 0x31;
+}
+
+/// Encode a definite-form DER length.
+pub fn encode_length(len: usize) -> Vec<u8> {
+    if len < 0x80 {
+        vec![len as u8]
+    } else if len <= 0xFF {
+        vec![0x81, len as u8]
+    } else if len <= 0xFFFF {
+        vec![0x82, (len >> 8) as u8, len as u8]
+    } else if len <= 0xFF_FFFF {
+        vec![0x83, (len >> 16) as u8, (len >> 8) as u8, len as u8]
+    } else {
+        vec![
+            0x84,
+            (len >> 24) as u8,
+            (len >> 16) as u8,
+            (len >> 8) as u8,
+            len as u8,
+        ]
+    }
+}
+
+/// Wrap `content` in a tag-length-value triplet.
+pub fn tlv(tag: u8, content: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(content.len() + 6);
+    out.push(tag);
+    out.extend_from_slice(&encode_length(content.len()));
+    out.extend_from_slice(content);
+    out
+}
+
+/// SEQUENCE of pre-encoded children.
+pub fn sequence(children: &[Vec<u8>]) -> Vec<u8> {
+    let content: Vec<u8> = children.iter().flatten().copied().collect();
+    tlv(tag::SEQUENCE, &content)
+}
+
+/// SET of pre-encoded children.
+///
+/// Note: strict DER requires SET OF elements to be sorted; X.509 RDNs are
+/// nearly always singleton sets, which are trivially sorted.
+pub fn set(children: &[Vec<u8>]) -> Vec<u8> {
+    let content: Vec<u8> = children.iter().flatten().copied().collect();
+    tlv(tag::SET, &content)
+}
+
+/// INTEGER from a big-endian magnitude. A leading zero byte is inserted when
+/// the high bit is set (DER integers are signed); leading redundant zeros are
+/// stripped.
+pub fn integer_bytes(magnitude: &[u8]) -> Vec<u8> {
+    let mut m: &[u8] = magnitude;
+    while m.len() > 1 && m[0] == 0 && m[1] & 0x80 == 0 {
+        m = &m[1..];
+    }
+    if m.is_empty() {
+        return tlv(tag::INTEGER, &[0]);
+    }
+    if m[0] & 0x80 != 0 {
+        let mut content = Vec::with_capacity(m.len() + 1);
+        content.push(0);
+        content.extend_from_slice(m);
+        tlv(tag::INTEGER, &content)
+    } else {
+        tlv(tag::INTEGER, m)
+    }
+}
+
+/// INTEGER from a u64.
+pub fn integer_u64(v: u64) -> Vec<u8> {
+    let bytes = v.to_be_bytes();
+    let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+    integer_bytes(&bytes[first..])
+}
+
+/// BIT STRING with the given number of unused trailing bits.
+pub fn bit_string(bits: &[u8], unused: u8) -> Vec<u8> {
+    let mut content = Vec::with_capacity(bits.len() + 1);
+    content.push(unused);
+    content.extend_from_slice(bits);
+    tlv(tag::BIT_STRING, &content)
+}
+
+/// OCTET STRING.
+pub fn octet_string(bytes: &[u8]) -> Vec<u8> {
+    tlv(tag::OCTET_STRING, bytes)
+}
+
+/// BOOLEAN (DER: 0xFF for true).
+pub fn boolean(v: bool) -> Vec<u8> {
+    tlv(tag::BOOLEAN, &[if v { 0xFF } else { 0x00 }])
+}
+
+/// NULL.
+pub fn null() -> Vec<u8> {
+    tlv(tag::NULL, &[])
+}
+
+/// PrintableString.
+pub fn printable_string(s: &str) -> Vec<u8> {
+    tlv(tag::PRINTABLE_STRING, s.as_bytes())
+}
+
+/// UTF8String.
+pub fn utf8_string(s: &str) -> Vec<u8> {
+    tlv(tag::UTF8_STRING, s.as_bytes())
+}
+
+/// IA5String (ASCII; used for DNS names and URIs).
+pub fn ia5_string(s: &str) -> Vec<u8> {
+    tlv(tag::IA5_STRING, s.as_bytes())
+}
+
+/// UTCTime from a pre-formatted `YYMMDDHHMMSSZ` string.
+pub fn utc_time(s: &str) -> Vec<u8> {
+    debug_assert_eq!(s.len(), 13, "UTCTime must be YYMMDDHHMMSSZ");
+    tlv(tag::UTC_TIME, s.as_bytes())
+}
+
+/// Context-specific tag (`[n]`), constructed or primitive.
+pub fn context(n: u8, constructed: bool, content: &[u8]) -> Vec<u8> {
+    let tag = 0x80 | n | if constructed { 0x20 } else { 0x00 };
+    tlv(tag, content)
+}
+
+/// Encode an OBJECT IDENTIFIER from its integer arcs.
+pub fn oid_from_arcs(arcs: &[u64]) -> Vec<u8> {
+    assert!(arcs.len() >= 2, "OID needs at least two arcs");
+    let mut content = Vec::new();
+    content.push((arcs[0] * 40 + arcs[1]) as u8);
+    for &arc in &arcs[2..] {
+        content.extend_from_slice(&encode_base128(arc));
+    }
+    tlv(tag::OID, &content)
+}
+
+fn encode_base128(mut v: u64) -> Vec<u8> {
+    let mut out = vec![(v & 0x7F) as u8];
+    v >>= 7;
+    while v > 0 {
+        out.push(0x80 | (v & 0x7F) as u8);
+        v >>= 7;
+    }
+    out.reverse();
+    out
+}
+
+/// A parsed DER value (tag + raw content), with lazy child access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerValue {
+    /// The tag byte.
+    pub tag: u8,
+    /// The content octets (without tag/length).
+    pub content: Vec<u8>,
+}
+
+impl DerValue {
+    /// Whether the constructed bit is set.
+    pub fn is_constructed(&self) -> bool {
+        self.tag & 0x20 != 0
+    }
+
+    /// Parse the content as a list of child TLVs.
+    pub fn children(&self) -> Result<Vec<DerValue>, DerError> {
+        let mut reader = DerReader::new(&self.content);
+        let mut out = Vec::new();
+        while !reader.is_empty() {
+            out.push(reader.read_value()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Errors produced by [`DerReader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerError {
+    /// Input ended in the middle of a TLV.
+    Truncated,
+    /// An indefinite or reserved length encoding was encountered.
+    BadLength,
+}
+
+impl std::fmt::Display for DerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DerError::Truncated => write!(f, "truncated DER input"),
+            DerError::BadLength => write!(f, "unsupported DER length encoding"),
+        }
+    }
+}
+
+impl std::error::Error for DerError {}
+
+/// A simple sequential DER reader over a byte slice.
+#[derive(Debug)]
+pub struct DerReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DerReader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        DerReader { input, pos: 0 }
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    fn read_byte(&mut self) -> Result<u8, DerError> {
+        let b = *self.input.get(self.pos).ok_or(DerError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn read_length(&mut self) -> Result<usize, DerError> {
+        let first = self.read_byte()?;
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        let n = (first & 0x7F) as usize;
+        if n == 0 || n > 4 {
+            return Err(DerError::BadLength);
+        }
+        let mut len = 0usize;
+        for _ in 0..n {
+            len = (len << 8) | self.read_byte()? as usize;
+        }
+        Ok(len)
+    }
+
+    /// Read the next TLV as a [`DerValue`].
+    pub fn read_value(&mut self) -> Result<DerValue, DerError> {
+        let tag = self.read_byte()?;
+        let len = self.read_length()?;
+        if self.remaining() < len {
+            return Err(DerError::Truncated);
+        }
+        let content = self.input[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(DerValue { tag, content })
+    }
+}
+
+/// Parse a byte slice as exactly one DER value.
+pub fn parse_one(input: &[u8]) -> Result<DerValue, DerError> {
+    let mut r = DerReader::new(input);
+    let v = r.read_value()?;
+    if !r.is_empty() {
+        return Err(DerError::Truncated);
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_encodings() {
+        assert_eq!(encode_length(0), vec![0x00]);
+        assert_eq!(encode_length(127), vec![0x7F]);
+        assert_eq!(encode_length(128), vec![0x81, 0x80]);
+        assert_eq!(encode_length(255), vec![0x81, 0xFF]);
+        assert_eq!(encode_length(256), vec![0x82, 0x01, 0x00]);
+        assert_eq!(encode_length(65535), vec![0x82, 0xFF, 0xFF]);
+        assert_eq!(encode_length(65536), vec![0x83, 0x01, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn integer_adds_sign_padding() {
+        // 0x80 has the high bit set -> leading zero required.
+        assert_eq!(integer_bytes(&[0x80]), vec![0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(integer_bytes(&[0x7F]), vec![0x02, 0x01, 0x7F]);
+        // Redundant leading zeros stripped.
+        assert_eq!(integer_bytes(&[0x00, 0x00, 0x01]), vec![0x02, 0x01, 0x01]);
+        // But a zero needed for sign is kept.
+        assert_eq!(integer_bytes(&[0x00, 0x80]), vec![0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(integer_bytes(&[]), vec![0x02, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn integer_u64_matches_known_values() {
+        assert_eq!(integer_u64(0), vec![0x02, 0x01, 0x00]);
+        assert_eq!(integer_u64(65537), vec![0x02, 0x03, 0x01, 0x00, 0x01]);
+    }
+
+    #[test]
+    fn oid_encoding_matches_rfc_examples() {
+        // rsaEncryption = 1.2.840.113549.1.1.1
+        let oid = oid_from_arcs(&[1, 2, 840, 113549, 1, 1, 1]);
+        assert_eq!(
+            oid,
+            vec![0x06, 0x09, 0x2A, 0x86, 0x48, 0x86, 0xF7, 0x0D, 0x01, 0x01, 0x01]
+        );
+        // id-ce-subjectAltName = 2.5.29.17
+        assert_eq!(oid_from_arcs(&[2, 5, 29, 17]), vec![0x06, 0x03, 0x55, 0x1D, 0x11]);
+    }
+
+    #[test]
+    fn sequence_nests() {
+        let inner = sequence(&[integer_u64(1), integer_u64(2)]);
+        let outer = sequence(std::slice::from_ref(&inner));
+        let parsed = parse_one(&outer).unwrap();
+        assert_eq!(parsed.tag, tag::SEQUENCE);
+        let children = parsed.children().unwrap();
+        assert_eq!(children.len(), 1);
+        let grandchildren = children[0].children().unwrap();
+        assert_eq!(grandchildren.len(), 2);
+        assert_eq!(grandchildren[0].content, vec![1]);
+        assert_eq!(grandchildren[1].content, vec![2]);
+    }
+
+    #[test]
+    fn bit_string_prefixes_unused_count() {
+        let bs = bit_string(&[0xAA, 0xBB], 0);
+        assert_eq!(bs, vec![0x03, 0x03, 0x00, 0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn context_tags() {
+        // [0] constructed wrapping an INTEGER (X.509 version field).
+        let v = context(0, true, &integer_u64(2));
+        assert_eq!(v[0], 0xA0);
+        let parsed = parse_one(&v).unwrap();
+        assert!(parsed.is_constructed());
+        // [2] primitive (GeneralName dNSName).
+        let g = context(2, false, b"example.org");
+        assert_eq!(g[0], 0x82);
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let seq = sequence(&[integer_u64(5)]);
+        let err = parse_one(&seq[..seq.len() - 1]).unwrap_err();
+        assert_eq!(err, DerError::Truncated);
+    }
+
+    #[test]
+    fn reader_rejects_trailing_garbage() {
+        let mut seq = sequence(&[integer_u64(5)]);
+        seq.push(0x00);
+        assert_eq!(parse_one(&seq).unwrap_err(), DerError::Truncated);
+    }
+
+    #[test]
+    fn long_content_roundtrips() {
+        let payload = vec![0x42u8; 70_000];
+        let enc = octet_string(&payload);
+        let parsed = parse_one(&enc).unwrap();
+        assert_eq!(parsed.tag, tag::OCTET_STRING);
+        assert_eq!(parsed.content, payload);
+    }
+
+    #[test]
+    fn boolean_and_null() {
+        assert_eq!(boolean(true), vec![0x01, 0x01, 0xFF]);
+        assert_eq!(boolean(false), vec![0x01, 0x01, 0x00]);
+        assert_eq!(null(), vec![0x05, 0x00]);
+    }
+
+    #[test]
+    fn strings_use_expected_tags() {
+        assert_eq!(printable_string("US")[0], tag::PRINTABLE_STRING);
+        assert_eq!(utf8_string("Let's Encrypt")[0], tag::UTF8_STRING);
+        assert_eq!(ia5_string("example.org")[0], tag::IA5_STRING);
+        assert_eq!(utc_time("221229194411Z")[0], tag::UTC_TIME);
+    }
+}

@@ -1,0 +1,386 @@
+//! X.509 v3 certificate extensions.
+//!
+//! The paper observes that extensions are the single largest field group in
+//! web certificates (Fig 2b) — driven mostly by Subject Alternative Names
+//! ("cruise-liner" certificates, Appendix E), embedded SCTs, and AIA/CRL
+//! URLs. Each variant here encodes to its genuine DER representation, so SAN
+//! byte-share analysis (Fig 14) operates on real encodings.
+
+use crate::der;
+use crate::fill_deterministic;
+use crate::oid::{self, Oid};
+
+/// Key usage bits (RFC 5280 §4.2.1.3), most-significant bit first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyUsageFlags {
+    /// digitalSignature (bit 0)
+    pub digital_signature: bool,
+    /// keyEncipherment (bit 2)
+    pub key_encipherment: bool,
+    /// keyCertSign (bit 5)
+    pub key_cert_sign: bool,
+    /// cRLSign (bit 6)
+    pub crl_sign: bool,
+}
+
+impl KeyUsageFlags {
+    /// Typical leaf usage (digitalSignature + keyEncipherment).
+    pub fn leaf() -> Self {
+        KeyUsageFlags {
+            digital_signature: true,
+            key_encipherment: true,
+            ..Default::default()
+        }
+    }
+
+    /// Typical CA usage (certSign + crlSign).
+    pub fn ca() -> Self {
+        KeyUsageFlags {
+            key_cert_sign: true,
+            crl_sign: true,
+            digital_signature: true,
+            ..Default::default()
+        }
+    }
+
+    fn to_bits(self) -> (u8, u8) {
+        let mut bits = 0u8;
+        if self.digital_signature {
+            bits |= 0x80;
+        }
+        if self.key_encipherment {
+            bits |= 0x20;
+        }
+        if self.key_cert_sign {
+            bits |= 0x04;
+        }
+        if self.crl_sign {
+            bits |= 0x02;
+        }
+        let unused = bits.trailing_zeros().min(7) as u8;
+        (bits, unused)
+    }
+}
+
+/// A single certificate extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Extension {
+    /// basicConstraints: CA flag and optional path length (always critical).
+    BasicConstraints {
+        /// Whether the subject is a CA.
+        ca: bool,
+        /// Optional path length constraint.
+        path_len: Option<u8>,
+    },
+    /// keyUsage (critical).
+    KeyUsage(KeyUsageFlags),
+    /// extKeyUsage: list of purpose OIDs.
+    ExtKeyUsage(Vec<Oid>),
+    /// subjectKeyIdentifier: 20-byte key hash derived from `seed`.
+    SubjectKeyId {
+        /// Seed the placeholder identifier is derived from.
+        seed: u64,
+    },
+    /// authorityKeyIdentifier: keyid form, derived from `seed`.
+    AuthorityKeyId {
+        /// Seed of the issuer key identifier.
+        seed: u64,
+    },
+    /// subjectAltName: list of dNSName entries.
+    SubjectAltNames(Vec<String>),
+    /// cRLDistributionPoints: list of URIs.
+    CrlDistributionPoints(Vec<String>),
+    /// authorityInfoAccess: optional OCSP URI and CA-issuers URI.
+    AuthorityInfoAccess {
+        /// OCSP responder URI.
+        ocsp: Option<String>,
+        /// CA issuers URI.
+        ca_issuers: Option<String>,
+    },
+    /// certificatePolicies: policy OIDs (no qualifiers).
+    CertificatePolicies(Vec<Oid>),
+    /// Embedded signed certificate timestamps: `count` SCTs of realistic
+    /// size (~119 bytes of TLS-encoded SCT structure each).
+    SctList {
+        /// Number of embedded SCTs (browsers require ≥2).
+        count: u8,
+        /// Seed for the placeholder SCT bytes.
+        seed: u64,
+    },
+}
+
+/// Encoded size of one serialized SCT entry (2-byte length prefix, version,
+/// 32-byte log id, timestamp, extensions, ECDSA signature), matching what
+/// CT logs emit in practice.
+const SCT_ENTRY_LEN: usize = 121;
+
+impl Extension {
+    /// The extension OID.
+    pub fn oid(&self) -> &'static Oid {
+        match self {
+            Extension::BasicConstraints { .. } => &oid::EXT_BASIC_CONSTRAINTS,
+            Extension::KeyUsage(_) => &oid::EXT_KEY_USAGE,
+            Extension::ExtKeyUsage(_) => &oid::EXT_EXT_KEY_USAGE,
+            Extension::SubjectKeyId { .. } => &oid::EXT_SUBJECT_KEY_ID,
+            Extension::AuthorityKeyId { .. } => &oid::EXT_AUTHORITY_KEY_ID,
+            Extension::SubjectAltNames(_) => &oid::EXT_SUBJECT_ALT_NAME,
+            Extension::CrlDistributionPoints(_) => &oid::EXT_CRL_DISTRIBUTION,
+            Extension::AuthorityInfoAccess { .. } => &oid::EXT_AUTHORITY_INFO_ACCESS,
+            Extension::CertificatePolicies(_) => &oid::EXT_CERT_POLICIES,
+            Extension::SctList { .. } => &oid::EXT_SCT_LIST,
+        }
+    }
+
+    /// Whether the extension is marked critical.
+    pub fn critical(&self) -> bool {
+        matches!(
+            self,
+            Extension::BasicConstraints { .. } | Extension::KeyUsage(_)
+        )
+    }
+
+    /// The inner extnValue content (before OCTET STRING wrapping).
+    fn encode_value(&self) -> Vec<u8> {
+        match self {
+            Extension::BasicConstraints { ca, path_len } => {
+                let mut children = Vec::new();
+                if *ca {
+                    children.push(der::boolean(true));
+                }
+                if let Some(n) = path_len {
+                    children.push(der::integer_u64(*n as u64));
+                }
+                der::sequence(&children)
+            }
+            Extension::KeyUsage(flags) => {
+                let (bits, unused) = flags.to_bits();
+                der::bit_string(&[bits], unused)
+            }
+            Extension::ExtKeyUsage(purposes) => {
+                let children: Vec<Vec<u8>> = purposes.iter().map(|o| o.encode()).collect();
+                der::sequence(&children)
+            }
+            Extension::SubjectKeyId { seed } => {
+                let mut id = [0u8; 20];
+                fill_deterministic(*seed, &mut id);
+                der::octet_string(&id)
+            }
+            Extension::AuthorityKeyId { seed } => {
+                let mut id = [0u8; 20];
+                fill_deterministic(*seed, &mut id);
+                // keyIdentifier is [0] IMPLICIT inside a SEQUENCE.
+                der::sequence(&[der::context(0, false, &id)])
+            }
+            Extension::SubjectAltNames(names) => {
+                let children: Vec<Vec<u8>> = names
+                    .iter()
+                    .map(|n| der::context(2, false, n.as_bytes())) // dNSName
+                    .collect();
+                der::sequence(&children)
+            }
+            Extension::CrlDistributionPoints(uris) => {
+                let points: Vec<Vec<u8>> = uris
+                    .iter()
+                    .map(|uri| {
+                        // DistributionPoint { distributionPoint [0] { fullName [0] { uri [6] } } }
+                        let general_name = der::context(6, false, uri.as_bytes());
+                        let full_name = der::context(0, true, &general_name);
+                        let dp_name = der::context(0, true, &full_name);
+                        der::sequence(&[dp_name])
+                    })
+                    .collect();
+                der::sequence(&points)
+            }
+            Extension::AuthorityInfoAccess { ocsp, ca_issuers } => {
+                let mut descs = Vec::new();
+                if let Some(uri) = ocsp {
+                    descs.push(der::sequence(&[
+                        oid::AD_OCSP.encode(),
+                        der::context(6, false, uri.as_bytes()),
+                    ]));
+                }
+                if let Some(uri) = ca_issuers {
+                    descs.push(der::sequence(&[
+                        oid::AD_CA_ISSUERS.encode(),
+                        der::context(6, false, uri.as_bytes()),
+                    ]));
+                }
+                der::sequence(&descs)
+            }
+            Extension::CertificatePolicies(policies) => {
+                let infos: Vec<Vec<u8>> = policies
+                    .iter()
+                    .map(|p| der::sequence(&[p.encode()]))
+                    .collect();
+                der::sequence(&infos)
+            }
+            Extension::SctList { count, seed } => {
+                // TLS-style: outer 2-byte list length, then per-SCT 2-byte
+                // length + body — wrapped in an OCTET STRING by the caller.
+                let mut list = Vec::new();
+                for i in 0..*count {
+                    let mut body = vec![0u8; SCT_ENTRY_LEN - 2];
+                    fill_deterministic(seed.wrapping_add(i as u64), &mut body);
+                    body[0] = 0; // SCT version 1
+                    list.extend_from_slice(&((body.len()) as u16).to_be_bytes());
+                    list.extend_from_slice(&body);
+                }
+                let mut tls = Vec::with_capacity(list.len() + 2);
+                tls.extend_from_slice(&(list.len() as u16).to_be_bytes());
+                tls.extend_from_slice(&list);
+                der::octet_string(&tls)
+            }
+        }
+    }
+
+    /// Encode the full Extension SEQUENCE (OID, optional critical flag,
+    /// OCTET STRING value).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut children = vec![self.oid().encode()];
+        if self.critical() {
+            children.push(der::boolean(true));
+        }
+        children.push(der::octet_string(&self.encode_value()));
+        der::sequence(&children)
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// For SAN extensions: the encoded size (Fig 14 measures the byte share
+    /// of SANs within leaf certificates). Zero for other extensions.
+    pub fn san_bytes(&self) -> usize {
+        match self {
+            Extension::SubjectAltNames(_) => self.encoded_len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Encode a full `Extensions` list, including the `[3] EXPLICIT` wrapper
+/// used inside TBSCertificate.
+pub fn encode_extensions(exts: &[Extension]) -> Vec<u8> {
+    let encoded: Vec<Vec<u8>> = exts.iter().map(|e| e.encode()).collect();
+    let seq = der::sequence(&encoded);
+    der::context(3, true, &seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::der::parse_one;
+
+    #[test]
+    fn basic_constraints_ca_shape() {
+        let ext = Extension::BasicConstraints {
+            ca: true,
+            path_len: Some(0),
+        };
+        let enc = ext.encode();
+        let parsed = parse_one(&enc).unwrap();
+        let children = parsed.children().unwrap();
+        // OID + critical + value
+        assert_eq!(children.len(), 3);
+        assert_eq!(children[1].content, vec![0xFF]);
+    }
+
+    #[test]
+    fn empty_basic_constraints_for_leaves() {
+        let ext = Extension::BasicConstraints {
+            ca: false,
+            path_len: None,
+        };
+        // Empty SEQUENCE inside the OCTET STRING.
+        let enc = ext.encode();
+        let children = parse_one(&enc).unwrap().children().unwrap();
+        let value = &children[2];
+        assert_eq!(value.content, vec![0x30, 0x00]);
+    }
+
+    #[test]
+    fn key_usage_bit_packing() {
+        let (bits, unused) = KeyUsageFlags::leaf().to_bits();
+        assert_eq!(bits, 0xA0);
+        assert_eq!(unused, 5);
+        let (bits, unused) = KeyUsageFlags::ca().to_bits();
+        assert_eq!(bits, 0x86);
+        assert_eq!(unused, 1);
+    }
+
+    #[test]
+    fn san_size_grows_linearly_with_names() {
+        let few = Extension::SubjectAltNames(vec!["example.org".into()]);
+        let many = Extension::SubjectAltNames(
+            (0..50).map(|i| format!("host-{i}.example.org")).collect(),
+        );
+        assert!(many.encoded_len() > few.encoded_len() + 49 * 15);
+        assert_eq!(few.san_bytes(), few.encoded_len());
+        assert_eq!(
+            Extension::SubjectKeyId { seed: 1 }.san_bytes(),
+            0,
+            "non-SAN extensions report zero SAN bytes"
+        );
+    }
+
+    #[test]
+    fn sct_list_size_scales_with_count() {
+        let two = Extension::SctList { count: 2, seed: 1 };
+        let three = Extension::SctList { count: 3, seed: 1 };
+        // Exactly one SCT entry more, plus up to a few bytes of DER length
+        // framing growth when a length crosses the 255-byte boundary.
+        let delta = three.encoded_len() - two.encoded_len();
+        assert!((SCT_ENTRY_LEN..SCT_ENTRY_LEN + 5).contains(&delta), "delta {delta}");
+        // Two SCTs: real-world extensions run ~250–280 bytes total.
+        assert!((240..=280).contains(&two.encoded_len()), "was {}", two.encoded_len());
+    }
+
+    #[test]
+    fn aia_includes_requested_uris() {
+        let ext = Extension::AuthorityInfoAccess {
+            ocsp: Some("http://r3.o.lencr.org".into()),
+            ca_issuers: Some("http://r3.i.lencr.org/".into()),
+        };
+        let enc = ext.encode();
+        let text = String::from_utf8_lossy(&enc).into_owned();
+        assert!(text.contains("r3.o.lencr.org"));
+        assert!(text.contains("r3.i.lencr.org"));
+    }
+
+    #[test]
+    fn all_extensions_are_wellformed_der() {
+        let exts = vec![
+            Extension::BasicConstraints { ca: true, path_len: None },
+            Extension::KeyUsage(KeyUsageFlags::ca()),
+            Extension::ExtKeyUsage(vec![oid::KP_SERVER_AUTH, oid::KP_CLIENT_AUTH]),
+            Extension::SubjectKeyId { seed: 2 },
+            Extension::AuthorityKeyId { seed: 3 },
+            Extension::SubjectAltNames(vec!["a.example".into(), "*.b.example".into()]),
+            Extension::CrlDistributionPoints(vec!["http://crl.example/x.crl".into()]),
+            Extension::AuthorityInfoAccess {
+                ocsp: Some("http://ocsp.example".into()),
+                ca_issuers: None,
+            },
+            Extension::CertificatePolicies(vec![oid::CP_DOMAIN_VALIDATED]),
+            Extension::SctList { count: 2, seed: 4 },
+        ];
+        for ext in &exts {
+            let parsed = parse_one(&ext.encode()).unwrap();
+            assert_eq!(parsed.tag, 0x30, "{:?}", ext.oid());
+        }
+        let wrapped = encode_extensions(&exts);
+        let outer = parse_one(&wrapped).unwrap();
+        assert_eq!(outer.tag, 0xA3, "extensions use [3] EXPLICIT");
+        let seq = outer.children().unwrap();
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].children().unwrap().len(), exts.len());
+    }
+
+    #[test]
+    fn criticality_flags() {
+        assert!(Extension::KeyUsage(KeyUsageFlags::leaf()).critical());
+        assert!(!Extension::SubjectAltNames(vec![]).critical());
+        assert!(!Extension::SctList { count: 2, seed: 0 }.critical());
+    }
+}

@@ -1,0 +1,99 @@
+//! Calendar time for certificate validity periods.
+//!
+//! X.509 encodes validity as UTCTime (`YYMMDDHHMMSSZ`) for years before
+//! 2050. All certificates in the workspace live comfortably inside that
+//! window, so only UTCTime is emitted.
+
+use crate::der;
+
+/// A calendar timestamp (UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time {
+    /// Full year, e.g. 2022.
+    pub year: u16,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31.
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+}
+
+impl Time {
+    /// Midnight on the given date.
+    pub const fn date(year: u16, month: u8, day: u8) -> Self {
+        Time {
+            year,
+            month,
+            day,
+            hour: 0,
+            minute: 0,
+            second: 0,
+        }
+    }
+
+    /// The same instant `days` later (approximate calendar arithmetic:
+    /// months are treated as 30 days, sufficient for validity spans).
+    pub fn plus_days(self, days: u32) -> Time {
+        let total = self.day as u32 - 1 + days;
+        let month_total = self.month as u32 - 1 + total / 30;
+        Time {
+            year: self.year + (month_total / 12) as u16,
+            month: (month_total % 12) as u8 + 1,
+            day: (total % 30) as u8 + 1,
+            ..self
+        }
+    }
+
+    /// Format as `YYMMDDHHMMSSZ` (UTCTime, two-digit year per RFC 5280).
+    pub fn to_utc_string(self) -> String {
+        format!(
+            "{:02}{:02}{:02}{:02}{:02}{:02}Z",
+            self.year % 100,
+            self.month,
+            self.day,
+            self.hour,
+            self.minute,
+            self.second
+        )
+    }
+
+    /// DER-encode as UTCTime.
+    pub fn encode(self) -> Vec<u8> {
+        der::utc_time(&self.to_utc_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utc_format_matches_rfc_shape() {
+        let t = Time::date(2021, 11, 27);
+        assert_eq!(t.to_utc_string(), "211127000000Z");
+        let enc = t.encode();
+        assert_eq!(enc[0], 0x17);
+        assert_eq!(enc[1], 13);
+    }
+
+    #[test]
+    fn plus_days_rolls_over() {
+        let t = Time::date(2022, 1, 1);
+        let later = t.plus_days(90);
+        assert_eq!(later.month, 4);
+        assert_eq!(later.year, 2022);
+        let next_year = t.plus_days(365);
+        assert_eq!(next_year.year, 2023);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(Time::date(2022, 1, 1) < Time::date(2022, 6, 1));
+        assert!(Time::date(2021, 12, 31) < Time::date(2022, 1, 1));
+    }
+}

@@ -1,0 +1,37 @@
+//! The Fig 3 sweep: how the client Initial size (1200–1472 bytes) shifts
+//! handshake classes, plus the §4.1 load-balancer reachability effect.
+//!
+//! ```sh
+//! cargo run --release --example initial_size_sweep
+//! ```
+
+use quicert::core::experiments::handshakes;
+use quicert::core::{Campaign, CampaignConfig};
+
+fn main() {
+    let campaign = Campaign::new(CampaignConfig::small().with_domains(3_000));
+
+    let fig3 = handshakes::fig3(&campaign);
+    print!("{}", fig3.render());
+    println!(
+        "paper: amplification is size-independent; multi-RTT shrinks and 1-RTT \
+         grows (~1%) toward large Initials; reachability drops ~1.2%\n"
+    );
+
+    if let (Some(small), Some(large)) = (fig3.at(1200), fig3.at(1472)) {
+        println!(
+            "bar heights: {} reachable at 1200 vs {} at 1472 ({} services lost to \
+             load-balancer encapsulation)\n",
+            small.reachable(),
+            large.reachable(),
+            small.reachable().saturating_sub(large.reachable()),
+        );
+    }
+
+    print!("{}", handshakes::reachability(&campaign).render());
+    println!("paper: top-1k ranks lose 25% reachability, top-10k 12%, overall 1.2%");
+
+    print!("\n{}", handshakes::render_rank_groups(&handshakes::rank_groups(&campaign)));
+    println!("paper (Figs 12/13): adoption and classes are flat across rank groups,");
+    println!("except 1-RTT handshakes concentrating in the most popular ranks (3.02%).");
+}

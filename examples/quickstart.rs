@@ -1,0 +1,45 @@
+//! Quickstart: generate a small world, classify every QUIC handshake, and
+//! print the paper's headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use quicert::core::{Campaign, CampaignConfig};
+use quicert::quic::handshake::HandshakeClass;
+use quicert::scanner::quicreach;
+
+fn main() {
+    // 4k domains is enough for stable shares and runs in seconds.
+    let campaign = Campaign::new(CampaignConfig::small().with_domains(4_000));
+    let world = campaign.world();
+    println!(
+        "world: {} domains, {} QUIC services, {} HTTPS-only services",
+        world.domains().len(),
+        world.quic_services().count(),
+        world.https_only_services().count(),
+    );
+
+    let results = campaign.quicreach_default();
+    let summary = quicreach::summarize(campaign.config().default_initial, results);
+    println!(
+        "\nhandshake classes at Initial = {} bytes ({} reachable services):",
+        summary.initial_size,
+        summary.reachable()
+    );
+    for class in [
+        HandshakeClass::Amplification,
+        HandshakeClass::MultiRtt,
+        HandshakeClass::Retry,
+        HandshakeClass::OneRtt,
+    ] {
+        println!("  {:<14} {:>6.2}%", class.label(), summary.share(class));
+    }
+
+    println!(
+        "\npaper (Fig 3 @1362): Amplification 61%, Multi-RTT 38%, RETRY 0.07%, 1-RTT 0.75%"
+    );
+    println!(
+        "take-away: a-priori DoS protection and fast 1-RTT handshakes are rare in the wild."
+    );
+}

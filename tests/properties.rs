@@ -1,0 +1,145 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use quicert::compress::{compress, decompress, Algorithm};
+use quicert::netsim::SimRng;
+use quicert::x509::der;
+use quicert::x509::{
+    AttrKind, CertificateBuilder, DistinguishedName, Extension, KeyAlgorithm,
+    SignatureAlgorithm, SubjectPublicKeyInfo,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compression_roundtrips_arbitrary_bytes(input in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for alg in Algorithm::ALL {
+            let c = compress(alg, &input);
+            let back = decompress(&c, alg.dictionary()).expect("decompress");
+            prop_assert_eq!(&back, &input, "{} roundtrip", alg);
+        }
+    }
+
+    #[test]
+    fn compression_roundtrips_repetitive_bytes(
+        unit in proptest::collection::vec(any::<u8>(), 1..64),
+        reps in 1usize..200,
+    ) {
+        let input: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        for alg in Algorithm::ALL {
+            let c = compress(alg, &input);
+            let back = decompress(&c, alg.dictionary()).expect("decompress");
+            prop_assert_eq!(&back, &input);
+            // Repetitive input beyond a few copies must actually shrink.
+            if input.len() > 512 {
+                prop_assert!(c.len() < input.len());
+            }
+        }
+    }
+
+    #[test]
+    fn quic_varints_roundtrip(v in 0u64..(1 << 62)) {
+        let mut buf = Vec::new();
+        quicert::quic::varint::write(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(quicert::quic::varint::read(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(buf.len(), quicert::quic::varint::len(v));
+    }
+
+    #[test]
+    fn der_integers_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let enc = der::integer_bytes(&bytes);
+        let parsed = der::parse_one(&enc).expect("well-formed");
+        prop_assert_eq!(parsed.tag, 0x02);
+        // DER integers are minimal: no redundant leading zero unless needed
+        // for sign.
+        if parsed.content.len() > 1 {
+            prop_assert!(parsed.content[0] != 0 || parsed.content[1] & 0x80 != 0);
+        }
+    }
+
+    #[test]
+    fn certificates_with_arbitrary_names_are_wellformed(
+        cn in "[a-z]{1,40}\\.[a-z]{2,6}",
+        org in "[A-Za-z ]{1,40}",
+        san_count in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let sans: Vec<String> = (0..san_count).map(|i| format!("alt{i}.{cn}")).collect();
+        let cert = CertificateBuilder::new(
+            DistinguishedName::new()
+                .with(AttrKind::Country, "US")
+                .with(AttrKind::Organization, org)
+                .with(AttrKind::CommonName, "Prop CA"),
+            DistinguishedName::cn(&cn),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, seed),
+            SignatureAlgorithm::Sha256WithRsa2048,
+        )
+        .extension(Extension::SubjectAltNames(sans))
+        .build();
+        // The whole certificate parses as nested DER.
+        let parsed = der::parse_one(cert.der()).expect("certificate parses");
+        prop_assert_eq!(parsed.children().unwrap().len(), 3);
+        // Field attribution always accounts for every byte.
+        prop_assert_eq!(cert.field_sizes().total(), cert.der_len());
+    }
+
+    #[test]
+    fn rng_below_is_always_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn cdf_quantiles_are_monotone(samples in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+        let cdf = quicert::analysis::Cdf::new(samples);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = cdf.quantile(i as f64 / 20.0);
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip(offset in 0u64..1_000_000, data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        use quicert::quic::Frame;
+        let frames = vec![
+            Frame::Ack { largest: offset % 100, delay: 3, first_range: offset % 100 },
+            Frame::Crypto { offset, data },
+            Frame::Padding { n: 17 },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.encode(&mut buf);
+        }
+        let decoded = Frame::decode_all(&buf).expect("decode");
+        prop_assert_eq!(decoded, frames);
+    }
+}
+
+#[test]
+fn deterministic_worlds_are_identical() {
+    use quicert::pki::{World, WorldConfig};
+    let mk = || {
+        World::generate(WorldConfig {
+            domains: 800,
+            seed: 0xDE7E_2217,
+            ..WorldConfig::default()
+        })
+    };
+    let a = mk();
+    let b = mk();
+    for (x, y) in a.domains().iter().zip(b.domains()) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.has_quic(), y.has_quic());
+        if let (Some(cx), Some(cy)) = (a.https_chain(x), b.https_chain(y)) {
+            assert_eq!(cx.concatenated_der(), cy.concatenated_der());
+        }
+    }
+}
