@@ -70,7 +70,9 @@ fn handshake_engine(c: &mut Criterion) {
 }
 
 fn varint_codec(c: &mut Criterion) {
-    let values: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(0x9E37_79B9) >> (i % 40)).collect();
+    let values: Vec<u64> = (0..1024u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) >> (i % 40))
+        .collect();
     c.bench_function("quic_varint_roundtrip_1k", |b| {
         b.iter(|| {
             let mut buf = Vec::with_capacity(8 * values.len());

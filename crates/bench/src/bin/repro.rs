@@ -4,20 +4,32 @@
 //! cargo run --release -p quicert-bench --bin repro            # 20k domains
 //! cargo run --release -p quicert-bench --bin repro -- 100000  # bigger world
 //! cargo run --release -p quicert-bench --bin repro -- 20000 42  # custom seed
+//! cargo run --release -p quicert-bench --bin repro -- 20000 42 8  # 8 workers
 //! ```
+//!
+//! The third argument is the scan worker count (0 = one per core, 1 =
+//! serial). The report is bit-for-bit identical at any setting.
 
 use quicert_core::{full_report, Campaign, CampaignConfig, ReportOptions};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let domains: usize = args
+    let domains: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let seed: u64 = args
         .next()
         .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0xC04E_2022);
+        .unwrap_or(0xC04E_2022);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
 
-    eprintln!("generating world: {domains} domains, seed {seed:#x} ...");
-    let campaign = Campaign::new(CampaignConfig::standard().with_domains(domains).with_seed(seed));
+    eprintln!(
+        "generating world: {domains} domains, seed {seed:#x}, workers {workers} (0 = auto) ..."
+    );
+    let campaign = Campaign::new(
+        CampaignConfig::standard()
+            .with_domains(domains)
+            .with_seed(seed)
+            .with_workers(workers),
+    );
 
     let options = ReportOptions {
         telescope_per_provider: 20,

@@ -108,11 +108,7 @@ fn serialize_tokens(tokens: &[Token], min_match: usize) -> Vec<u8> {
 
 /// Decode an LZ token stream into `out` until `target_len` bytes have been
 /// produced. The decode window is `dict || out`.
-fn decode_tokens(
-    stream: &[u8],
-    dict: &[u8],
-    target_len: usize,
-) -> Result<Vec<u8>, CompressError> {
+fn decode_tokens(stream: &[u8], dict: &[u8], target_len: usize) -> Result<Vec<u8>, CompressError> {
     let mut out: Vec<u8> = Vec::with_capacity(target_len);
     let mut pos = 0usize;
     while out.len() < target_len {
@@ -233,9 +229,7 @@ pub fn decompress(data: &[u8], dict: &[u8]) -> Result<Vec<u8>, CompressError> {
         }
         1 => decode_tokens(&data[pos..], dict, orig_len),
         2 => {
-            let table = data
-                .get(pos..pos + 128)
-                .ok_or(CompressError::BadHeader)?;
+            let table = data.get(pos..pos + 128).ok_or(CompressError::BadHeader)?;
             let mut lengths = [0u8; 256];
             for (i, &b) in table.iter().enumerate() {
                 lengths[i * 2] = b >> 4;
@@ -248,7 +242,11 @@ pub fn decompress(data: &[u8], dict: &[u8]) -> Result<Vec<u8>, CompressError> {
             let mut reader = BitReader::new(&data[pos..]);
             let mut lz_stream = Vec::with_capacity(lz_len);
             for _ in 0..lz_len {
-                lz_stream.push(decoder.read_symbol(&mut reader).ok_or(CompressError::BadBits)?);
+                lz_stream.push(
+                    decoder
+                        .read_symbol(&mut reader)
+                        .ok_or(CompressError::BadBits)?,
+                );
             }
             decode_tokens(&lz_stream, dict, orig_len)
         }
@@ -321,7 +319,10 @@ mod tests {
 
     #[test]
     fn truncated_container_errors() {
-        let c = compress(Algorithm::Zlib, &b"some reasonably long input data ".repeat(20));
+        let c = compress(
+            Algorithm::Zlib,
+            &b"some reasonably long input data ".repeat(20),
+        );
         for cut in [0, 1, 3, 4, c.len() / 2] {
             let r = decompress(&c[..cut], &[]);
             assert!(r.is_err(), "cut at {cut} must fail");
@@ -339,7 +340,10 @@ mod tests {
     fn bad_mode_errors() {
         let mut c = compress(Algorithm::Zlib, b"data");
         c[3] = 9;
-        assert!(matches!(decompress(&c, &[]), Err(CompressError::BadMode(9))));
+        assert!(matches!(
+            decompress(&c, &[]),
+            Err(CompressError::BadMode(9))
+        ));
     }
 
     #[test]
@@ -348,9 +352,14 @@ mod tests {
         let c = compress(Algorithm::Brotli, &input);
         // Decoding with an empty dictionary must not silently return the
         // original bytes (match distances reach into the dictionary).
-        if let Ok(out) = decompress(&c, &[]) { assert_ne!(out, input) }
+        if let Ok(out) = decompress(&c, &[]) {
+            assert_ne!(out, input)
+        }
         // And with the right dictionary it must round-trip.
-        assert_eq!(decompress(&c, Algorithm::Brotli.dictionary()).unwrap(), input);
+        assert_eq!(
+            decompress(&c, Algorithm::Brotli.dictionary()).unwrap(),
+            input
+        );
     }
 
     #[test]
@@ -377,11 +386,19 @@ mod tests {
             input.extend_from_slice(b"http://ocsp.example-trust.test/");
             input.extend_from_slice(b"http://crl.example-trust.test/ca1.crl");
             // 300 bytes of incompressible key/signature material.
-            input.extend((0u32..75).map(|j| (j.wrapping_mul(40503).wrapping_add(i * 7919) >> 3) as u8));
+            input.extend(
+                (0u32..75).map(|j| (j.wrapping_mul(40503).wrapping_add(i * 7919) >> 3) as u8),
+            );
         }
         let c = compress(Algorithm::Brotli, &input);
         let ratio = c.len() as f64 / input.len() as f64;
-        assert!(ratio < 0.85, "structured DER-like data must compress, got {ratio}");
-        assert_eq!(decompress(&c, Algorithm::Brotli.dictionary()).unwrap(), input);
+        assert!(
+            ratio < 0.85,
+            "structured DER-like data must compress, got {ratio}"
+        );
+        assert_eq!(
+            decompress(&c, Algorithm::Brotli.dictionary()).unwrap(),
+            input
+        );
     }
 }

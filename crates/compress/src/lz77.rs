@@ -205,7 +205,9 @@ mod tests {
         let tokens = tokenize(&[], input, P);
         assert_eq!(detokenize(&[], &tokens), input);
         // Must find the period-3 repetition (overlapping match).
-        assert!(tokens.iter().any(|t| matches!(t, Token::Match { dist: 3, .. })));
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { dist: 3, .. })));
     }
 
     #[test]

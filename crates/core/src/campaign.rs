@@ -1,10 +1,18 @@
-//! A measurement campaign: one world plus lazily computed scan artifacts.
+//! A measurement campaign: one world plus the [`ScanEngine`] computing and
+//! caching every scan artifact the report and experiments consume.
 
-use std::sync::OnceLock;
+use std::sync::Arc;
 
+use quicert_compress::Algorithm;
 use quicert_pki::{World, WorldConfig};
-use quicert_scanner::https_scan::{self, HttpsScanReport};
-use quicert_scanner::quicreach::{self, QuicReachResult};
+use quicert_scanner::compression::{AlgorithmSupport, SyntheticCompression};
+use quicert_scanner::https_scan::HttpsScanReport;
+use quicert_scanner::qscanner::{ConsistencyReport, QuicCertObservation};
+use quicert_scanner::quicreach::{QuicReachResult, ScanSummary};
+use quicert_scanner::telescope_scan::BackscatterSession;
+use quicert_scanner::zmap::ZmapResult;
+
+use crate::engine::ScanEngine;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -14,6 +22,10 @@ pub struct CampaignConfig {
     /// The default client Initial size used for single-size scans
     /// (the paper reports at 1362 bytes, close to Firefox's 1357).
     pub default_initial: usize,
+    /// Scan worker threads: `0` resolves to one per available core, `1`
+    /// forces the serial path. Results are bit-for-bit identical at any
+    /// setting.
+    pub workers: usize,
 }
 
 impl CampaignConfig {
@@ -25,6 +37,7 @@ impl CampaignConfig {
                 ..WorldConfig::default()
             },
             default_initial: 1362,
+            workers: 0,
         }
     }
 
@@ -33,6 +46,7 @@ impl CampaignConfig {
         CampaignConfig {
             world: WorldConfig::default(),
             default_initial: 1362,
+            workers: 0,
         }
     }
 
@@ -47,6 +61,12 @@ impl CampaignConfig {
         self.world.domains = domains;
         self
     }
+
+    /// Override the scan worker count (`0` = one per available core).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
 }
 
 impl Default for CampaignConfig {
@@ -59,21 +79,15 @@ impl Default for CampaignConfig {
 #[derive(Debug)]
 pub struct Campaign {
     config: CampaignConfig,
-    world: World,
-    https: OnceLock<HttpsScanReport>,
-    quicreach_default: OnceLock<Vec<QuicReachResult>>,
+    engine: ScanEngine,
 }
 
 impl Campaign {
     /// Generate the world for `config`.
     pub fn new(config: CampaignConfig) -> Campaign {
         let world = World::generate(config.world.clone());
-        Campaign {
-            config,
-            world,
-            https: OnceLock::new(),
-            quicreach_default: OnceLock::new(),
-        }
+        let engine = ScanEngine::new(world, config.default_initial, config.workers);
+        Campaign { config, engine }
     }
 
     /// The campaign configuration.
@@ -81,9 +95,14 @@ impl Campaign {
         &self.config
     }
 
+    /// The scan engine holding every cached artifact.
+    pub fn engine(&self) -> &ScanEngine {
+        &self.engine
+    }
+
     /// The generated world.
     pub fn world(&self) -> &World {
-        &self.world
+        self.engine.world()
     }
 
     /// The rank-group width used for Figs 12/13 (the paper uses 100k groups
@@ -93,14 +112,59 @@ impl Campaign {
     }
 
     /// The HTTPS certificate scan (computed once).
-    pub fn https_scan(&self) -> &HttpsScanReport {
-        self.https.get_or_init(|| https_scan::scan(&self.world))
+    pub fn https_scan(&self) -> Arc<HttpsScanReport> {
+        self.engine.https_scan()
     }
 
     /// The quicreach classification at the default Initial size.
-    pub fn quicreach_default(&self) -> &[QuicReachResult] {
-        self.quicreach_default
-            .get_or_init(|| quicreach::scan(&self.world, self.config.default_initial))
+    pub fn quicreach_default(&self) -> Arc<Vec<QuicReachResult>> {
+        self.engine.quicreach_default()
+    }
+
+    /// The quicreach classification at an arbitrary Initial size.
+    pub fn quicreach_at(&self, initial_size: usize) -> Arc<Vec<QuicReachResult>> {
+        self.engine.quicreach(initial_size)
+    }
+
+    /// The full Fig 3 sweep (29 Initial sizes), computed once.
+    pub fn sweep(&self) -> Arc<Vec<ScanSummary>> {
+        self.engine.sweep()
+    }
+
+    /// Per-algorithm compression support (Table 1), computed once.
+    pub fn compression_support(&self) -> Arc<Vec<AlgorithmSupport>> {
+        self.engine.compression_support()
+    }
+
+    /// Services supporting all three compression algorithms (count, total).
+    pub fn all_three_support(&self) -> (usize, usize) {
+        self.engine.all_three_support()
+    }
+
+    /// The §4.2 synthetic compression study for one (algorithm, stride).
+    pub fn compression_study(
+        &self,
+        algorithm: Algorithm,
+        stride: usize,
+    ) -> Arc<Vec<SyntheticCompression>> {
+        self.engine.compression_study(algorithm, stride)
+    }
+
+    /// Telescope backscatter sessions (Fig 9) for one probe budget.
+    pub fn telescope(&self, per_provider: usize) -> Arc<Vec<BackscatterSession>> {
+        self.engine.telescope(per_provider)
+    }
+
+    /// The §4.3 Meta-PoP ZMap scan (variation 0 is the headline scan; Fig
+    /// 11 repetitions use higher variations).
+    pub fn meta_pop(&self, post_disclosure: bool, variation: u64) -> Arc<Vec<ZmapResult>> {
+        self.engine.meta_pop(post_disclosure, variation)
+    }
+
+    /// The QScanner certificate pass and its §3.2 TLS-vs-QUIC consistency
+    /// report.
+    pub fn qscanner(&self) -> Arc<(Vec<QuicCertObservation>, ConsistencyReport)> {
+        self.engine.qscanner()
     }
 }
 
@@ -111,18 +175,49 @@ mod tests {
     #[test]
     fn artifacts_are_cached() {
         let campaign = Campaign::new(CampaignConfig::small().with_seed(5));
-        let a = campaign.https_scan() as *const _;
-        let b = campaign.https_scan() as *const _;
-        assert_eq!(a, b, "same allocation on second call");
-        let q1 = campaign.quicreach_default().len();
-        let q2 = campaign.quicreach_default().len();
-        assert_eq!(q1, q2);
-        assert!(q1 > 0);
+        // Every artifact family returns the same allocation on re-request.
+        assert!(Arc::ptr_eq(&campaign.https_scan(), &campaign.https_scan()));
+        assert!(Arc::ptr_eq(
+            &campaign.quicreach_default(),
+            &campaign.quicreach_default()
+        ));
+        // The default-size scan and the explicit-size scan share one entry.
+        assert!(Arc::ptr_eq(
+            &campaign.quicreach_default(),
+            &campaign.quicreach_at(campaign.config().default_initial)
+        ));
+        assert!(Arc::ptr_eq(&campaign.sweep(), &campaign.sweep()));
+        assert!(Arc::ptr_eq(
+            &campaign.compression_support(),
+            &campaign.compression_support()
+        ));
+        assert!(Arc::ptr_eq(
+            &campaign.compression_study(Algorithm::Brotli, 50),
+            &campaign.compression_study(Algorithm::Brotli, 50)
+        ));
+        assert!(Arc::ptr_eq(&campaign.telescope(2), &campaign.telescope(2)));
+        assert!(Arc::ptr_eq(
+            &campaign.meta_pop(false, 0),
+            &campaign.meta_pop(false, 0)
+        ));
+        assert_eq!(campaign.all_three_support(), campaign.all_three_support());
+        assert!(!campaign.quicreach_default().is_empty());
     }
 
     #[test]
     fn rank_group_width_scales() {
         let c = Campaign::new(CampaignConfig::small().with_domains(5_000));
         assert_eq!(c.rank_group_width(), 500);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_artifacts() {
+        let serial = Campaign::new(CampaignConfig::small().with_seed(5).with_workers(1));
+        let parallel = Campaign::new(CampaignConfig::small().with_seed(5).with_workers(8));
+        assert_eq!(*serial.quicreach_default(), *parallel.quicreach_default());
+        assert_eq!(
+            serial.https_scan().observations.len(),
+            parallel.https_scan().observations.len()
+        );
     }
 }

@@ -1,0 +1,395 @@
+//! The [`ScanEngine`]: one uniform, lazily-computed artifact store with a
+//! worker-sharded parallel execution path.
+//!
+//! Every scan artifact the report and the experiment modules consume — the
+//! HTTPS certificate scan, quicreach classifications at *any* Initial size,
+//! the full Fig 3 sweep, the compression support scan and synthetic study,
+//! telescope backscatter sessions, Meta-PoP ZMap scans and the QScanner
+//! pass — is computed at most once per campaign and shared behind an
+//! [`Arc`]. Experiments therefore never recompute a scan behind the
+//! report's back: asking twice returns the same allocation.
+//!
+//! ## Parallel execution and determinism
+//!
+//! Per-domain scans shard the record list into `workers` contiguous chunks
+//! and probe each chunk on its own scoped thread (`workers <= 1` falls back
+//! to a plain serial loop, so single-threaded environments pay no
+//! synchronisation cost). The results are **bit-for-bit identical at any
+//! worker count** because every probe draws its randomness from a `SimRng`
+//! stream forked off the campaign seed *per record* at world-generation
+//! time (`record.seed`), never from a stream shared across records. A
+//! shard boundary therefore cannot shift any draw: worker `i` probing
+//! records `[a, b)` produces exactly the bytes a serial run produces for
+//! those records, and concatenating the shard outputs in shard order
+//! restores the serial result exactly. The determinism test in this module
+//! pins that guarantee at 1, 2 and 8 workers.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+use quicert_compress::Algorithm;
+use quicert_netsim::Ipv4Net;
+use quicert_pki::{DomainRecord, World};
+use quicert_scanner::compression::{self, AlgorithmSupport, SyntheticCompression};
+use quicert_scanner::https_scan::{self, HttpsScanReport};
+use quicert_scanner::qscanner::{self, ConsistencyReport, QuicCertObservation};
+use quicert_scanner::quicreach::{self, QuicReachResult, ScanSummary};
+use quicert_scanner::telescope_scan::{self, BackscatterSession};
+use quicert_scanner::zmap::{self, ZmapResult};
+
+/// One lazily-computed artifact family, keyed by scan parameters.
+///
+/// The first request for a key computes the artifact (outside the lock, so
+/// engine methods may nest — the sweep pulls per-size quicreach artifacts);
+/// every later request returns the same `Arc` allocation.
+#[derive(Debug)]
+struct ArtifactCache<K, V> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+}
+
+impl<K: Eq + Hash, V> ArtifactCache<K, V> {
+    fn new() -> Self {
+        ArtifactCache {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(value) = self.map.lock().unwrap().get(&key) {
+            return Arc::clone(value);
+        }
+        let value = Arc::new(compute());
+        // First insertion wins so concurrent callers agree on one allocation.
+        Arc::clone(self.map.lock().unwrap().entry(key).or_insert(value))
+    }
+}
+
+/// Shard `items` into at most `workers` contiguous chunks and run
+/// `run_shard` on each, on its own scoped thread. Outputs are concatenated
+/// in shard order, so any per-record computation is reproduced bit-for-bit
+/// regardless of the worker count. With one worker (or one item) this is a
+/// plain serial call.
+pub fn run_sharded<T, R, F>(items: &[T], workers: usize, run_shard: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        return run_shard(items);
+    }
+    let chunk = items.len().div_ceil(workers);
+    let run_shard = &run_shard;
+    let mut shards: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move || run_shard(shard)))
+            .collect();
+        shards.extend(
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("scan worker panicked")),
+        );
+    });
+    shards.into_iter().flatten().collect()
+}
+
+/// The campaign's scan executor and artifact store.
+#[derive(Debug)]
+pub struct ScanEngine {
+    world: World,
+    default_initial: usize,
+    workers: usize,
+    https: ArtifactCache<(), HttpsScanReport>,
+    quicreach: ArtifactCache<usize, Vec<QuicReachResult>>,
+    sweep: ArtifactCache<(), Vec<ScanSummary>>,
+    compression_support: ArtifactCache<(), Vec<AlgorithmSupport>>,
+    all_three: ArtifactCache<(), (usize, usize)>,
+    compression_study: ArtifactCache<(Algorithm, usize), Vec<SyntheticCompression>>,
+    telescope: ArtifactCache<usize, Vec<BackscatterSession>>,
+    zmap: ArtifactCache<(bool, u64), Vec<ZmapResult>>,
+    qscanner: ArtifactCache<(), (Vec<QuicCertObservation>, ConsistencyReport)>,
+}
+
+impl ScanEngine {
+    /// Wrap a generated world. `workers == 0` resolves to one worker per
+    /// available core; `workers == 1` forces the serial path.
+    pub fn new(world: World, default_initial: usize, workers: usize) -> ScanEngine {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        ScanEngine {
+            world,
+            default_initial,
+            workers,
+            https: ArtifactCache::new(),
+            quicreach: ArtifactCache::new(),
+            sweep: ArtifactCache::new(),
+            compression_support: ArtifactCache::new(),
+            all_three: ArtifactCache::new(),
+            compression_study: ArtifactCache::new(),
+            telescope: ArtifactCache::new(),
+            zmap: ArtifactCache::new(),
+            qscanner: ArtifactCache::new(),
+        }
+    }
+
+    /// The world all scans run against.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The default client Initial size for single-size scans.
+    pub fn default_initial(&self) -> usize {
+        self.default_initial
+    }
+
+    /// The §3.1 HTTPS certificate scan (per-domain chain collection runs
+    /// sharded; the funnel counters are folded in rank order afterwards).
+    pub fn https_scan(&self) -> Arc<HttpsScanReport> {
+        self.https.get_or_compute((), || {
+            let records: Vec<&DomainRecord> = self.world.domains().iter().collect();
+            let observations = run_sharded(&records, self.workers, |shard| {
+                https_scan::observe_records(&self.world, shard)
+            });
+            https_scan::collate(&self.world, observations)
+        })
+    }
+
+    /// quicreach classifications at one Initial size, sharded over the QUIC
+    /// service list.
+    pub fn quicreach(&self, initial_size: usize) -> Arc<Vec<QuicReachResult>> {
+        self.quicreach.get_or_compute(initial_size, || {
+            let records: Vec<&DomainRecord> = self.world.quic_services().collect();
+            run_sharded(&records, self.workers, |shard| {
+                quicreach::scan_records(&self.world, shard, initial_size)
+            })
+        })
+    }
+
+    /// quicreach at the campaign's default Initial size.
+    pub fn quicreach_default(&self) -> Arc<Vec<QuicReachResult>> {
+        self.quicreach(self.default_initial)
+    }
+
+    /// The full Fig 3 sweep: one [`ScanSummary`] per swept Initial size.
+    /// Every per-size scan lands in the [`ScanEngine::quicreach`] cache, so
+    /// later single-size requests (the §4.1 reachability experiment, the
+    /// default-size bar) are free.
+    pub fn sweep(&self) -> Arc<Vec<ScanSummary>> {
+        self.sweep.get_or_compute((), || {
+            quicreach::sweep_sizes()
+                .into_iter()
+                .map(|size| quicreach::summarize(size, &self.quicreach(size)))
+                .collect()
+        })
+    }
+
+    /// Per-algorithm compression support and achieved ratios (Table 1),
+    /// probing sharded over the QUIC service list.
+    pub fn compression_support(&self) -> Arc<Vec<AlgorithmSupport>> {
+        self.compression_support.get_or_compute((), || {
+            let records: Vec<&DomainRecord> = self.world.quic_services().collect();
+            let probes = run_sharded(&records, self.workers, |shard| {
+                compression::probe_records(&self.world, shard)
+            });
+            compression::collate(&probes)
+        })
+    }
+
+    /// Services supporting all three compression algorithms (count, total).
+    pub fn all_three_support(&self) -> (usize, usize) {
+        *self
+            .all_three
+            .get_or_compute((), || compression::all_three_support(&self.world))
+    }
+
+    /// The §4.2 synthetic compression study for one (algorithm, stride),
+    /// chain compression sharded over the sampled records.
+    pub fn compression_study(
+        &self,
+        algorithm: Algorithm,
+        stride: usize,
+    ) -> Arc<Vec<SyntheticCompression>> {
+        self.compression_study
+            .get_or_compute((algorithm, stride), || {
+                let sampled = compression::study_sample(&self.world, stride);
+                run_sharded(&sampled, self.workers, |shard| {
+                    compression::study_records(&self.world, shard, algorithm)
+                })
+            })
+    }
+
+    /// Telescope backscatter sessions for `per_provider` spoofed probes per
+    /// hypergiant (Fig 9). Sessions interleave on one simulated telescope,
+    /// so this artifact is computed serially and cached whole.
+    pub fn telescope(&self, per_provider: usize) -> Arc<Vec<BackscatterSession>> {
+        self.telescope.get_or_compute(per_provider, || {
+            telescope_scan::collect(
+                &self.world,
+                telescope_scan::default_dark_prefix(),
+                per_provider,
+            )
+        })
+    }
+
+    /// The §4.3 Meta-PoP ZMap scan (Fig 11 uses `variation` for its
+    /// per-repetition certificate-bundle jitter; the headline scan is
+    /// variation 0).
+    pub fn meta_pop(&self, post_disclosure: bool, variation: u64) -> Arc<Vec<ZmapResult>> {
+        self.zmap.get_or_compute((post_disclosure, variation), || {
+            zmap::scan_pop_with_variation(
+                &self.world,
+                self.pop_prefix(),
+                post_disclosure,
+                variation,
+            )
+        })
+    }
+
+    /// The QScanner certificate pass and its TLS-vs-QUIC consistency
+    /// report (§3.2), fetching sharded over the QUIC service list.
+    pub fn qscanner(&self) -> Arc<(Vec<QuicCertObservation>, ConsistencyReport)> {
+        self.qscanner.get_or_compute((), || {
+            let records: Vec<&DomainRecord> = self.world.quic_services().collect();
+            let observations = run_sharded(&records, self.workers, |shard| {
+                qscanner::fetch_records(&self.world, shard)
+            });
+            qscanner::collate(observations)
+        })
+    }
+
+    fn pop_prefix(&self) -> Ipv4Net {
+        zmap::default_pop_prefix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_pki::WorldConfig;
+
+    fn engine(workers: usize) -> ScanEngine {
+        let world = World::generate(WorldConfig {
+            domains: 1_200,
+            seed: 0xD37E,
+            ..WorldConfig::default()
+        });
+        ScanEngine::new(world, 1362, workers)
+    }
+
+    #[test]
+    fn run_sharded_matches_serial_for_any_worker_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let serial = run_sharded(&items, 1, |shard| {
+            shard.iter().map(|i| i * 31 + 7).collect()
+        });
+        for workers in [2, 3, 8, 64, 1000] {
+            let parallel = run_sharded(&items, workers, |shard| {
+                shard.iter().map(|i| i * 31 + 7).collect()
+            });
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_worker_counts() {
+        let serial = engine(1);
+        let reference = serial.sweep();
+        for workers in [2, 8] {
+            let parallel = engine(workers);
+            assert_eq!(
+                *reference,
+                *parallel.sweep(),
+                "sweep diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn per_domain_scans_are_bit_identical_across_worker_counts() {
+        let serial = engine(1);
+        let parallel = engine(8);
+        assert_eq!(*serial.quicreach(1242), *parallel.quicreach(1242));
+
+        let a = serial.https_scan();
+        let b = parallel.https_scan();
+        assert_eq!(a.resolved, b.resolved);
+        assert_eq!(a.names_seen, b.names_seen);
+        assert_eq!(a.observations.len(), b.observations.len());
+        for (x, y) in a.observations.iter().zip(&b.observations) {
+            assert_eq!(x.rank, y.rank);
+            assert_eq!(x.summary.total_der, y.summary.total_der);
+            assert_eq!(x.summary.chain_id, y.summary.chain_id);
+        }
+
+        let sa = serial.compression_support();
+        let sb = parallel.compression_support();
+        for (x, y) in sa.iter().zip(sb.iter()) {
+            assert_eq!(x.supported, y.supported);
+            assert_eq!(x.total, y.total);
+            assert_eq!(x.mean_ratio.to_bits(), y.mean_ratio.to_bits());
+        }
+
+        let ca = serial.compression_study(Algorithm::Brotli, 10);
+        let cb = parallel.compression_study(Algorithm::Brotli, 10);
+        assert_eq!(ca.len(), cb.len());
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            assert_eq!((x.original, x.compressed), (y.original, y.compressed));
+        }
+    }
+
+    #[test]
+    fn artifacts_are_shared_allocations() {
+        let engine = engine(2);
+        assert!(Arc::ptr_eq(&engine.https_scan(), &engine.https_scan()));
+        assert!(Arc::ptr_eq(
+            &engine.quicreach_default(),
+            &engine.quicreach(1362)
+        ));
+        assert!(Arc::ptr_eq(&engine.sweep(), &engine.sweep()));
+        assert!(Arc::ptr_eq(
+            &engine.compression_support(),
+            &engine.compression_support()
+        ));
+        assert!(Arc::ptr_eq(
+            &engine.compression_study(Algorithm::Zstd, 20),
+            &engine.compression_study(Algorithm::Zstd, 20)
+        ));
+        assert!(Arc::ptr_eq(&engine.telescope(2), &engine.telescope(2)));
+        assert!(Arc::ptr_eq(
+            &engine.meta_pop(false, 0),
+            &engine.meta_pop(false, 0)
+        ));
+        assert!(Arc::ptr_eq(&engine.qscanner(), &engine.qscanner()));
+        // Distinct parameters are distinct artifacts.
+        assert!(!Arc::ptr_eq(
+            &engine.meta_pop(false, 0),
+            &engine.meta_pop(true, 0)
+        ));
+    }
+
+    #[test]
+    fn sweep_populates_the_per_size_cache() {
+        let engine = engine(2);
+        let sweep = engine.sweep();
+        // The reachability sizes were already computed by the sweep.
+        let at_1200 = engine.quicreach(1200);
+        let at_1472 = engine.quicreach(1472);
+        let bar_1200 = sweep.iter().find(|b| b.initial_size == 1200).unwrap();
+        assert_eq!(bar_1200.reachable() + bar_1200.unreachable, at_1200.len());
+        assert!(!at_1472.is_empty());
+    }
+}

@@ -2,13 +2,15 @@
 //! scan, Fig 11 (Meta before/after disclosure) and Table 3 (historical
 //! policies).
 
+use std::sync::Arc;
+
 use quicert_analysis::{mean_ci95, render_table, Cdf, Table};
 use quicert_netsim::{SimDuration, Wire};
 use quicert_pki::ecosystem::{ChainId, LeafParams};
 use quicert_pki::Provider;
 use quicert_quic::{run_spoofed_probe, LimitPolicy, ServerBehavior, ServerConfig};
-use quicert_scanner::telescope_scan::{self, BackscatterSession};
-use quicert_scanner::zmap::{self, MetaService, ZmapResult};
+use quicert_scanner::telescope_scan::BackscatterSession;
+use quicert_scanner::zmap::{MetaService, ZmapResult};
 use quicert_x509::KeyAlgorithm;
 
 use crate::Campaign;
@@ -18,18 +20,15 @@ use crate::Campaign;
 /// Fig 9: telescope amplification CDFs per hypergiant.
 #[derive(Debug)]
 pub struct Fig9 {
-    /// All reconstructed sessions.
-    pub sessions: Vec<BackscatterSession>,
+    /// All reconstructed sessions, shared with the campaign's artifact.
+    pub sessions: Arc<Vec<BackscatterSession>>,
 }
 
-/// Collect backscatter sessions (spoofed probes against hypergiants).
+/// Collect backscatter sessions (spoofed probes against hypergiants) from
+/// the campaign's cached artifact.
 pub fn fig9(campaign: &Campaign, per_provider: usize) -> Fig9 {
     Fig9 {
-        sessions: telescope_scan::collect(
-            campaign.world(),
-            telescope_scan::default_dark_prefix(),
-            per_provider,
-        ),
+        sessions: campaign.telescope(per_provider),
     }
 }
 
@@ -58,7 +57,10 @@ impl Fig9 {
                 format!("{:.1}", cdf.range().1),
             ]);
         }
-        format!("Fig 9 — telescope amplification (resends included)\n{}", render_table(&t))
+        format!(
+            "Fig 9 — telescope amplification (resends included)\n{}",
+            render_table(&t)
+        )
     }
 }
 
@@ -67,18 +69,15 @@ impl Fig9 {
 /// The §4.3 active scan of a Meta point-of-presence.
 #[derive(Debug)]
 pub struct MetaPopScan {
-    /// Per-host results.
-    pub results: Vec<ZmapResult>,
+    /// Per-host results, shared with the campaign's artifact.
+    pub results: Arc<Vec<ZmapResult>>,
 }
 
-/// Scan the Meta PoP (pre- or post-disclosure fleet).
+/// Scan the Meta PoP (pre- or post-disclosure fleet) from the campaign's
+/// cached artifact.
 pub fn meta_pop_scan(campaign: &Campaign, post_disclosure: bool) -> MetaPopScan {
     MetaPopScan {
-        results: zmap::scan_pop(
-            campaign.world(),
-            zmap::default_pop_prefix(),
-            post_disclosure,
-        ),
+        results: campaign.meta_pop(post_disclosure, 0),
     }
 }
 
@@ -115,7 +114,10 @@ impl MetaPopScan {
                 format!("{:.1}", quicert_analysis::mean(&factors)),
             ]);
         }
-        format!("§4.3 — Meta PoP /24 single-Initial scan\n{}", render_table(&t))
+        format!(
+            "§4.3 — Meta PoP /24 single-Initial scan\n{}",
+            render_table(&t)
+        )
     }
 }
 
@@ -137,13 +139,8 @@ pub fn fig11(campaign: &Campaign, reps: usize) -> Fig11 {
     let run = |post: bool| -> Vec<(u8, f64, f64)> {
         let mut per_octet: Vec<(u8, Vec<f64>)> = Vec::new();
         for rep in 0..reps.max(1) {
-            let results = zmap::scan_pop_with_variation(
-                campaign.world(),
-                zmap::default_pop_prefix(),
-                post,
-                rep as u64,
-            );
-            for r in results {
+            let results = campaign.meta_pop(post, rep as u64);
+            for r in results.iter() {
                 if r.service == MetaService::None {
                     continue;
                 }
@@ -247,7 +244,10 @@ impl Table3 {
         for (policy, amp) in &self.rows {
             t.row(&[policy.label().to_string(), format!("{amp:.1}x")]);
         }
-        format!("Table 3 — historical anti-amplification policies\n{}", render_table(&t))
+        format!(
+            "Table 3 — historical anti-amplification policies\n{}",
+            render_table(&t)
+        )
     }
 }
 

@@ -74,7 +74,10 @@ impl Fig2b {
                 format!("{:.0}", cdf.quantile(0.9)),
             ]);
         }
-        format!("Fig 2b — X.509 field size distribution\n{}", render_table(&t))
+        format!(
+            "Fig 2b — X.509 field size distribution\n{}",
+            render_table(&t)
+        )
     }
 }
 
@@ -190,7 +193,14 @@ pub fn fig7(campaign: &Campaign, quic: bool) -> Fig7 {
             }
         })
         .collect();
-    rows.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap());
+    // Tie-break equal shares by label: HashMap iteration order must never
+    // leak into the rendered row order (the report is bit-reproducible).
+    rows.sort_by(|a, b| {
+        b.share
+            .partial_cmp(&a.share)
+            .unwrap()
+            .then_with(|| a.label.cmp(b.label))
+    });
     let top10_coverage: f64 = rows.iter().take(10).map(|r| r.share).sum();
     rows.truncate(10);
     Fig7 {
@@ -202,7 +212,14 @@ pub fn fig7(campaign: &Campaign, quic: bool) -> Fig7 {
 impl Fig7 {
     /// Render the top-10 table.
     pub fn render(&self, title: &str) -> String {
-        let mut t = Table::new(&["chain", "share %", "parents", "parent B", "median leaf B", "max leaf B"]);
+        let mut t = Table::new(&[
+            "chain",
+            "share %",
+            "parents",
+            "parent B",
+            "median leaf B",
+            "max leaf B",
+        ]);
         for row in &self.rows {
             t.row(&[
                 row.label.to_string(),
@@ -276,7 +293,15 @@ pub fn fig8(campaign: &Campaign) -> Vec<Fig8Row> {
 
 /// Render Fig 8.
 pub fn render_fig8(rows: &[Fig8Row]) -> String {
-    let mut t = Table::new(&["cell", "subject", "issuer", "spki", "extensions", "signature", "n"]);
+    let mut t = Table::new(&[
+        "cell",
+        "subject",
+        "issuer",
+        "spki",
+        "extensions",
+        "signature",
+        "n",
+    ]);
     for row in rows {
         let label = format!(
             "({}, {})",
@@ -293,7 +318,10 @@ pub fn render_fig8(rows: &[Fig8Row]) -> String {
             row.count.to_string(),
         ]);
     }
-    format!("Fig 8 — mean field sizes by certificate type [B]\n{}", render_table(&t))
+    format!(
+        "Fig 8 — mean field sizes by certificate type [B]\n{}",
+        render_table(&t)
+    )
 }
 
 // --------------------------------------------------------------- Table 2 --
@@ -359,7 +387,13 @@ impl Table2 {
 
     /// Render the table.
     pub fn render(&self) -> String {
-        let mut t = Table::new(&["service / cert", "RSA-2048", "RSA-4096", "ECDSA-256", "ECDSA-384"]);
+        let mut t = Table::new(&[
+            "service / cert",
+            "RSA-2048",
+            "RSA-4096",
+            "ECDSA-256",
+            "ECDSA-384",
+        ]);
         for (quic, leaf, label) in [
             (true, false, "QUIC non-leaf"),
             (true, true, "QUIC leaf"),

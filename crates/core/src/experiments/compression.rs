@@ -1,8 +1,10 @@
 //! Compression experiments: Table 1 and the §4.2 synthetic study.
 
+use std::sync::Arc;
+
 use quicert_analysis::{render_table, Cdf, Table};
 use quicert_compress::Algorithm;
-use quicert_scanner::compression::{self, AlgorithmSupport};
+use quicert_scanner::compression::AlgorithmSupport;
 use quicert_tls::browser::{all_profiles, BrowserProfile};
 
 use crate::Campaign;
@@ -12,18 +14,19 @@ use crate::Campaign;
 pub struct Table1 {
     /// Browser rows (static parameters of the tested versions).
     pub browsers: Vec<BrowserProfile>,
-    /// Measured per-algorithm support and achieved ratios.
-    pub support: Vec<AlgorithmSupport>,
+    /// Measured per-algorithm support and achieved ratios, shared with the
+    /// campaign's artifact.
+    pub support: Arc<Vec<AlgorithmSupport>>,
     /// Services supporting all three algorithms (count, total).
     pub all_three: (usize, usize),
 }
 
-/// Compute Table 1 from the world.
+/// Compute Table 1 from the campaign's cached artifacts.
 pub fn table1(campaign: &Campaign) -> Table1 {
     Table1 {
         browsers: all_profiles(),
-        support: compression::scan(campaign.world()),
-        all_three: compression::all_three_support(campaign.world()),
+        support: campaign.compression_support(),
+        all_three: campaign.all_three_support(),
     }
 }
 
@@ -65,7 +68,7 @@ impl Table1 {
         }
         let mut s = format!("Table 1 — browser profiles\n{}", render_table(&t));
         let mut t2 = Table::new(&["algorithm", "service support %", "mean ratio"]);
-        for sup in &self.support {
+        for sup in self.support.iter() {
             t2.row(&[
                 sup.algorithm.name().to_string(),
                 format!("{:.2}", sup.share()),
@@ -94,13 +97,14 @@ pub struct CompressionStudy {
     pub under_limit: f64,
 }
 
-/// Run the study on every `stride`-th chain with the given algorithm.
+/// Run the study on every `stride`-th chain with the given algorithm,
+/// through the campaign's cached, sharded engine path.
 pub fn compression_study(
     campaign: &Campaign,
     algorithm: Algorithm,
     stride: usize,
 ) -> CompressionStudy {
-    let results = compression::synthetic_study(campaign.world(), algorithm, stride);
+    let results = campaign.compression_study(algorithm, stride);
     let limit = (3 * 1357) as f64;
     let under = results
         .iter()
@@ -161,7 +165,11 @@ mod tests {
         // Paper: 99% under limit with a ~0.65 ratio; shape: the vast
         // majority fit, and compression is substantial.
         assert!(study.under_limit > 0.93, "under {}", study.under_limit);
-        assert!(study.ratios.median() < 0.85, "ratio {}", study.ratios.median());
+        assert!(
+            study.ratios.median() < 0.85,
+            "ratio {}",
+            study.ratios.median()
+        );
         assert!(!study.render().is_empty());
     }
 
@@ -170,7 +178,11 @@ mod tests {
         let c = campaign();
         for alg in [Algorithm::Zlib, Algorithm::Zstd] {
             let study = compression_study(&c, alg, 20);
-            assert!(study.ratios.median() < 0.95, "{alg}: {}", study.ratios.median());
+            assert!(
+                study.ratios.median() < 0.95,
+                "{alg}: {}",
+                study.ratios.median()
+            );
         }
     }
 }

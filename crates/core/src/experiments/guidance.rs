@@ -126,7 +126,10 @@ pub fn render_server_ablation(rows: &[AblationRow]) -> String {
             row.padding.to_string(),
         ]);
     }
-    format!("§5 — implementation-guidance ablation (same chain)\n{}", render_table(&t))
+    format!(
+        "§5 — implementation-guidance ablation (same chain)\n{}",
+        render_table(&t)
+    )
 }
 
 // ----------------------------------------------------- client mitigation --
@@ -145,16 +148,20 @@ pub struct ClientMitigation {
 
 /// §5: a client that remembers each server's flight size from a previous
 /// contact and sends an Initial of `ceil(flight/3)` (clamped to the MTU).
+///
+/// The "previous contact" is the campaign's cached default-size scan — the
+/// artifact the report already computed — so only the adapted re-probe
+/// costs new handshakes.
 pub fn client_mitigation(campaign: &Campaign) -> ClientMitigation {
     let world = campaign.world();
-    let default_size = campaign.config().default_initial;
+    let first_contacts = campaign.quicreach_default();
     let mut result = ClientMitigation {
         multi_rtt_before: 0,
         fixed_by_mitigation: 0,
         unfixable: 0,
     };
-    for record in world.quic_services() {
-        let first = quicert_scanner::quicreach::scan_service(world, record, default_size);
+    for (record, first) in world.quic_services().zip(first_contacts.iter()) {
+        debug_assert_eq!(record.rank, first.rank, "scan order matches service order");
         if first.class != HandshakeClass::MultiRtt {
             continue;
         }
@@ -303,7 +310,12 @@ mod tests {
         // keeps the wire within the budget in the first RTT.
         assert!(rows[2].amplification <= 3.0 + 1e-9);
         // All guidance applied: compression turns it into 1-RTT.
-        assert_eq!(rows[3].class, HandshakeClass::OneRtt, "ampl {}", rows[3].amplification);
+        assert_eq!(
+            rows[3].class,
+            HandshakeClass::OneRtt,
+            "ampl {}",
+            rows[3].amplification
+        );
         assert_eq!(rows[3].rtts, 1);
         assert!(!render_server_ablation(&rows).is_empty());
     }
@@ -317,7 +329,10 @@ mod tests {
         // multi-RTT population (big LE-long/Google/corp chains) is beyond
         // it, which is exactly why the paper recommends compression.
         assert!(m.fixed_by_mitigation + m.unfixable <= m.multi_rtt_before);
-        assert!(m.unfixable > 0, "big chains cannot be fixed by Initial sizing");
+        assert!(
+            m.unfixable > 0,
+            "big chains cannot be fixed by Initial sizing"
+        );
         assert!(!m.render().is_empty());
     }
 

@@ -1,9 +1,11 @@
 //! Handshake-classification experiments: Figs 3, 4, 5, 12, 13 and the
 //! §4.1 reachability analysis.
 
+use std::sync::Arc;
+
 use quicert_analysis::{render_table, Cdf, Table};
 use quicert_quic::handshake::HandshakeClass;
-use quicert_scanner::quicreach::{self, QuicReachResult, ScanSummary};
+use quicert_scanner::quicreach::{QuicReachResult, ScanSummary};
 
 use crate::Campaign;
 
@@ -12,14 +14,15 @@ use crate::Campaign;
 /// Fig 3: handshake classes per client Initial size.
 #[derive(Debug)]
 pub struct Fig3 {
-    /// One summary per swept size (1200..=1472 step 10).
-    pub bars: Vec<ScanSummary>,
+    /// One summary per swept size (1200..=1472 step 10), shared with the
+    /// campaign's sweep artifact.
+    pub bars: Arc<Vec<ScanSummary>>,
 }
 
-/// Run the full sweep.
+/// Run the full sweep through the campaign's cached, sharded engine path.
 pub fn fig3(campaign: &Campaign) -> Fig3 {
     Fig3 {
-        bars: quicreach::sweep(campaign.world()),
+        bars: campaign.sweep(),
     }
 }
 
@@ -31,8 +34,15 @@ impl Fig3 {
 
     /// Render the stacked-bar data.
     pub fn render(&self) -> String {
-        let mut t = Table::new(&["initial", "amplification", "multi-RTT", "RETRY", "1-RTT", "unreachable"]);
-        for bar in &self.bars {
+        let mut t = Table::new(&[
+            "initial",
+            "amplification",
+            "multi-RTT",
+            "RETRY",
+            "1-RTT",
+            "unreachable",
+        ]);
+        for bar in self.bars.iter() {
             t.row(&[
                 bar.initial_size.to_string(),
                 bar.amplification.to_string(),
@@ -42,7 +52,10 @@ impl Fig3 {
                 bar.unreachable.to_string(),
             ]);
         }
-        format!("Fig 3 — handshake classes vs Initial size\n{}", render_table(&t))
+        format!(
+            "Fig 3 — handshake classes vs Initial size\n{}",
+            render_table(&t)
+        )
     }
 }
 
@@ -147,7 +160,7 @@ pub struct RankGroupRow {
 pub fn rank_groups(campaign: &Campaign) -> Vec<RankGroupRow> {
     let width = campaign.rank_group_width();
     let world = campaign.world();
-    let results: &[QuicReachResult] = campaign.quicreach_default();
+    let results = campaign.quicreach_default();
     let group_count = world.domains().len().div_ceil(width);
     let mut rows: Vec<RankGroupRow> = (0..group_count)
         .map(|group| RankGroupRow {
@@ -171,7 +184,7 @@ pub fn rank_groups(campaign: &Campaign) -> Vec<RankGroupRow> {
     }
     let mut class_counts = vec![[0usize; 4]; group_count];
     let mut reachable = vec![0usize; group_count];
-    for r in results {
+    for r in results.iter() {
         let g = (r.rank - 1) / width;
         let idx = match r.class {
             HandshakeClass::Amplification => 0,
@@ -198,7 +211,13 @@ pub fn rank_groups(campaign: &Campaign) -> Vec<RankGroupRow> {
 /// Render Figs 12 and 13.
 pub fn render_rank_groups(rows: &[RankGroupRow]) -> String {
     let mut t = Table::new(&[
-        "group", "QUIC %", "HTTPS-only %", "ampl %", "multi %", "retry %", "1-RTT %",
+        "group",
+        "QUIC %",
+        "HTTPS-only %",
+        "ampl %",
+        "multi %",
+        "retry %",
+        "1-RTT %",
     ]);
     for row in rows {
         t.row(&[
@@ -224,11 +243,12 @@ pub struct Reachability {
     pub buckets: Vec<(&'static str, usize, usize)>,
 }
 
-/// Compute the reachability experiment.
+/// Compute the reachability experiment from the cached per-size artifacts
+/// (free once the Fig 3 sweep has run — both sizes are sweep endpoints).
 pub fn reachability(campaign: &Campaign) -> Reachability {
     let world = campaign.world();
-    let small = quicreach::scan(world, 1200);
-    let large = quicreach::scan(world, 1472);
+    let small = campaign.quicreach_at(1200);
+    let large = campaign.quicreach_at(1472);
     let count = |results: &[QuicReachResult], lo: usize, hi: usize| {
         results
             .iter()
@@ -239,7 +259,11 @@ pub fn reachability(campaign: &Campaign) -> Reachability {
     Reachability {
         buckets: vec![
             ("top-1k", count(&small, 1, 1_000), count(&large, 1, 1_000)),
-            ("top-10k", count(&small, 1, 10_000), count(&large, 1, 10_000)),
+            (
+                "top-10k",
+                count(&small, 1, 10_000),
+                count(&large, 1, 10_000),
+            ),
             ("all", count(&small, 1, n), count(&large, 1, n)),
         ],
     }

@@ -14,8 +14,10 @@
 //! ```
 
 pub mod campaign;
+pub mod engine;
 pub mod experiments;
 pub mod report;
 
 pub use campaign::{Campaign, CampaignConfig};
+pub use engine::ScanEngine;
 pub use report::{full_report, ReportOptions};

@@ -49,12 +49,24 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
     let https = campaign.https_scan();
     out.push_str(&format!(
         "§3.1 funnel — resolved {} / {}, A records {}, TLS-reachable {}, \
-         QUIC services {}\n\n",
+         QUIC services {}\n",
         https.resolved,
         https.total,
         https.a_records,
         https.observations.len(),
         https.quic().count(),
+    ));
+
+    // §3.2 QScanner consistency check.
+    let qscan = campaign.qscanner();
+    let consistency = qscan.1;
+    out.push_str(&format!(
+        "§3.2 QScanner consistency — {:.1}% of {} QUIC chains match HTTPS \
+         ({} rotated, {} other)\n\n",
+        consistency.same_rate() * 100.0,
+        consistency.total,
+        consistency.rotated,
+        consistency.other,
     ));
 
     out.push_str(&certs::fig2b(campaign).render());
@@ -64,10 +76,8 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
         out.push_str(&handshakes::fig3(campaign).render());
     } else {
         let results = campaign.quicreach_default();
-        let summary = quicert_scanner::quicreach::summarize(
-            campaign.config().default_initial,
-            results,
-        );
+        let summary =
+            quicert_scanner::quicreach::summarize(campaign.config().default_initial, &results);
         out.push_str(&format!(
             "Fig 3 (default size only) — ampl {} / multi {} / retry {} / 1-RTT {}\n",
             summary.amplification, summary.multi_rtt, summary.retry, summary.one_rtt
@@ -102,12 +112,16 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
     out.push_str(&amplification::table3(campaign).render());
     out.push('\n');
 
-    out.push_str(&handshakes::render_rank_groups(&handshakes::rank_groups(campaign)));
+    out.push_str(&handshakes::render_rank_groups(&handshakes::rank_groups(
+        campaign,
+    )));
     out.push_str(&handshakes::reachability(campaign).render());
     out.push('\n');
 
     // §5 guidance, as experiments.
-    out.push_str(&guidance::render_server_ablation(&guidance::server_ablation(campaign)));
+    out.push_str(&guidance::render_server_ablation(
+        &guidance::server_ablation(campaign),
+    ));
     if options.guidance_mitigation {
         out.push_str(&guidance::client_mitigation(campaign).render());
         out.push_str(&guidance::loss_study(campaign, 0.25, 32).render());
@@ -136,6 +150,7 @@ mod tests {
         );
         for needle in [
             "§3.1 funnel",
+            "§3.2 QScanner consistency",
             "Fig 2b",
             "Fig 3",
             "Table 1",

@@ -455,7 +455,10 @@ mod tests {
         assert_eq!(out.datagrams(Direction::BtoA), 3);
         assert_eq!(out.delivered_bytes(Direction::AtoB), 300);
         // 3 round trips at 20ms RTT.
-        assert_eq!(out.finished_at, SimTime::ZERO + SimDuration::from_millis(60));
+        assert_eq!(
+            out.finished_at,
+            SimTime::ZERO + SimDuration::from_millis(60)
+        );
     }
 
     #[test]

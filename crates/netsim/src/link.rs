@@ -163,7 +163,12 @@ mod tests {
         let mut rng = SimRng::new(4);
         let d = dgram(100);
         let lost = (0..20_000)
-            .filter(|_| matches!(link.deliver(&mut rng, &d, SimTime::ZERO), Delivery::LostRandom))
+            .filter(|_| {
+                matches!(
+                    link.deliver(&mut rng, &d, SimTime::ZERO),
+                    Delivery::LostRandom
+                )
+            })
             .count();
         let rate = lost as f64 / 20_000.0;
         assert!((rate - 0.3).abs() < 0.02, "loss rate was {rate}");

@@ -98,7 +98,13 @@ mod tests {
     }
 
     fn dgram_to(dst: Ipv4Addr, len: usize) -> Datagram {
-        Datagram::new(Ipv4Addr::new(157, 240, 1, 35), dst, 443, 50000, vec![0; len])
+        Datagram::new(
+            Ipv4Addr::new(157, 240, 1, 35),
+            dst,
+            443,
+            50000,
+            vec![0; len],
+        )
     }
 
     #[test]
@@ -137,7 +143,11 @@ mod tests {
     #[test]
     fn take_records_drains() {
         let mut t = Telescope::new(dark());
-        t.observe(&dgram_to(Ipv4Addr::new(44, 0, 0, 1), 10), SimTime::ZERO, None);
+        t.observe(
+            &dgram_to(Ipv4Addr::new(44, 0, 0, 1), 10),
+            SimTime::ZERO,
+            None,
+        );
         let recs = t.take_records();
         assert_eq!(recs.len(), 1);
         assert!(t.records().is_empty());

@@ -127,9 +127,15 @@ mod tests {
         let a_rate = a_records as f64 / n as f64;
         let servfail_rate = servfail as f64 / n as f64;
         // Paper: 97.6% resolve, 86.6% return an A record, 1.3% SERVFAIL.
-        assert!((resolved_rate - 0.976).abs() < 0.005, "resolved {resolved_rate}");
+        assert!(
+            (resolved_rate - 0.976).abs() < 0.005,
+            "resolved {resolved_rate}"
+        );
         assert!((a_rate - 0.866).abs() < 0.01, "a-records {a_rate}");
-        assert!((servfail_rate - 0.013).abs() < 0.003, "servfail {servfail_rate}");
+        assert!(
+            (servfail_rate - 0.013).abs() < 0.003,
+            "servfail {servfail_rate}"
+        );
     }
 
     #[test]

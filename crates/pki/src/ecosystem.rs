@@ -4,8 +4,8 @@ use quicert_netsim::SimRng;
 use quicert_x509::ext::KeyUsageFlags;
 use quicert_x509::oid;
 use quicert_x509::{
-    Certificate, CertificateBuilder, CertificateChain, DistinguishedName, Extension,
-    KeyAlgorithm, SignatureAlgorithm, SubjectPublicKeyInfo, Time, Validity,
+    Certificate, CertificateBuilder, CertificateChain, DistinguishedName, Extension, KeyAlgorithm,
+    SignatureAlgorithm, SubjectPublicKeyInfo, Time, Validity,
 };
 
 /// Identifier of a parent chain in the catalog.
@@ -234,20 +234,16 @@ impl Builder<'_> {
         seed: u64,
         extra: Vec<Extension>,
     ) -> Certificate {
-        let mut builder = CertificateBuilder::new(
-            issuer,
-            subject,
-            SubjectPublicKeyInfo::new(key, seed),
-            sig,
-        )
-        .validity(Validity::days(Time::date(2020, 9, 4), 365 * 5))
-        .extension(Extension::BasicConstraints {
-            ca: true,
-            path_len: Some(0),
-        })
-        .extension(Extension::KeyUsage(KeyUsageFlags::ca()))
-        .extension(Extension::SubjectKeyId { seed })
-        .extension(Extension::AuthorityKeyId { seed: seed ^ 0xA17 });
+        let mut builder =
+            CertificateBuilder::new(issuer, subject, SubjectPublicKeyInfo::new(key, seed), sig)
+                .validity(Validity::days(Time::date(2020, 9, 4), 365 * 5))
+                .extension(Extension::BasicConstraints {
+                    ca: true,
+                    path_len: Some(0),
+                })
+                .extension(Extension::KeyUsage(KeyUsageFlags::ca()))
+                .extension(Extension::SubjectKeyId { seed })
+                .extension(Extension::AuthorityKeyId { seed: seed ^ 0xA17 });
         for e in extra {
             builder = builder.extension(e);
         }
@@ -295,10 +291,8 @@ impl Builder<'_> {
             "USERTrust RSA Certification Authority",
         );
         let comodo = DistinguishedName::ca("GB", "Comodo CA Limited", "AAA Certificate Services");
-        let digicert_root =
-            DistinguishedName::ca("US", "DigiCert Inc", "DigiCert Global Root CA");
-        let baltimore =
-            DistinguishedName::ca("IE", "Baltimore", "Baltimore CyberTrust Root");
+        let digicert_root = DistinguishedName::ca("US", "DigiCert Inc", "DigiCert Global Root CA");
+        let baltimore = DistinguishedName::ca("IE", "Baltimore", "Baltimore CyberTrust Root");
         let amazon_root = DistinguishedName::ca("US", "Amazon", "Amazon Root CA 1");
         let godaddy_root = DistinguishedName::ca(
             "US",
@@ -488,7 +482,8 @@ impl Builder<'_> {
                 (atlas, Sha256WithRsa2048, vec![inter])
             }
             ChainId::DigiCertTls => {
-                let dc = DistinguishedName::ca("US", "DigiCert Inc", "DigiCert TLS RSA SHA256 2020 CA1");
+                let dc =
+                    DistinguishedName::ca("US", "DigiCert Inc", "DigiCert TLS RSA SHA256 2020 CA1");
                 let inter = self.ca_cert(
                     digicert_root.clone(),
                     dc.clone(),
@@ -500,7 +495,8 @@ impl Builder<'_> {
                 (dc, Sha256WithRsa2048, vec![inter])
             }
             ChainId::DigiCertSha2WithRoot => {
-                let dc = DistinguishedName::ca("US", "DigiCert Inc", "DigiCert SHA2 Secure Server CA");
+                let dc =
+                    DistinguishedName::ca("US", "DigiCert Inc", "DigiCert SHA2 Secure Server CA");
                 let inter = self.ca_cert(
                     digicert_root.clone(),
                     dc.clone(),
@@ -718,9 +714,15 @@ mod tests {
     #[test]
     fn superfluous_roots_are_detected() {
         let eco = eco();
-        let with_root = eco.issue(ChainId::CPanelComodoRoot, &leaf_params(KeyAlgorithm::Rsa2048));
+        let with_root = eco.issue(
+            ChainId::CPanelComodoRoot,
+            &leaf_params(KeyAlgorithm::Rsa2048),
+        );
         assert!(with_root.includes_trust_anchor());
-        let without = eco.issue(ChainId::SectigoUserTrust, &leaf_params(KeyAlgorithm::Rsa2048));
+        let without = eco.issue(
+            ChainId::SectigoUserTrust,
+            &leaf_params(KeyAlgorithm::Rsa2048),
+        );
         assert!(!without.includes_trust_anchor());
     }
 

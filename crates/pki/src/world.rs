@@ -302,8 +302,7 @@ impl World {
         let quic = record.quic.as_ref()?;
         let https = record.https.as_ref()?;
         let seed_shift = if quic.rotated_cert { 0x5EED_0001 } else { 0 };
-        let mut params =
-            Self::leaf_params(record, quic.chain_id, quic.leaf_key, https.extra_sans);
+        let mut params = Self::leaf_params(record, quic.chain_id, quic.leaf_key, https.extra_sans);
         params.seed ^= seed_shift;
         Some(self.ecosystem.issue(quic.chain_id, &params))
     }
@@ -342,12 +341,9 @@ impl World {
                 Ipv4Addr::new(142, 250 + (h % 2) as u8, (h >> 8) as u8, (h >> 16) as u8)
             }
             Provider::Meta => Ipv4Addr::new(157, 240, (h >> 8) as u8, (h >> 16) as u8),
-            Provider::SelfHosted => Ipv4Addr::new(
-                198,
-                18 + (h % 2) as u8,
-                (h >> 8) as u8,
-                (h >> 16) as u8,
-            ),
+            Provider::SelfHosted => {
+                Ipv4Addr::new(198, 18 + (h % 2) as u8, (h >> 8) as u8, (h >> 16) as u8)
+            }
         }
     }
 
@@ -470,11 +466,7 @@ impl World {
         }
     }
 
-    fn draw_quic_deployment(
-        config: &WorldConfig,
-        rng: &mut SimRng,
-        rank: usize,
-    ) -> QuicDeployment {
+    fn draw_quic_deployment(config: &WorldConfig, rng: &mut SimRng, rank: usize) -> QuicDeployment {
         let pop = &config.population;
         // Fig 13: the top-100k ranks have a visibly larger 1-RTT share.
         let mut groups = pop.quic_groups.clone();
@@ -676,7 +668,11 @@ mod tests {
         let https_only = world.https_only_services().count() as f64;
         // Fig 12: ~21% QUIC, ~59% additional HTTPS-only (of HTTPS≈80%).
         assert!((quic / n - 0.21).abs() < 0.025, "quic {}", quic / n);
-        assert!((https_only / n - 0.59).abs() < 0.05, "https-only {}", https_only / n);
+        assert!(
+            (https_only / n - 0.59).abs() < 0.05,
+            "https-only {}",
+            https_only / n
+        );
     }
 
     #[test]
@@ -736,10 +732,7 @@ mod tests {
                 .quic_services()
                 .filter(|d| d.rank >= lo && d.rank < hi)
                 .fold((0usize, 0usize), |(lb, n), d| {
-                    (
-                        lb + d.quic.as_ref().unwrap().behind_lb as usize,
-                        n + 1,
-                    )
+                    (lb + d.quic.as_ref().unwrap().behind_lb as usize, n + 1)
                 });
             lb as f64 / total.max(1) as f64
         };

@@ -112,9 +112,7 @@ impl AmplificationBudget {
             LimitPolicy::Unlimited => true,
             LimitPolicy::ThreePackets => self.sent_packets + packets <= 3,
             LimitPolicy::ThreeDatagrams => self.sent_datagrams < 3,
-            LimitPolicy::ThreeTimesBytes => {
-                self.charged_bytes + bytes <= 3 * self.received_bytes
-            }
+            LimitPolicy::ThreeTimesBytes => self.charged_bytes + bytes <= 3 * self.received_bytes,
         }
     }
 

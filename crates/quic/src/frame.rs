@@ -40,7 +40,10 @@ pub enum Frame {
 impl Frame {
     /// Whether the frame is ack-eliciting (RFC 9002 §2).
     pub fn is_ack_eliciting(&self) -> bool {
-        !matches!(self, Frame::Padding { .. } | Frame::Ack { .. } | Frame::ConnectionClose { .. })
+        !matches!(
+            self,
+            Frame::Padding { .. } | Frame::Ack { .. } | Frame::ConnectionClose { .. }
+        )
     }
 
     /// Encoded size in bytes.
@@ -56,9 +59,7 @@ impl Frame {
             Frame::Crypto { offset, data } => {
                 1 + varint::len(*offset) + varint::len(data.len() as u64) + data.len()
             }
-            Frame::ConnectionClose { error_code } => {
-                1 + varint::len(*error_code) + 1 + 1
-            }
+            Frame::ConnectionClose { error_code } => 1 + varint::len(*error_code) + 1 + 1,
         }
     }
 
@@ -235,9 +236,18 @@ mod tests {
     #[test]
     fn ack_eliciting_classification() {
         assert!(Frame::Ping.is_ack_eliciting());
-        assert!(Frame::Crypto { offset: 0, data: vec![] }.is_ack_eliciting());
+        assert!(Frame::Crypto {
+            offset: 0,
+            data: vec![]
+        }
+        .is_ack_eliciting());
         assert!(!Frame::Padding { n: 1 }.is_ack_eliciting());
-        assert!(!Frame::Ack { largest: 0, delay: 0, first_range: 0 }.is_ack_eliciting());
+        assert!(!Frame::Ack {
+            largest: 0,
+            delay: 0,
+            first_range: 0
+        }
+        .is_ack_eliciting());
         assert!(!Frame::ConnectionClose { error_code: 0 }.is_ack_eliciting());
     }
 

@@ -6,10 +6,8 @@
 //! accounting (uncounted padding, uncharged resends) *observable* here just
 //! as it was to the paper's scanners.
 
-use quicert_netsim::{
-    run_exchange, Datagram, ExchangeLimits, SimDuration, SimRng, SimTime, Wire,
-};
 use quicert_netsim::event::Direction;
+use quicert_netsim::{run_exchange, Datagram, ExchangeLimits, SimDuration, SimRng, SimTime, Wire};
 
 use crate::client::{ClientConfig, ClientConn, SilentClient};
 use crate::server::{ServerConfig, ServerConn, ServerStats};
@@ -248,7 +246,13 @@ pub fn observe_backscatter(
     outcome: &SpoofedOutcome,
 ) {
     for d in &outcome.datagrams {
-        let dgram = Datagram::new(server_addr, spoofed_src, 443, 50_443, vec![0; d.payload_len]);
+        let dgram = Datagram::new(
+            server_addr,
+            spoofed_src,
+            443,
+            50_443,
+            vec![0; d.payload_len],
+        );
         telescope.observe(&dgram, d.at, Some(outcome.server_scid.clone()));
     }
 }
@@ -270,14 +274,18 @@ mod tests {
         // A realistic modern ECDSA chain (Let's Encrypt E1-style): richly
         // extended leaf (~1 kB) plus a compact ECDSA intermediate.
         let inter_dn = DistinguishedName::ca("US", "Let's Encrypt", "E1");
-        let root_dn = DistinguishedName::ca("US", "Internet Security Research Group", "ISRG Root X2");
+        let root_dn =
+            DistinguishedName::ca("US", "Internet Security Research Group", "ISRG Root X2");
         let inter = CertificateBuilder::new(
             root_dn,
             inter_dn.clone(),
             SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP384, 31),
             SignatureAlgorithm::EcdsaSha384,
         )
-        .extension(Extension::BasicConstraints { ca: true, path_len: Some(0) })
+        .extension(Extension::BasicConstraints {
+            ca: true,
+            path_len: Some(0),
+        })
         .extension(Extension::SubjectKeyId { seed: 33 })
         .extension(Extension::AuthorityKeyId { seed: 34 })
         .extension(Extension::CrlDistributionPoints(vec![
@@ -290,7 +298,10 @@ mod tests {
             SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, 32),
             SignatureAlgorithm::EcdsaSha384,
         )
-        .extension(Extension::BasicConstraints { ca: false, path_len: None })
+        .extension(Extension::BasicConstraints {
+            ca: false,
+            path_len: None,
+        })
         .extension(Extension::SubjectKeyId { seed: 35 })
         .extension(Extension::AuthorityKeyId { seed: 33 })
         .extension(Extension::SubjectAltNames(vec![
@@ -307,9 +318,21 @@ mod tests {
     }
 
     fn big_chain() -> CertificateChain {
-        let root_dn = DistinguishedName::ca("US", "Legacy Trust Services Incorporated", "Legacy Global Root CA");
-        let i1_dn = DistinguishedName::ca("US", "Legacy Trust Services Incorporated", "Legacy TLS RSA CA G1");
-        let i2_dn = DistinguishedName::ca("US", "Legacy Trust Services Incorporated", "Legacy TLS RSA CA G2");
+        let root_dn = DistinguishedName::ca(
+            "US",
+            "Legacy Trust Services Incorporated",
+            "Legacy Global Root CA",
+        );
+        let i1_dn = DistinguishedName::ca(
+            "US",
+            "Legacy Trust Services Incorporated",
+            "Legacy TLS RSA CA G1",
+        );
+        let i2_dn = DistinguishedName::ca(
+            "US",
+            "Legacy Trust Services Incorporated",
+            "Legacy TLS RSA CA G2",
+        );
         let i1 = CertificateBuilder::new(
             root_dn.clone(),
             i1_dn.clone(),
@@ -330,13 +353,20 @@ mod tests {
             SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa2048, 43),
             SignatureAlgorithm::Sha384WithRsa4096,
         )
-        .extension(Extension::SubjectAltNames(vec!["big.example".into(), "www.big.example".into()]))
+        .extension(Extension::SubjectAltNames(vec![
+            "big.example".into(),
+            "www.big.example".into(),
+        ]))
         .extension(Extension::SctList { count: 3, seed: 44 })
         .build();
         CertificateChain::new(leaf, vec![i2, i1])
     }
 
-    fn server(behavior: ServerBehavior, chain: CertificateChain, leaf_key: KeyAlgorithm) -> ServerConfig {
+    fn server(
+        behavior: ServerBehavior,
+        chain: CertificateChain,
+        leaf_key: KeyAlgorithm,
+    ) -> ServerConfig {
         ServerConfig {
             behavior,
             chain,
@@ -354,13 +384,21 @@ mod tests {
     fn compliant_server_small_chain_is_one_rtt() {
         let out = run_handshake(
             ClientConfig::scanner(1362, SERVER, 1),
-            server(ServerBehavior::rfc_compliant(), small_chain(), KeyAlgorithm::EcdsaP256),
+            server(
+                ServerBehavior::rfc_compliant(),
+                small_chain(),
+                KeyAlgorithm::EcdsaP256,
+            ),
             &mut wire(),
             1,
         );
         assert!(out.completed);
         assert_eq!(out.rtt_count, 1, "completed at {:?}", out.completed_at);
-        assert!(!out.exceeds_limit(), "ampl {}", out.amplification_first_flight());
+        assert!(
+            !out.exceeds_limit(),
+            "ampl {}",
+            out.amplification_first_flight()
+        );
         assert_eq!(out.classify(), HandshakeClass::OneRtt);
     }
 
@@ -368,7 +406,11 @@ mod tests {
     fn compliant_server_big_chain_needs_multiple_rtts() {
         let out = run_handshake(
             ClientConfig::scanner(1362, SERVER, 2),
-            server(ServerBehavior::rfc_compliant(), big_chain(), KeyAlgorithm::Rsa2048),
+            server(
+                ServerBehavior::rfc_compliant(),
+                big_chain(),
+                KeyAlgorithm::Rsa2048,
+            ),
             &mut wire(),
             2,
         );
@@ -384,13 +426,21 @@ mod tests {
     fn cloudflare_like_server_amplifies_but_finishes_in_one_rtt() {
         let out = run_handshake(
             ClientConfig::scanner(1362, SERVER, 3),
-            server(ServerBehavior::cloudflare_like(), small_chain(), KeyAlgorithm::EcdsaP256),
+            server(
+                ServerBehavior::cloudflare_like(),
+                small_chain(),
+                KeyAlgorithm::EcdsaP256,
+            ),
             &mut wire(),
             3,
         );
         assert!(out.completed);
         assert_eq!(out.rtt_count, 1);
-        assert!(out.exceeds_limit(), "ampl {}", out.amplification_first_flight());
+        assert!(
+            out.exceeds_limit(),
+            "ampl {}",
+            out.amplification_first_flight()
+        );
         assert_eq!(out.classify(), HandshakeClass::Amplification);
         // The amplification factor stays modest (Fig 4: < 6x).
         assert!(out.amplification_first_flight() < 6.0);
@@ -402,7 +452,11 @@ mod tests {
     fn retry_server_adds_a_round_trip() {
         let out = run_handshake(
             ClientConfig::scanner(1362, SERVER, 4),
-            server(ServerBehavior::retry_first(), small_chain(), KeyAlgorithm::EcdsaP256),
+            server(
+                ServerBehavior::retry_first(),
+                small_chain(),
+                KeyAlgorithm::EcdsaP256,
+            ),
             &mut wire(),
             4,
         );
@@ -418,7 +472,11 @@ mod tests {
             1252,
             Ipv4Addr::new(44, 0, 0, 1),
             SERVER,
-            server(ServerBehavior::rfc_compliant(), small_chain(), KeyAlgorithm::EcdsaP256),
+            server(
+                ServerBehavior::rfc_compliant(),
+                small_chain(),
+                KeyAlgorithm::EcdsaP256,
+            ),
             &mut wire(),
             5,
         );
@@ -435,7 +493,11 @@ mod tests {
             1252,
             Ipv4Addr::new(44, 0, 0, 2),
             SERVER,
-            server(ServerBehavior::mvfst_like(8), big_chain(), KeyAlgorithm::Rsa2048),
+            server(
+                ServerBehavior::mvfst_like(8),
+                big_chain(),
+                KeyAlgorithm::Rsa2048,
+            ),
             &mut wire(),
             6,
         );
@@ -453,7 +515,11 @@ mod tests {
     fn larger_initials_flip_marginal_chains_to_one_rtt() {
         // A chain whose flight fits in 3x1472 but not 3x1200.
         let cfg = |size| ClientConfig::scanner(size, SERVER, 7);
-        let sc = server(ServerBehavior::rfc_compliant(), big_chain(), KeyAlgorithm::Rsa2048);
+        let sc = server(
+            ServerBehavior::rfc_compliant(),
+            big_chain(),
+            KeyAlgorithm::Rsa2048,
+        );
         let small = run_handshake(cfg(1200), sc.clone(), &mut wire(), 7);
         let large = run_handshake(cfg(1472), sc, &mut wire(), 7);
         assert!(small.rtt_count >= large.rtt_count);
@@ -468,7 +534,11 @@ mod tests {
             1252,
             victim,
             SERVER,
-            server(ServerBehavior::mvfst_like(3), small_chain(), KeyAlgorithm::EcdsaP256),
+            server(
+                ServerBehavior::mvfst_like(3),
+                small_chain(),
+                KeyAlgorithm::EcdsaP256,
+            ),
             &mut wire(),
             8,
         );

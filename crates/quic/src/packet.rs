@@ -137,7 +137,12 @@ impl Packet {
 
     /// Header + framing overhead for a packet of this shape carrying
     /// `payload` frame bytes: everything except frame payload itself.
-    pub fn overhead(ty: PacketType, dcid: &ConnectionId, scid: &ConnectionId, token_len: usize) -> usize {
+    pub fn overhead(
+        ty: PacketType,
+        dcid: &ConnectionId,
+        scid: &ConnectionId,
+        token_len: usize,
+    ) -> usize {
         match ty {
             PacketType::Initial => {
                 1 + 4
@@ -151,9 +156,7 @@ impl Packet {
                     + 2 // packet number
                     + AEAD_TAG_LEN
             }
-            PacketType::Handshake => {
-                1 + 4 + 1 + dcid.len() + 1 + scid.len() + 2 + 2 + AEAD_TAG_LEN
-            }
+            PacketType::Handshake => 1 + 4 + 1 + dcid.len() + 1 + scid.len() + 2 + 2 + AEAD_TAG_LEN,
             PacketType::Retry => 1 + 4 + 1 + dcid.len() + 1 + scid.len() + token_len + AEAD_TAG_LEN,
             PacketType::OneRtt => 1 + dcid.len() + 2 + AEAD_TAG_LEN,
         }
@@ -220,9 +223,7 @@ impl Packet {
 
 fn tag_bytes(a: u64, b: usize) -> [u8; AEAD_TAG_LEN] {
     let mut tag = [0u8; AEAD_TAG_LEN];
-    let mut z = a
-        .wrapping_mul(0x2545_F491_4F6C_DD1D)
-        .wrapping_add(b as u64);
+    let mut z = a.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(b as u64);
     for chunk in tag.chunks_mut(8) {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         let bytes = z.to_le_bytes();
@@ -360,8 +361,7 @@ pub fn parse_datagram(payload: &[u8]) -> Option<Vec<ParsedPacket>> {
                 if length < 2 + AEAD_TAG_LEN || payload.len() < pos + length {
                     return None;
                 }
-                let number =
-                    u16::from_be_bytes([payload[pos], payload[pos + 1]]) as u64;
+                let number = u16::from_be_bytes([payload[pos], payload[pos + 1]]) as u64;
                 let body = &payload[pos + 2..pos + length - AEAD_TAG_LEN];
                 let frames = Frame::decode_all(body)?;
                 pos += length;
@@ -453,10 +453,16 @@ mod tests {
             (PacketType::Initial, 32),
             (PacketType::Handshake, 0),
         ] {
-            let mut pkt = Packet::new(ty, cid(3), cid(4), 1, vec![Frame::Crypto {
-                offset: 0,
-                data: vec![1; 500],
-            }]);
+            let mut pkt = Packet::new(
+                ty,
+                cid(3),
+                cid(4),
+                1,
+                vec![Frame::Crypto {
+                    offset: 0,
+                    data: vec![1; 500],
+                }],
+            );
             pkt.token = vec![0x55; token_len];
             let predicted = Packet::overhead(ty, &cid(3), &cid(4), token_len) + pkt.payload_len();
             assert_eq!(pkt.encoded_len(), predicted, "{ty:?} token={token_len}");
@@ -466,15 +472,25 @@ mod tests {
     #[test]
     fn coalesced_datagram_parses_in_order() {
         let initial = initial_packet(vec![
-            Frame::Ack { largest: 0, delay: 0, first_range: 0 },
-            Frame::Crypto { offset: 0, data: vec![2; 90] },
+            Frame::Ack {
+                largest: 0,
+                delay: 0,
+                first_range: 0,
+            },
+            Frame::Crypto {
+                offset: 0,
+                data: vec![2; 90],
+            },
         ]);
         let handshake = Packet::new(
             PacketType::Handshake,
             cid(1),
             cid(2),
             0,
-            vec![Frame::Crypto { offset: 0, data: vec![3; 700] }],
+            vec![Frame::Crypto {
+                offset: 0,
+                data: vec![3; 700],
+            }],
         );
         let wire = assemble_datagram(vec![initial, handshake], Some(1200));
         assert_eq!(wire.len(), 1200);
@@ -483,12 +499,18 @@ mod tests {
         assert_eq!(parsed[0].ty, PacketType::Initial);
         assert_eq!(parsed[1].ty, PacketType::Handshake);
         // Padding landed inside the second packet's envelope.
-        assert!(parsed[1].frames.iter().any(|f| matches!(f, Frame::Padding { .. })));
+        assert!(parsed[1]
+            .frames
+            .iter()
+            .any(|f| matches!(f, Frame::Padding { .. })));
     }
 
     #[test]
     fn padding_is_not_appended_when_already_large_enough() {
-        let pkt = initial_packet(vec![Frame::Crypto { offset: 0, data: vec![9; 1300] }]);
+        let pkt = initial_packet(vec![Frame::Crypto {
+            offset: 0,
+            data: vec![9; 1300],
+        }]);
         let wire = assemble_datagram(vec![pkt], Some(1200));
         assert!(wire.len() > 1300);
         let parsed = parse_datagram(&wire).unwrap();
@@ -511,18 +533,35 @@ mod tests {
         let wire = pkt.encode();
         assert_eq!(extract_scid(&wire), Some(vec![2u8; 8]));
         // Short header: no SCID.
-        let short = Packet::new(PacketType::OneRtt, cid(1), ConnectionId::default(), 0, vec![Frame::Ping]);
+        let short = Packet::new(
+            PacketType::OneRtt,
+            cid(1),
+            ConnectionId::default(),
+            0,
+            vec![Frame::Ping],
+        );
         assert_eq!(extract_scid(&short.encode()), None);
     }
 
     #[test]
     fn ack_eliciting_packets() {
-        let data = initial_packet(vec![Frame::Crypto { offset: 0, data: vec![1] }]);
+        let data = initial_packet(vec![Frame::Crypto {
+            offset: 0,
+            data: vec![1],
+        }]);
         assert!(data.is_ack_eliciting());
-        let ack_only = initial_packet(vec![Frame::Ack { largest: 0, delay: 0, first_range: 0 }]);
+        let ack_only = initial_packet(vec![Frame::Ack {
+            largest: 0,
+            delay: 0,
+            first_range: 0,
+        }]);
         assert!(!ack_only.is_ack_eliciting());
         let ack_padded = initial_packet(vec![
-            Frame::Ack { largest: 0, delay: 0, first_range: 0 },
+            Frame::Ack {
+                largest: 0,
+                delay: 0,
+                first_range: 0,
+            },
             Frame::Padding { n: 100 },
         ]);
         assert!(!ack_padded.is_ack_eliciting());
@@ -531,7 +570,10 @@ mod tests {
     #[test]
     fn byte_accounting_helpers() {
         let pkt = initial_packet(vec![
-            Frame::Crypto { offset: 0, data: vec![5; 250] },
+            Frame::Crypto {
+                offset: 0,
+                data: vec![5; 250],
+            },
             Frame::Padding { n: 40 },
         ]);
         assert_eq!(pkt.crypto_data_len(), 250);

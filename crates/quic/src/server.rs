@@ -279,7 +279,11 @@ impl ServerConn {
             compression,
             seed: self.config.seed,
         });
-        self.stats.compression_used = if flight.is_compressed() { compression } else { None };
+        self.stats.compression_used = if flight.is_compressed() {
+            compression
+        } else {
+            None
+        };
         self.stats.certificate_message_len = flight.certificate_message_len;
         self.stats.uncompressed_certificate_len = flight.uncompressed_certificate_len;
 
@@ -335,8 +339,7 @@ impl ServerConn {
 
         // Handshake-level CRYPTO, chunked into packets / datagrams.
         let hs = &flight.handshake_crypto;
-        let hs_overhead =
-            Packet::overhead(PacketType::Handshake, &self.client_cid, &self.scid, 0);
+        let hs_overhead = Packet::overhead(PacketType::Handshake, &self.client_cid, &self.scid, 0);
         let mut offset = 0usize;
         while offset < hs.len() {
             // Try to coalesce into the last open datagram first.
@@ -462,10 +465,9 @@ impl ServerConn {
             out.push(template.reply_with(wire));
         }
         // Arm the retransmission timer while unacknowledged data is out.
-        if !self.complete && self.transmissions > 0
-            && self.pto_deadline.is_none() {
-                self.pto_deadline = Some(now + self.current_pto);
-            }
+        if !self.complete && self.transmissions > 0 && self.pto_deadline.is_none() {
+            self.pto_deadline = Some(now + self.current_pto);
+        }
     }
 
     fn make_retry_token(&self) -> Vec<u8> {
@@ -587,7 +589,8 @@ impl Endpoint for ServerConn {
         self.queue.clear();
         self.enqueue_flight(true);
         self.try_send(now, out);
-        if self.pto_deadline.is_none() && self.transmissions < self.config.behavior.max_transmissions
+        if self.pto_deadline.is_none()
+            && self.transmissions < self.config.behavior.max_transmissions
         {
             self.pto_deadline = Some(now + self.current_pto);
         }

@@ -53,7 +53,10 @@ mod tests {
     fn rfc_9000_appendix_a_examples() {
         // The four worked examples from RFC 9000 §A.1.
         let cases: [(u64, &[u8]); 4] = [
-            (151_288_809_941_952_652, &[0xC2, 0x19, 0x7C, 0x5E, 0xFF, 0x14, 0xE8, 0x8C]),
+            (
+                151_288_809_941_952_652,
+                &[0xC2, 0x19, 0x7C, 0x5E, 0xFF, 0x14, 0xE8, 0x8C],
+            ),
             (494_878_333, &[0x9D, 0x7F, 0x3E, 0x7D]),
             (15_293, &[0x7B, 0xBD]),
             (37, &[0x25]),

@@ -4,11 +4,21 @@ use quicert_scanner::quicreach;
 use std::collections::HashMap;
 
 fn main() {
-    let world = World::generate(WorldConfig { domains: 3_000, seed: 33, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        domains: 3_000,
+        seed: 33,
+        ..WorldConfig::default()
+    });
     let results = quicreach::scan(&world, 1362);
     let summary = quicreach::summarize(1362, &results);
-    println!("amp={} multi={} one={} retry={} unreach={}",
-        summary.amplification, summary.multi_rtt, summary.one_rtt, summary.retry, summary.unreachable);
+    println!(
+        "amp={} multi={} one={} retry={} unreach={}",
+        summary.amplification,
+        summary.multi_rtt,
+        summary.one_rtt,
+        summary.retry,
+        summary.unreachable
+    );
     // Per chain-id breakdown
     let mut by_chain: HashMap<String, (usize, HashMap<&'static str, usize>)> = HashMap::new();
     for (rec, res) in world.quic_services().zip(results.iter()) {

@@ -74,7 +74,7 @@ pub fn wire_for(record: &DomainRecord) -> Wire {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quicert_pki::{WorldConfig};
+    use quicert_pki::WorldConfig;
 
     #[test]
     fn behavior_mapping_is_faithful() {

@@ -64,13 +64,34 @@ pub fn probe(world: &World, record: &DomainRecord, algorithm: Algorithm) -> Comp
 /// Probe every QUIC service with all three algorithms and aggregate.
 pub fn scan(world: &World) -> Vec<AlgorithmSupport> {
     let services: Vec<&DomainRecord> = world.quic_services().collect();
+    collate(&probe_records(world, &services))
+}
+
+/// Probe an explicit shard of services with all three algorithms.
+///
+/// Shard-aware entry point: returns one `Algorithm::ALL`-ordered probe row
+/// per service, so shards can run on separate workers and be concatenated
+/// in order before [`collate`].
+pub fn probe_records(world: &World, records: &[&DomainRecord]) -> Vec<[CompressionProbe; 3]> {
+    records
+        .iter()
+        .map(|record| Algorithm::ALL.map(|algorithm| probe(world, record, algorithm)))
+        .collect()
+}
+
+/// Aggregate service-major probe rows into Table 1's per-algorithm columns.
+/// Ratios are folded in service order, so the result is bit-for-bit
+/// independent of how the probing was sharded.
+pub fn collate(probes: &[[CompressionProbe; 3]]) -> Vec<AlgorithmSupport> {
     Algorithm::ALL
         .iter()
-        .map(|&algorithm| {
+        .enumerate()
+        .map(|(i, &algorithm)| {
             let mut supported = 0usize;
             let mut ratios = Vec::new();
-            for record in &services {
-                let p = probe(world, record, algorithm);
+            for row in probes {
+                let p = &row[i];
+                debug_assert_eq!(p.algorithm, algorithm);
                 if p.supported {
                     supported += 1;
                     if let Some(r) = p.ratio {
@@ -81,7 +102,7 @@ pub fn scan(world: &World) -> Vec<AlgorithmSupport> {
             AlgorithmSupport {
                 algorithm,
                 supported,
-                total: services.len(),
+                total: probes.len(),
                 mean_ratio: quicert_analysis::mean(&ratios),
             }
         })
@@ -121,22 +142,47 @@ impl SyntheticCompression {
 
 /// Compress a sample of served chains (every `stride`-th HTTPS-reachable
 /// domain) with the given algorithm.
-pub fn synthetic_study(world: &World, algorithm: Algorithm, stride: usize) -> Vec<SyntheticCompression> {
-    let mut out = Vec::new();
-    for record in world.domains().iter().step_by(stride.max(1)) {
-        if !record.has_https() {
-            continue;
-        }
-        if let Some(chain) = world.https_chain(record) {
+pub fn synthetic_study(
+    world: &World,
+    algorithm: Algorithm,
+    stride: usize,
+) -> Vec<SyntheticCompression> {
+    let sampled = study_sample(world, stride);
+    study_records(world, &sampled, algorithm)
+}
+
+/// The every-`stride`-th HTTPS-reachable sample the synthetic study runs on.
+pub fn study_sample(world: &World, stride: usize) -> Vec<&DomainRecord> {
+    world
+        .domains()
+        .iter()
+        .step_by(stride.max(1))
+        .filter(|record| record.has_https())
+        .collect()
+}
+
+/// Compress the served chains of an explicit shard of sampled records.
+///
+/// Shard-aware entry point: each chain is materialised and compressed
+/// independently, so shards concatenated in sample order reproduce a serial
+/// [`synthetic_study`] bit-for-bit.
+pub fn study_records(
+    world: &World,
+    records: &[&DomainRecord],
+    algorithm: Algorithm,
+) -> Vec<SyntheticCompression> {
+    records
+        .iter()
+        .filter_map(|record| {
+            let chain = world.https_chain(record)?;
             let der = chain.concatenated_der();
             let compressed = compress_with(algorithm, &der);
-            out.push(SyntheticCompression {
+            Some(SyntheticCompression {
                 original: der.len(),
                 compressed: compressed.data.len(),
-            });
-        }
-    }
-    out
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -161,7 +207,10 @@ mod tests {
             .find(|s| s.algorithm == Algorithm::Brotli)
             .unwrap();
         assert!(brotli.share() > 90.0, "brotli {}", brotli.share());
-        let zlib = support.iter().find(|s| s.algorithm == Algorithm::Zlib).unwrap();
+        let zlib = support
+            .iter()
+            .find(|s| s.algorithm == Algorithm::Zlib)
+            .unwrap();
         assert!(zlib.share() < 2.0, "zlib {}", zlib.share());
         let (all, total) = all_three_support(&world);
         assert!((all as f64 / total as f64) < 0.02);

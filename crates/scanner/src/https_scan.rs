@@ -100,6 +100,29 @@ impl HttpsScanReport {
 
 /// Run the HTTPS certificate scan over the whole world.
 pub fn scan(world: &World) -> HttpsScanReport {
+    collate(world, world.domains().iter().map(|r| observe(world, r)))
+}
+
+/// Probe an explicit shard of domains.
+///
+/// Shard-aware entry point: observations only depend on the record itself,
+/// so shards can run on separate workers and be concatenated in order
+/// before [`collate`] folds them into a report identical to a serial
+/// [`scan`].
+pub fn observe_records(world: &World, records: &[&DomainRecord]) -> Vec<Option<HttpsObservation>> {
+    records
+        .iter()
+        .map(|record| observe(world, record))
+        .collect()
+}
+
+/// Fold per-domain observations (one entry per world domain, in rank order)
+/// into the funnel report. The DNS funnel counters come straight from the
+/// world records; the observations carry the chain summaries.
+pub fn collate(
+    world: &World,
+    observations: impl IntoIterator<Item = Option<HttpsObservation>>,
+) -> HttpsScanReport {
     let mut report = HttpsScanReport {
         total: world.domains().len(),
         ..HttpsScanReport::default()
@@ -114,15 +137,16 @@ pub fn scan(world: &World) -> HttpsScanReport {
         if record.dns.address().is_some() {
             report.a_records += 1;
         }
-        if let Some(obs) = observe(world, record) {
-            report.names_seen += 1 + obs.redirect_hops as usize;
-            report.observations.push(obs);
-        }
+    }
+    for obs in observations.into_iter().flatten() {
+        report.names_seen += 1 + obs.redirect_hops as usize;
+        report.observations.push(obs);
     }
     report
 }
 
-fn observe(world: &World, record: &DomainRecord) -> Option<HttpsObservation> {
+/// Collect the certificate chain of one domain, if it is TLS-reachable.
+pub fn observe(world: &World, record: &DomainRecord) -> Option<HttpsObservation> {
     if !record.has_https() {
         return None;
     }
@@ -185,8 +209,14 @@ mod tests {
             quic_median + 500.0 < https_median,
             "quic {quic_median} vs https-only {https_median}"
         );
-        assert!((1800.0..3000.0).contains(&quic_median), "quic median {quic_median}");
-        assert!((3200.0..5200.0).contains(&https_median), "https median {https_median}");
+        assert!(
+            (1800.0..3000.0).contains(&quic_median),
+            "quic median {quic_median}"
+        );
+        assert!(
+            (3200.0..5200.0).contains(&https_median),
+            "https median {https_median}"
+        );
     }
 
     #[test]

@@ -74,17 +74,33 @@ pub fn fetch(world: &World, record: &DomainRecord) -> Option<QuicCertObservation
 
 /// Fetch all QUIC chains and compute the consistency report.
 pub fn scan(world: &World) -> (Vec<QuicCertObservation>, ConsistencyReport) {
-    let mut observations = Vec::new();
+    let records: Vec<&DomainRecord> = world.quic_services().collect();
+    collate(fetch_records(world, &records))
+}
+
+/// Fetch the chains of an explicit shard of services.
+///
+/// Shard-aware entry point: each fetch only depends on the record itself,
+/// so shards concatenated in service order reproduce a serial [`scan`]
+/// bit-for-bit once [`collate`] folds them.
+pub fn fetch_records(world: &World, records: &[&DomainRecord]) -> Vec<QuicCertObservation> {
+    records
+        .iter()
+        .filter_map(|record| fetch(world, record))
+        .collect()
+}
+
+/// Fold per-service observations into the §3.2 consistency report.
+pub fn collate(
+    observations: Vec<QuicCertObservation>,
+) -> (Vec<QuicCertObservation>, ConsistencyReport) {
     let mut report = ConsistencyReport::default();
-    for record in world.quic_services() {
-        if let Some(obs) = fetch(world, record) {
-            report.total += 1;
-            match obs.difference {
-                None => report.same += 1,
-                Some(CertDifference::Rotation) => report.rotated += 1,
-                Some(CertDifference::Other) => report.other += 1,
-            }
-            observations.push(obs);
+    for obs in &observations {
+        report.total += 1;
+        match obs.difference {
+            None => report.same += 1,
+            Some(CertDifference::Rotation) => report.rotated += 1,
+            Some(CertDifference::Other) => report.other += 1,
         }
     }
     (observations, report)
@@ -106,7 +122,11 @@ mod tests {
         assert_eq!(report.total, observations.len());
         assert_eq!(report.total, report.same + report.rotated + report.other);
         // Paper: 96.7% identical, ~2.8% rotation, ~0.5% other.
-        assert!((report.same_rate() - 0.967).abs() < 0.015, "{}", report.same_rate());
+        assert!(
+            (report.same_rate() - 0.967).abs() < 0.015,
+            "{}",
+            report.same_rate()
+        );
         let rot_rate = report.rotated as f64 / report.total as f64;
         assert!((rot_rate - 0.028).abs() < 0.01, "{rot_rate}");
         let other_rate = report.other as f64 / report.total as f64;

@@ -18,7 +18,7 @@ pub fn sweep_sizes() -> Vec<usize> {
 }
 
 /// Classification result for one service at one Initial size.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuicReachResult {
     /// Service rank.
     pub rank: usize,
@@ -37,7 +37,7 @@ pub struct QuicReachResult {
 }
 
 /// Aggregated class counts at one Initial size (one bar of Fig 3).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanSummary {
     /// Client Initial size.
     pub initial_size: usize,
@@ -86,9 +86,7 @@ impl ScanSummary {
 
 /// Probe one service at one Initial size.
 pub fn scan_service(world: &World, record: &DomainRecord, initial_size: usize) -> QuicReachResult {
-    let chain = world
-        .quic_chain(record)
-        .expect("QUIC services have chains");
+    let chain = world.quic_chain(record).expect("QUIC services have chains");
     let server = server_config_for(world, record, chain);
     let mut wire = wire_for(record);
     // quicreach's stack offers no certificate compression (§3.2).
@@ -111,8 +109,23 @@ pub fn scan_service(world: &World, record: &DomainRecord, initial_size: usize) -
 
 /// Probe every QUIC service at one Initial size.
 pub fn scan(world: &World, initial_size: usize) -> Vec<QuicReachResult> {
-    world
-        .quic_services()
+    let records: Vec<&DomainRecord> = world.quic_services().collect();
+    scan_records(world, &records, initial_size)
+}
+
+/// Probe an explicit shard of services at one Initial size.
+///
+/// This is the shard-aware entry point: every probe derives its randomness
+/// from the record's own forked seed, so splitting the service list into
+/// shards, probing them on separate workers and concatenating the shard
+/// outputs in order is bit-for-bit identical to a serial [`scan`].
+pub fn scan_records(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+) -> Vec<QuicReachResult> {
+    records
+        .iter()
         .map(|record| scan_service(world, record, initial_size))
         .collect()
 }
@@ -127,16 +140,6 @@ pub fn summarize(initial_size: usize, results: &[QuicReachResult]) -> ScanSummar
         summary.add(r.class);
     }
     summary
-}
-
-/// Run the full Fig 3 sweep. Handshakes to the same service at different
-/// sizes are independent connections (the paper pauses 30 minutes between
-/// them; simulated time makes that free).
-pub fn sweep(world: &World) -> Vec<ScanSummary> {
-    sweep_sizes()
-        .into_iter()
-        .map(|size| summarize(size, &scan(world, size)))
-        .collect()
 }
 
 /// The largest Initial a 1500-byte MTU admits (sanity bound used in tests).

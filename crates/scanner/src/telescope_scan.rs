@@ -35,11 +35,7 @@ pub const ASSUMED_INITIAL: usize = 1362;
 
 /// Launch spoofed probes at up to `per_provider` services of each
 /// hypergiant and reconstruct sessions from the telescope.
-pub fn collect(
-    world: &World,
-    dark: Ipv4Net,
-    per_provider: usize,
-) -> Vec<BackscatterSession> {
+pub fn collect(world: &World, dark: Ipv4Net, per_provider: usize) -> Vec<BackscatterSession> {
     let mut telescope = Telescope::new(dark);
     let mut provider_of_scid: HashMap<Vec<u8>, Provider> = HashMap::new();
 
@@ -75,9 +71,7 @@ pub fn collect(
         let Some(scid) = record.scid.clone() else {
             continue;
         };
-        let provider = *provider_of_scid
-            .get(&scid)
-            .unwrap_or(&Provider::SelfHosted);
+        let provider = *provider_of_scid.get(&scid).unwrap_or(&Provider::SelfHosted);
         let entry = sessions.entry(scid.clone()).or_insert(BackscatterSession {
             provider,
             bytes: 0,
@@ -91,16 +85,23 @@ pub fn collect(
         window.0 = window.0.min(record.at);
         window.1 = window.1.max(record.at);
     }
-    let mut out: Vec<BackscatterSession> = sessions
+    let mut out: Vec<(Vec<u8>, BackscatterSession)> = sessions
         .into_iter()
         .map(|(scid, mut s)| {
             s.amplification = s.bytes as f64 / ASSUMED_INITIAL as f64;
             s.duration = first_last[&scid].1.since(first_last[&scid].0);
-            s
+            (scid, s)
         })
         .collect();
-    out.sort_by(|a, b| a.amplification.partial_cmp(&b.amplification).unwrap());
-    out
+    // Tie-break equal factors by SCID: HashMap iteration order must never
+    // leak into the session order (artifacts are bit-reproducible).
+    out.sort_by(|(scid_a, a), (scid_b, b)| {
+        a.amplification
+            .partial_cmp(&b.amplification)
+            .unwrap()
+            .then_with(|| scid_a.cmp(scid_b))
+    });
+    out.into_iter().map(|(_, s)| s).collect()
 }
 
 /// Convenience: the default dark /8 used by the experiments.

@@ -146,8 +146,7 @@ pub fn scan_pop_with_variation(
                 // No HTTP/3 service: at most an ICMP-ish dribble (≤150 B).
                 (octet as usize * 7) % 130
             } else {
-                let config =
-                    meta_server_config(world, octet, service, post_disclosure, variation);
+                let config = meta_server_config(world, octet, service, post_disclosure, variation);
                 let mut wire = Wire::ideal(SimDuration::from_millis(18));
                 let out = run_spoofed_probe(
                     PROBE_SIZE,
@@ -225,7 +224,10 @@ mod tests {
         let spread = served
             .iter()
             .fold(0.0f64, |acc, &a| acc.max((a - mean).abs()));
-        assert!(spread < mean, "homogeneous fleet: spread {spread} < mean {mean}");
+        assert!(
+            spread < mean,
+            "homogeneous fleet: spread {spread} < mean {mean}"
+        );
         assert!(mean > 3.0, "responses still exceed the 3x limit");
     }
 

@@ -97,13 +97,13 @@ impl ServerFlight {
 mod tests {
     use super::*;
     use quicert_x509::{
-        CertificateBuilder, DistinguishedName, Extension, SignatureAlgorithm,
-        SubjectPublicKeyInfo,
+        CertificateBuilder, DistinguishedName, Extension, SignatureAlgorithm, SubjectPublicKeyInfo,
     };
 
     fn chain(leaf_key: KeyAlgorithm) -> CertificateChain {
         let inter_dn = DistinguishedName::ca("US", "Let's Encrypt", "R3");
-        let root_dn = DistinguishedName::ca("US", "Internet Security Research Group", "ISRG Root X1");
+        let root_dn =
+            DistinguishedName::ca("US", "Internet Security Research Group", "ISRG Root X1");
         let inter = CertificateBuilder::new(
             root_dn,
             inter_dn.clone(),

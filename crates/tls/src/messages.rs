@@ -118,7 +118,9 @@ pub fn client_hello(params: &ClientHelloParams) -> Vec<u8> {
         &[0x00, 0x06, 0x00, 0x1D, 0x00, 0x17, 0x00, 0x18],
     ));
     // signature_algorithms: the common nine.
-    let algs: &[u16] = &[0x0403, 0x0804, 0x0401, 0x0503, 0x0805, 0x0501, 0x0806, 0x0601, 0x0201];
+    let algs: &[u16] = &[
+        0x0403, 0x0804, 0x0401, 0x0503, 0x0805, 0x0501, 0x0806, 0x0601, 0x0201,
+    ];
     let mut sig = Vec::with_capacity(algs.len() * 2 + 2);
     sig.extend_from_slice(&u16be(algs.len() * 2));
     for a in algs {
@@ -213,10 +215,7 @@ pub fn certificate_message(chain: &CertificateChain) -> Vec<u8> {
 
 /// Encode a CompressedCertificate message (RFC 8879 §5): the inner
 /// Certificate message compressed with `algorithm`.
-pub fn compressed_certificate_message(
-    chain: &CertificateChain,
-    algorithm: Algorithm,
-) -> Vec<u8> {
+pub fn compressed_certificate_message(chain: &CertificateChain, algorithm: Algorithm) -> Vec<u8> {
     let inner = certificate_message(chain);
     let compressed = quicert_compress::compress(algorithm, &inner);
     let mut body = Vec::with_capacity(compressed.len() + 8);

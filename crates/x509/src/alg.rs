@@ -94,12 +94,8 @@ impl SignatureAlgorithm {
                 der::sequence(&[oid::SHA384_WITH_RSA.encode(), der::null()])
             }
             // ECDSA identifiers have absent parameters.
-            SignatureAlgorithm::EcdsaSha256 => {
-                der::sequence(&[oid::ECDSA_WITH_SHA256.encode()])
-            }
-            SignatureAlgorithm::EcdsaSha384 => {
-                der::sequence(&[oid::ECDSA_WITH_SHA384.encode()])
-            }
+            SignatureAlgorithm::EcdsaSha256 => der::sequence(&[oid::ECDSA_WITH_SHA256.encode()]),
+            SignatureAlgorithm::EcdsaSha384 => der::sequence(&[oid::ECDSA_WITH_SHA384.encode()]),
         }
     }
 
@@ -256,8 +252,18 @@ mod tests {
             512
         );
         // Canonical ECDSA DER size with sign-bit-free scalars.
-        assert_eq!(SignatureAlgorithm::EcdsaSha256.placeholder_signature(5).len(), 70);
-        assert_eq!(SignatureAlgorithm::EcdsaSha384.placeholder_signature(5).len(), 102);
+        assert_eq!(
+            SignatureAlgorithm::EcdsaSha256
+                .placeholder_signature(5)
+                .len(),
+            70
+        );
+        assert_eq!(
+            SignatureAlgorithm::EcdsaSha384
+                .placeholder_signature(5)
+                .len(),
+            102
+        );
     }
 
     #[test]

@@ -152,9 +152,10 @@ impl Certificate {
 
     /// Whether the certificate carries `basicConstraints CA:TRUE`.
     pub fn is_ca(&self) -> bool {
-        self.tbs.extensions.iter().any(|e| {
-            matches!(e, Extension::BasicConstraints { ca: true, .. })
-        })
+        self.tbs
+            .extensions
+            .iter()
+            .any(|e| matches!(e, Extension::BasicConstraints { ca: true, .. }))
     }
 
     /// Bytes used by the subjectAltName extension (Fig 14).
@@ -292,7 +293,10 @@ mod tests {
             SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, 42),
             SignatureAlgorithm::Sha256WithRsa2048,
         )
-        .extension(Extension::BasicConstraints { ca: false, path_len: None })
+        .extension(Extension::BasicConstraints {
+            ca: false,
+            path_len: None,
+        })
         .extension(Extension::KeyUsage(KeyUsageFlags::leaf()))
         .extension(Extension::ExtKeyUsage(vec![oid::KP_SERVER_AUTH]))
         .extension(Extension::SubjectKeyId { seed: 1 })
@@ -305,7 +309,9 @@ mod tests {
             ocsp: Some("http://r3.o.lencr.org".into()),
             ca_issuers: Some("http://r3.i.lencr.org/".into()),
         })
-        .extension(Extension::CertificatePolicies(vec![oid::CP_DOMAIN_VALIDATED]))
+        .extension(Extension::CertificatePolicies(vec![
+            oid::CP_DOMAIN_VALIDATED,
+        ]))
         .extension(Extension::SctList { count: 2, seed: 3 })
         .build()
     }
@@ -341,14 +347,18 @@ mod tests {
 
     #[test]
     fn self_signed_and_ca_detection() {
-        let root_dn = DistinguishedName::ca("US", "Internet Security Research Group", "ISRG Root X1");
+        let root_dn =
+            DistinguishedName::ca("US", "Internet Security Research Group", "ISRG Root X1");
         let root = CertificateBuilder::new(
             root_dn.clone(),
             root_dn,
             SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa4096, 7),
             SignatureAlgorithm::Sha384WithRsa4096,
         )
-        .extension(Extension::BasicConstraints { ca: true, path_len: None })
+        .extension(Extension::BasicConstraints {
+            ca: true,
+            path_len: None,
+        })
         .extension(Extension::KeyUsage(KeyUsageFlags::ca()))
         .build();
         assert!(root.is_self_signed());

@@ -117,7 +117,10 @@ mod tests {
             SubjectPublicKeyInfo::new(KeyAlgorithm::Rsa2048, seed),
             SignatureAlgorithm::Sha256WithRsa2048,
         )
-        .extension(Extension::BasicConstraints { ca: true, path_len: Some(0) })
+        .extension(Extension::BasicConstraints {
+            ca: true,
+            path_len: Some(0),
+        })
         .extension(Extension::KeyUsage(KeyUsageFlags::ca()))
         .build()
     }

@@ -337,7 +337,10 @@ mod tests {
             vec![0x06, 0x09, 0x2A, 0x86, 0x48, 0x86, 0xF7, 0x0D, 0x01, 0x01, 0x01]
         );
         // id-ce-subjectAltName = 2.5.29.17
-        assert_eq!(oid_from_arcs(&[2, 5, 29, 17]), vec![0x06, 0x03, 0x55, 0x1D, 0x11]);
+        assert_eq!(
+            oid_from_arcs(&[2, 5, 29, 17]),
+            vec![0x06, 0x03, 0x55, 0x1D, 0x11]
+        );
     }
 
     #[test]

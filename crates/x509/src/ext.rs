@@ -312,9 +312,8 @@ mod tests {
     #[test]
     fn san_size_grows_linearly_with_names() {
         let few = Extension::SubjectAltNames(vec!["example.org".into()]);
-        let many = Extension::SubjectAltNames(
-            (0..50).map(|i| format!("host-{i}.example.org")).collect(),
-        );
+        let many =
+            Extension::SubjectAltNames((0..50).map(|i| format!("host-{i}.example.org")).collect());
         assert!(many.encoded_len() > few.encoded_len() + 49 * 15);
         assert_eq!(few.san_bytes(), few.encoded_len());
         assert_eq!(
@@ -331,9 +330,16 @@ mod tests {
         // Exactly one SCT entry more, plus up to a few bytes of DER length
         // framing growth when a length crosses the 255-byte boundary.
         let delta = three.encoded_len() - two.encoded_len();
-        assert!((SCT_ENTRY_LEN..SCT_ENTRY_LEN + 5).contains(&delta), "delta {delta}");
+        assert!(
+            (SCT_ENTRY_LEN..SCT_ENTRY_LEN + 5).contains(&delta),
+            "delta {delta}"
+        );
         // Two SCTs: real-world extensions run ~250–280 bytes total.
-        assert!((240..=280).contains(&two.encoded_len()), "was {}", two.encoded_len());
+        assert!(
+            (240..=280).contains(&two.encoded_len()),
+            "was {}",
+            two.encoded_len()
+        );
     }
 
     #[test]
@@ -351,7 +357,10 @@ mod tests {
     #[test]
     fn all_extensions_are_wellformed_der() {
         let exts = vec![
-            Extension::BasicConstraints { ca: true, path_len: None },
+            Extension::BasicConstraints {
+                ca: true,
+                path_len: None,
+            },
             Extension::KeyUsage(KeyUsageFlags::ca()),
             Extension::ExtKeyUsage(vec![oid::KP_SERVER_AUTH, oid::KP_CLIENT_AUTH]),
             Extension::SubjectKeyId { seed: 2 },

@@ -139,7 +139,11 @@ mod tests {
 
     #[test]
     fn render_matches_paper_example() {
-        let dn = DistinguishedName::ca("BE", "GlobalSign nv-sa", "GlobalSign Atlas R3 DV TLS CA H2 2021");
+        let dn = DistinguishedName::ca(
+            "BE",
+            "GlobalSign nv-sa",
+            "GlobalSign Atlas R3 DV TLS CA H2 2021",
+        );
         assert_eq!(
             dn.render(),
             "C=BE, O=GlobalSign nv-sa, CN=GlobalSign Atlas R3 DV TLS CA H2 2021"
@@ -178,7 +182,11 @@ mod tests {
     #[test]
     fn longer_names_encode_longer() {
         let short = DistinguishedName::cn("*.a.io");
-        let long = DistinguishedName::ca("US", "An Extremely Long Organization Name LLC", "*.subdomain.of.some.example.org");
+        let long = DistinguishedName::ca(
+            "US",
+            "An Extremely Long Organization Name LLC",
+            "*.subdomain.of.some.example.org",
+        );
         assert!(long.encoded_len() > short.encoded_len() + 40);
     }
 

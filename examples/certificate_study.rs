@@ -17,12 +17,13 @@ fn main() {
 
     let fig6 = certs::fig6(&campaign);
     print!("{}", fig6.render());
-    println!(
-        "paper: medians 2329 B (QUIC) vs 4022 B (HTTPS-only); 35% over the limit\n"
-    );
+    println!("paper: medians 2329 B (QUIC) vs 4022 B (HTTPS-only); 35% over the limit\n");
 
     print!("{}", certs::fig7(&campaign, true).render("QUIC services"));
-    print!("{}", certs::fig7(&campaign, false).render("HTTPS-only services"));
+    print!(
+        "{}",
+        certs::fig7(&campaign, false).render("HTTPS-only services")
+    );
     println!("paper: top-10 parent chains cover 96.5% (QUIC) vs 72% (HTTPS-only)\n");
 
     print!("{}", certs::render_fig8(&certs::fig8(&campaign)));

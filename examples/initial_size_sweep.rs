@@ -31,7 +31,10 @@ fn main() {
     print!("{}", handshakes::reachability(&campaign).render());
     println!("paper: top-1k ranks lose 25% reachability, top-10k 12%, overall 1.2%");
 
-    print!("\n{}", handshakes::render_rank_groups(&handshakes::rank_groups(&campaign)));
+    print!(
+        "\n{}",
+        handshakes::render_rank_groups(&handshakes::rank_groups(&campaign))
+    );
     println!("paper (Figs 12/13): adoption and classes are flat across rank groups,");
     println!("except 1-RTT handshakes concentrating in the most popular ranks (3.02%).");
 }

@@ -21,7 +21,7 @@ fn main() {
     );
 
     let results = campaign.quicreach_default();
-    let summary = quicreach::summarize(campaign.config().default_initial, results);
+    let summary = quicreach::summarize(campaign.config().default_initial, &results);
     println!(
         "\nhandshake classes at Initial = {} bytes ({} reachable services):",
         summary.initial_size,
@@ -36,10 +36,6 @@ fn main() {
         println!("  {:<14} {:>6.2}%", class.label(), summary.share(class));
     }
 
-    println!(
-        "\npaper (Fig 3 @1362): Amplification 61%, Multi-RTT 38%, RETRY 0.07%, 1-RTT 0.75%"
-    );
-    println!(
-        "take-away: a-priori DoS protection and fast 1-RTT handshakes are rare in the wild."
-    );
+    println!("\npaper (Fig 3 @1362): Amplification 61%, Multi-RTT 38%, RETRY 0.07%, 1-RTT 0.75%");
+    println!("take-away: a-priori DoS protection and fast 1-RTT handshakes are rare in the wild.");
 }

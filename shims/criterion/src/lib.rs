@@ -1,0 +1,192 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds in offline environments, so the real crates.io
+//! `criterion` cannot be fetched. This shim keeps the exact call surface the
+//! benches in `quicert-bench` use — `Criterion::default().sample_size(..)`,
+//! `bench_function`, `benchmark_group` with `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — and measures wall time
+//! with `std::time::Instant`, printing one line per benchmark.
+//!
+//! It intentionally skips criterion's statistics (outlier rejection,
+//! bootstrap confidence intervals, HTML reports): the benches remain useful
+//! for relative comparisons and for CI smoke coverage, nothing more.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks sharing a throughput annotation.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (`compress_chain/brotli`, ...).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group with per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; `iter` does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f` after one warm-up call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                bytes as f64 / per_iter / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<40} {:>12.3} ms/iter over {} iters{rate}",
+        per_iter * 1e3,
+        bencher.iters,
+    );
+}
+
+/// Define a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| 1u64 + 1));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("xor", |b| b.iter(|| 5u64 ^ 3));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn group_macro_runs_targets() {
+        benches();
+    }
+}

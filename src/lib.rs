@@ -15,7 +15,7 @@
 //! // A small deterministic world (2k domains).
 //! let campaign = Campaign::new(CampaignConfig::small());
 //! let results = campaign.quicreach_default();
-//! let summary = quicreach::summarize(1362, results);
+//! let summary = quicreach::summarize(1362, &results);
 //! // The paper's headline: most QUIC handshakes amplify or need extra RTTs.
 //! assert!(summary.amplification + summary.multi_rtt > summary.one_rtt);
 //! ```
@@ -30,7 +30,8 @@
 //! * [`pki`] — the CA ecosystem and ranked world generator
 //! * [`scanner`] — quicreach / QScanner / telescope / ZMap counterparts
 //! * [`analysis`] — CDFs, statistics, table rendering
-//! * [`core`] — campaign orchestration reproducing every table and figure
+//! * [`core`] — campaign orchestration: the `ScanEngine` artifact store
+//!   (parallel, uniformly cached scans) plus every table and figure
 
 pub use quicert_analysis as analysis;
 pub use quicert_compress as compress;

@@ -12,7 +12,7 @@ fn campaign() -> Campaign {
 #[test]
 fn headline_numbers_reproduce_the_paper_shape() {
     let c = campaign();
-    let summary = quicreach::summarize(1362, c.quicreach_default());
+    let summary = quicreach::summarize(1362, &c.quicreach_default());
 
     // Fig 3 at the default Initial: amplification dominates, then
     // multi-RTT; Retry and 1-RTT are rare.
@@ -70,7 +70,11 @@ fn compression_study_and_table1_are_consistent() {
     // ballpark (paper: 73% vs ~65%).
     let study = compression::compression_study(&c, quicert::compress::Algorithm::Brotli, 20);
     let wild = t1.mean_ratio(quicert::compress::Algorithm::Brotli);
-    assert!((wild - study.ratios.median()).abs() < 0.25, "wild {wild} vs study {}", study.ratios.median());
+    assert!(
+        (wild - study.ratios.median()).abs() < 0.25,
+        "wild {wild} vs study {}",
+        study.ratios.median()
+    );
 }
 
 #[test]
@@ -95,5 +99,9 @@ fn full_report_runs_end_to_end() {
             guidance_mitigation: false,
         },
     );
-    assert!(report.len() > 2_000, "report has substance: {}", report.len());
+    assert!(
+        report.len() > 2_000,
+        "report has substance: {}",
+        report.len()
+    );
 }

@@ -6,8 +6,8 @@ use quicert::compress::{compress, decompress, Algorithm};
 use quicert::netsim::SimRng;
 use quicert::x509::der;
 use quicert::x509::{
-    AttrKind, CertificateBuilder, DistinguishedName, Extension, KeyAlgorithm,
-    SignatureAlgorithm, SubjectPublicKeyInfo,
+    AttrKind, CertificateBuilder, DistinguishedName, Extension, KeyAlgorithm, SignatureAlgorithm,
+    SubjectPublicKeyInfo,
 };
 
 proptest! {

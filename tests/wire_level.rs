@@ -134,7 +134,11 @@ fn retry_flow_round_trips_on_the_wire() {
     // The client resends its Initial with the token echoed.
     let mut second = Vec::new();
     let reply = retry_out[0].clone();
-    client.on_datagram(&reply, SimTime::ZERO + SimDuration::from_millis(40), &mut second);
+    client.on_datagram(
+        &reply,
+        SimTime::ZERO + SimDuration::from_millis(40),
+        &mut second,
+    );
     assert_eq!(second.len(), 1);
     let resent = parse_datagram(&second[0].payload).unwrap();
     assert_eq!(resent[0].ty, PacketType::Initial);
