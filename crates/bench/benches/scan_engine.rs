@@ -1,0 +1,140 @@
+//! Scan-engine throughput: the end-to-end quicreach scan at 1 / 2 / auto
+//! workers, and the batched (`SimNet`) vs per-probe exchange paths.
+//!
+//! Unlike the figure benches this harness also *persists* its measurements:
+//! it writes a `BENCH_scan.json` to the workspace root so future changes
+//! have a perf trajectory to compare against.
+//!
+//! ```sh
+//! cargo bench -p quicert-bench --bench scan_engine
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use quicert_core::ScanEngine;
+use quicert_netsim::NetworkProfile;
+use quicert_pki::{DomainRecord, World, WorldConfig};
+use quicert_scanner::quicreach;
+
+const DOMAINS: usize = 3_000;
+const SEED: u64 = 0x5CA1;
+const INITIAL: usize = 1362;
+const SAMPLES: usize = 3;
+
+fn world() -> World {
+    World::generate(WorldConfig {
+        domains: DOMAINS,
+        seed: SEED,
+        ..WorldConfig::default()
+    })
+}
+
+/// Mean seconds of `samples` runs of `f` (one warm-up run first).
+fn time_mean(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..samples {
+        f();
+    }
+    start.elapsed().as_secs_f64() / samples as f64
+}
+
+struct EngineRow {
+    workers: usize,
+    resolved_workers: usize,
+    seconds: f64,
+}
+
+/// End-to-end: a fresh engine computes the default-size quicreach artifact
+/// (world generation excluded from the timed region).
+fn bench_engine(workers: usize) -> EngineRow {
+    let mut resolved_workers = 0;
+    let seconds = {
+        // One warm-up plus SAMPLES timed runs, each on a fresh engine so
+        // the artifact cache never short-circuits the scan.
+        let mut run = || {
+            let engine = ScanEngine::new(world(), INITIAL, workers);
+            resolved_workers = engine.workers();
+            black_box(engine.quicreach(INITIAL).len());
+        };
+        run();
+        // World generation dominates engine construction; regenerate
+        // outside the timed region by pre-building the engines.
+        let mut engines: Vec<ScanEngine> = (0..SAMPLES)
+            .map(|_| ScanEngine::new(world(), INITIAL, workers))
+            .collect();
+        let start = Instant::now();
+        for engine in &mut engines {
+            black_box(engine.quicreach(INITIAL).len());
+        }
+        start.elapsed().as_secs_f64() / SAMPLES as f64
+    };
+    EngineRow {
+        workers,
+        resolved_workers,
+        seconds,
+    }
+}
+
+fn main() {
+    let world = world();
+    let records: Vec<&DomainRecord> = world.quic_services().collect();
+    eprintln!(
+        "scan_engine bench: {DOMAINS} domains, {} QUIC services, Initial {INITIAL}",
+        records.len()
+    );
+
+    // Batched (one SimNet per shard) vs per-probe (one exchange at a time),
+    // both serial so the comparison isolates the scheduling path.
+    let batched = time_mean(SAMPLES, || {
+        black_box(quicreach::scan_records(&world, &records, INITIAL).len());
+    });
+    let per_probe = time_mean(SAMPLES, || {
+        black_box(
+            quicreach::scan_records_per_probe(&world, &records, INITIAL, NetworkProfile::Ideal)
+                .len(),
+        );
+    });
+    eprintln!("scan path  batched    {batched:>10.4} s");
+    eprintln!(
+        "scan path  per-probe  {per_probe:>10.4} s  ({:.2}x)",
+        per_probe / batched
+    );
+
+    // The engine end to end at 1 / 2 / auto workers.
+    let engine_rows: Vec<EngineRow> = [1usize, 2, 0].into_iter().map(bench_engine).collect();
+    for row in &engine_rows {
+        eprintln!(
+            "engine     workers={} (resolved {})  {:>10.4} s",
+            row.workers, row.resolved_workers, row.seconds
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"domains\": {DOMAINS},\n"));
+    json.push_str(&format!("  \"quic_services\": {},\n", records.len()));
+    json.push_str(&format!("  \"initial_size\": {INITIAL},\n"));
+    json.push_str(&format!("  \"samples\": {SAMPLES},\n"));
+    json.push_str("  \"scan_paths\": {\n");
+    json.push_str(&format!("    \"batched_seconds\": {batched:.6},\n"));
+    json.push_str(&format!("    \"per_probe_seconds\": {per_probe:.6}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"engine_end_to_end\": [\n");
+    for (i, row) in engine_rows.iter().enumerate() {
+        let comma = if i + 1 < engine_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"resolved_workers\": {}, \"seconds\": {:.6}}}{comma}\n",
+            row.workers, row.resolved_workers, row.seconds
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    println!("{json}");
+}

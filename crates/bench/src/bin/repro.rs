@@ -37,6 +37,7 @@ fn main() {
         compression_stride: (domains / 2_000).max(1),
         full_sweep: true,
         guidance_mitigation: true,
+        network_profiles: true,
     };
     let report = full_report(&campaign, options);
     println!("{report}");

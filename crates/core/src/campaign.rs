@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use quicert_compress::Algorithm;
+use quicert_netsim::NetworkProfile;
 use quicert_pki::{World, WorldConfig};
 use quicert_scanner::compression::{AlgorithmSupport, SyntheticCompression};
 use quicert_scanner::https_scan::HttpsScanReport;
@@ -26,6 +27,11 @@ pub struct CampaignConfig {
     /// forces the serial path. Results are bit-for-bit identical at any
     /// setting.
     pub workers: usize,
+    /// The link-condition overlay every profile-unaware scan runs under.
+    /// [`NetworkProfile::Ideal`] (the default) reproduces pre-profile
+    /// campaigns byte-for-byte; the report's profile matrix additionally
+    /// scans explicit profiles regardless of this setting.
+    pub profile: NetworkProfile,
 }
 
 impl CampaignConfig {
@@ -38,6 +44,7 @@ impl CampaignConfig {
             },
             default_initial: 1362,
             workers: 0,
+            profile: NetworkProfile::Ideal,
         }
     }
 
@@ -47,6 +54,7 @@ impl CampaignConfig {
             world: WorldConfig::default(),
             default_initial: 1362,
             workers: 0,
+            profile: NetworkProfile::Ideal,
         }
     }
 
@@ -65,6 +73,12 @@ impl CampaignConfig {
     /// Override the scan worker count (`0` = one per available core).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Override the default network profile.
+    pub fn with_profile(mut self, profile: NetworkProfile) -> Self {
+        self.profile = profile;
         self
     }
 }
@@ -86,7 +100,8 @@ impl Campaign {
     /// Generate the world for `config`.
     pub fn new(config: CampaignConfig) -> Campaign {
         let world = World::generate(config.world.clone());
-        let engine = ScanEngine::new(world, config.default_initial, config.workers);
+        let engine = ScanEngine::new(world, config.default_initial, config.workers)
+            .with_profile(config.profile);
         Campaign { config, engine }
     }
 
@@ -124,6 +139,16 @@ impl Campaign {
     /// The quicreach classification at an arbitrary Initial size.
     pub fn quicreach_at(&self, initial_size: usize) -> Arc<Vec<QuicReachResult>> {
         self.engine.quicreach(initial_size)
+    }
+
+    /// The quicreach classification under an explicit network profile
+    /// (cached per `(profile, size)` pair — the scenario-matrix axis).
+    pub fn quicreach_profiled(
+        &self,
+        profile: NetworkProfile,
+        initial_size: usize,
+    ) -> Arc<Vec<QuicReachResult>> {
+        self.engine.quicreach_profiled(profile, initial_size)
     }
 
     /// The full Fig 3 sweep (29 Initial sizes), computed once.

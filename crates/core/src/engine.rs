@@ -29,7 +29,7 @@ use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 
 use quicert_compress::Algorithm;
-use quicert_netsim::Ipv4Net;
+use quicert_netsim::{Ipv4Net, NetworkProfile};
 use quicert_pki::{DomainRecord, World};
 use quicert_scanner::compression::{self, AlgorithmSupport, SyntheticCompression};
 use quicert_scanner::https_scan::{self, HttpsScanReport};
@@ -103,8 +103,9 @@ pub struct ScanEngine {
     world: World,
     default_initial: usize,
     workers: usize,
+    profile: NetworkProfile,
     https: ArtifactCache<(), HttpsScanReport>,
-    quicreach: ArtifactCache<usize, Vec<QuicReachResult>>,
+    quicreach: ArtifactCache<(NetworkProfile, usize), Vec<QuicReachResult>>,
     sweep: ArtifactCache<(), Vec<ScanSummary>>,
     compression_support: ArtifactCache<(), Vec<AlgorithmSupport>>,
     all_three: ArtifactCache<(), (usize, usize)>,
@@ -129,6 +130,7 @@ impl ScanEngine {
             world,
             default_initial,
             workers,
+            profile: NetworkProfile::Ideal,
             https: ArtifactCache::new(),
             quicreach: ArtifactCache::new(),
             sweep: ArtifactCache::new(),
@@ -141,9 +143,23 @@ impl ScanEngine {
         }
     }
 
+    /// Set the engine's default [`NetworkProfile`]: the link-condition
+    /// overlay all profile-unaware scan requests run under.
+    /// [`NetworkProfile::Ideal`] (the default) reproduces profile-unaware
+    /// campaigns byte-for-byte.
+    pub fn with_profile(mut self, profile: NetworkProfile) -> ScanEngine {
+        self.profile = profile;
+        self
+    }
+
     /// The world all scans run against.
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// The engine's default network profile.
+    pub fn profile(&self) -> NetworkProfile {
+        self.profile
     }
 
     /// The resolved worker count.
@@ -168,13 +184,26 @@ impl ScanEngine {
         })
     }
 
-    /// quicreach classifications at one Initial size, sharded over the QUIC
-    /// service list.
+    /// quicreach classifications at one Initial size under the engine's
+    /// default network profile, sharded over the QUIC service list.
     pub fn quicreach(&self, initial_size: usize) -> Arc<Vec<QuicReachResult>> {
-        self.quicreach.get_or_compute(initial_size, || {
+        self.quicreach_profiled(self.profile, initial_size)
+    }
+
+    /// quicreach classifications at one Initial size under an explicit
+    /// [`NetworkProfile`] — one cached artifact per `(profile, size)` pair.
+    /// Each worker shard is batched as sessions of one `SimNet`; per-record
+    /// RNG forking keeps the artifact bit-for-bit identical at any worker
+    /// count and batch size.
+    pub fn quicreach_profiled(
+        &self,
+        profile: NetworkProfile,
+        initial_size: usize,
+    ) -> Arc<Vec<QuicReachResult>> {
+        self.quicreach.get_or_compute((profile, initial_size), || {
             let records: Vec<&DomainRecord> = self.world.quic_services().collect();
             run_sharded(&records, self.workers, |shard| {
-                quicreach::scan_records(&self.world, shard, initial_size)
+                quicreach::scan_records_profiled(&self.world, shard, initial_size, profile)
             })
         })
     }
@@ -378,6 +407,35 @@ mod tests {
         assert!(!Arc::ptr_eq(
             &engine.meta_pop(false, 0),
             &engine.meta_pop(true, 0)
+        ));
+    }
+
+    #[test]
+    fn profiled_artifacts_are_cached_per_profile_and_worker_invariant() {
+        let serial = engine(1);
+        let parallel = engine(8);
+        for profile in [NetworkProfile::Lossy, NetworkProfile::Tunneled] {
+            assert_eq!(
+                *serial.quicreach_profiled(profile, 1362),
+                *parallel.quicreach_profiled(profile, 1362),
+                "{profile} diverged across worker counts"
+            );
+        }
+
+        let engine = engine(2);
+        // The default-profile request and the explicit ideal request share
+        // one cache entry; other profiles are distinct artifacts.
+        assert!(Arc::ptr_eq(
+            &engine.quicreach(1362),
+            &engine.quicreach_profiled(NetworkProfile::Ideal, 1362)
+        ));
+        assert!(Arc::ptr_eq(
+            &engine.quicreach_profiled(NetworkProfile::Lossy, 1362),
+            &engine.quicreach_profiled(NetworkProfile::Lossy, 1362)
+        ));
+        assert!(!Arc::ptr_eq(
+            &engine.quicreach_profiled(NetworkProfile::Ideal, 1362),
+            &engine.quicreach_profiled(NetworkProfile::Lossy, 1362)
         ));
     }
 

@@ -4,8 +4,9 @@
 use std::sync::Arc;
 
 use quicert_analysis::{render_table, Cdf, Table};
+use quicert_netsim::NetworkProfile;
 use quicert_quic::handshake::HandshakeClass;
-use quicert_scanner::quicreach::{QuicReachResult, ScanSummary};
+use quicert_scanner::quicreach::{self, QuicReachResult, ScanSummary};
 
 use crate::Campaign;
 
@@ -233,6 +234,94 @@ pub fn render_rank_groups(rows: &[RankGroupRow]) -> String {
     format!("Figs 12/13 — per rank group\n{}", render_table(&t))
 }
 
+// ------------------------------------------------------ network profiles --
+
+/// One row of the network-profile scenario matrix: the default-size scan
+/// repeated under one [`NetworkProfile`].
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// The link-condition overlay scanned under.
+    pub profile: NetworkProfile,
+    /// Class counts at the campaign's default Initial size.
+    pub summary: ScanSummary,
+    /// Total datagrams the profile's fault injectors dropped across all
+    /// probes (0 on the ideal profile).
+    pub fault_drops: u64,
+    /// Total datagrams the profile's fault injectors corrupted.
+    pub fault_corruptions: u64,
+}
+
+/// Scan the QUIC population at the default Initial size under every
+/// [`NetworkProfile`]. On a default (ideal-profile) campaign the ideal row
+/// shares the cached default-scan artifact — same `(profile, size)` cache
+/// key — so only the non-ideal profiles cost new handshakes; a campaign
+/// configured with a non-ideal default profile scans its ideal row fresh.
+pub fn profile_matrix(campaign: &Campaign) -> Vec<ProfileRow> {
+    let initial = campaign.config().default_initial;
+    NetworkProfile::ALL
+        .iter()
+        .map(|&profile| {
+            let results = campaign.quicreach_profiled(profile, initial);
+            ProfileRow {
+                profile,
+                summary: quicreach::summarize(initial, &results),
+                fault_drops: results.iter().map(|r| r.fault_drops).sum(),
+                fault_corruptions: results.iter().map(|r| r.fault_corruptions).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Render the scenario matrix: class shares among reachable services,
+/// unreachability against the full population, and the per-profile fault
+/// counters.
+pub fn render_profile_matrix(rows: &[ProfileRow]) -> String {
+    let mut t = Table::new(&[
+        "profile",
+        "reachable",
+        "ampl %",
+        "multi %",
+        "retry %",
+        "1-RTT %",
+        "unreach %",
+        "drops",
+        "corrupt",
+    ]);
+    for row in rows {
+        t.row(&[
+            row.profile.name().to_string(),
+            row.summary.reachable().to_string(),
+            format!(
+                "{:.1}",
+                row.summary
+                    .share_of_reachable(HandshakeClass::Amplification)
+            ),
+            format!(
+                "{:.1}",
+                row.summary.share_of_reachable(HandshakeClass::MultiRtt)
+            ),
+            format!(
+                "{:.2}",
+                row.summary.share_of_reachable(HandshakeClass::Retry)
+            ),
+            format!(
+                "{:.2}",
+                row.summary.share_of_reachable(HandshakeClass::OneRtt)
+            ),
+            format!(
+                "{:.1}",
+                row.summary.share_of_all(HandshakeClass::Unreachable)
+            ),
+            row.fault_drops.to_string(),
+            row.fault_corruptions.to_string(),
+        ]);
+    }
+    format!(
+        "Network-profile matrix — handshake classes at the default Initial\n{}",
+        render_table(&t)
+    )
+}
+
 // ----------------------------------------------------- §4.1 reachability --
 
 /// Reachability drop between the smallest and largest Initial sizes,
@@ -347,6 +436,42 @@ mod tests {
         assert!((10.0..28.0).contains(&mean), "mean {mean}");
         assert!(sd < 6.0, "sd {sd}");
         assert!(!render_rank_groups(&rows).is_empty());
+    }
+
+    #[test]
+    fn profile_matrix_spans_every_profile() {
+        let c = campaign();
+        let rows = profile_matrix(&c);
+        assert_eq!(rows.len(), NetworkProfile::ALL.len());
+
+        let row = |p: NetworkProfile| rows.iter().find(|r| r.profile == p).unwrap();
+        let ideal = row(NetworkProfile::Ideal);
+        // The ideal row IS the campaign's default scan artifact.
+        let default_summary =
+            quicreach::summarize(c.config().default_initial, &c.quicreach_default());
+        assert_eq!(ideal.summary, default_summary);
+        assert_eq!(ideal.fault_drops, 0);
+        assert_eq!(ideal.fault_corruptions, 0);
+
+        // Lossy paths exercise the fault injectors and lose some services.
+        let lossy = row(NetworkProfile::Lossy);
+        assert!(lossy.fault_drops > 0);
+        assert!(lossy.summary.unreachable >= ideal.summary.unreachable);
+
+        // A long fat path changes delay but not reachability; its jitter
+        // defeats the timing-based 1-RTT classification entirely.
+        let long_fat = row(NetworkProfile::LongFat);
+        assert_eq!(long_fat.summary.reachable(), ideal.summary.reachable());
+        assert_eq!(long_fat.summary.one_rtt, 0);
+
+        // Universal tunneling pushes more services over the MTU.
+        let tunneled = row(NetworkProfile::Tunneled);
+        assert!(tunneled.summary.unreachable >= ideal.summary.unreachable);
+
+        let rendered = render_profile_matrix(&rows);
+        for p in NetworkProfile::ALL {
+            assert!(rendered.contains(p.name()), "missing row {p}");
+        }
     }
 
     #[test]

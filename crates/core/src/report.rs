@@ -21,6 +21,9 @@ pub struct ReportOptions {
     /// Include the §5 client-mitigation and loss experiments (they re-probe
     /// the multi-RTT population).
     pub guidance_mitigation: bool,
+    /// Include the network-profile scenario matrix (it re-scans the QUIC
+    /// population once per non-ideal [`quicert_netsim::NetworkProfile`]).
+    pub network_profiles: bool,
 }
 
 impl Default for ReportOptions {
@@ -31,6 +34,7 @@ impl Default for ReportOptions {
             compression_stride: 10,
             full_sweep: true,
             guidance_mitigation: true,
+            network_profiles: true,
         }
     }
 }
@@ -127,6 +131,14 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
         out.push_str(&guidance::loss_study(campaign, 0.25, 32).render());
     }
 
+    // Beyond the paper: the same population under adverse link conditions.
+    if options.network_profiles {
+        out.push('\n');
+        out.push_str(&handshakes::render_profile_matrix(
+            &handshakes::profile_matrix(campaign),
+        ));
+    }
+
     out
 }
 
@@ -146,6 +158,7 @@ mod tests {
                 compression_stride: 50,
                 full_sweep: false,
                 guidance_mitigation: false,
+                network_profiles: true,
             },
         );
         for needle in [
@@ -168,6 +181,10 @@ mod tests {
             "Table 3",
             "Figs 12/13",
             "reachability",
+            "Network-profile matrix",
+            "lossy",
+            "long-fat",
+            "tunneled",
         ] {
             assert!(report.contains(needle), "missing section {needle}");
         }

@@ -1,23 +1,24 @@
-//! The discrete-event loop that drives a two-party packet exchange.
+//! The endpoint/wire vocabulary of the simulator and the classic
+//! two-party [`run_exchange`] entry point.
 //!
-//! QUIC scans are pairwise (scanner ↔ server), so the simulator core is a
-//! two-endpoint event loop rather than a general N-node network: a
-//! [`Wire`] with one [`LinkModel`] per direction connects two [`Endpoint`]
-//! state machines, and [`run_exchange`] interleaves datagram deliveries and
-//! endpoint timers in timestamp order until the exchange finishes.
+//! QUIC scans are pairwise (scanner ↔ server): a [`Wire`] with one
+//! [`LinkModel`] per direction connects two [`Endpoint`] state machines.
+//! Since the `SimNet` refactor the actual scheduling lives in
+//! [`crate::simnet::SimNet`], which multiplexes any number of such pairs on
+//! one shared event heap; [`run_exchange`] survives as a thin one-session
+//! wrapper so existing callers keep their exact semantics (including RNG
+//! stream advancement and fault-counter accumulation on the caller's wire).
 //!
 //! Every datagram offered to the wire is recorded as a [`TraceEvent`], so
 //! measurements (amplification factors, handshake byte splits, RTT counts)
 //! are taken from the *wire view*, exactly like the paper's passive
 //! perspective, and not from what an implementation believes it sent.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::datagram::Datagram;
 use crate::fault::FaultInjector;
-use crate::link::{Delivery, LinkModel};
+use crate::link::LinkModel;
 use crate::rng::SimRng;
+use crate::simnet::SimNet;
 use crate::time::{SimDuration, SimTime};
 
 /// Which endpoint sent a datagram.
@@ -59,6 +60,27 @@ pub trait Endpoint {
 
     /// Whether this endpoint considers its part of the exchange complete.
     fn is_done(&self) -> bool;
+}
+
+/// Mutable references are endpoints too, so callers can keep ownership of
+/// their state machines while a [`SimNet`] session borrows them (this is
+/// what lets [`run_exchange`] wrap a `SimNet` without changing signature).
+impl<E: Endpoint + ?Sized> Endpoint for &mut E {
+    fn start(&mut self, now: SimTime, out: &mut Vec<Datagram>) {
+        (**self).start(now, out)
+    }
+    fn on_datagram(&mut self, dgram: &Datagram, now: SimTime, out: &mut Vec<Datagram>) {
+        (**self).on_datagram(dgram, now, out)
+    }
+    fn on_timer(&mut self, now: SimTime, out: &mut Vec<Datagram>) {
+        (**self).on_timer(now, out)
+    }
+    fn next_timer(&self) -> Option<SimTime> {
+        (**self).next_timer()
+    }
+    fn is_done(&self) -> bool {
+        (**self).is_done()
+    }
 }
 
 /// A bidirectional path between two endpoints.
@@ -107,7 +129,7 @@ pub enum DropReason {
 }
 
 /// One datagram transmission as observed on the wire.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When the sender handed the datagram to the wire.
     pub sent_at: SimTime,
@@ -145,7 +167,7 @@ impl Default for ExchangeLimits {
 }
 
 /// The result of running an exchange to quiescence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExchangeOutcome {
     /// Every datagram offered to the wire, in send order.
     pub trace: Vec<TraceEvent>,
@@ -154,6 +176,12 @@ pub struct ExchangeOutcome {
     /// True if the loop stopped because both endpoints reported done (as
     /// opposed to hitting a limit or running out of events).
     pub quiesced: bool,
+    /// Datagrams removed by the wire's [`FaultInjector`]s during *this*
+    /// exchange (both directions; counters on a reused wire are deltas).
+    pub fault_drops: u64,
+    /// Datagrams corrupted by the wire's [`FaultInjector`]s during this
+    /// exchange.
+    pub fault_corruptions: u64,
 }
 
 impl ExchangeOutcome {
@@ -182,34 +210,16 @@ impl ExchangeOutcome {
     }
 }
 
-#[derive(Debug)]
-struct PendingDelivery {
-    at: SimTime,
-    seq: u64,
-    direction: Direction,
-    dgram: Datagram,
-}
-
-impl PartialEq for PendingDelivery {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for PendingDelivery {}
-impl PartialOrd for PendingDelivery {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PendingDelivery {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Run an exchange between endpoint `a` (initiator) and endpoint `b` over
 /// `wire` until both endpoints are done, nothing remains in flight and no
 /// timers are pending — or until `limits` are hit.
+///
+/// This is a thin one-session wrapper over [`SimNet`], preserved for the
+/// many call sites that probe a single pair. The caller's `wire` (fault
+/// counters) and `rng` (stream position) are written back afterwards, so
+/// the function is bit-for-bit equivalent to the pre-`SimNet` two-endpoint
+/// loop — the equivalence test in `tests/` pins this against a verbatim
+/// copy of the old implementation.
 pub fn run_exchange(
     a: &mut dyn Endpoint,
     b: &mut dyn Endpoint,
@@ -217,167 +227,13 @@ pub fn run_exchange(
     limits: ExchangeLimits,
     rng: &mut SimRng,
 ) -> ExchangeOutcome {
-    let mut queue: BinaryHeap<Reverse<PendingDelivery>> = BinaryHeap::new();
-    let mut trace = Vec::new();
-    let mut now = SimTime::ZERO;
-    let mut seq: u64 = 0;
-    let mut outbox = Vec::new();
-
-    a.start(now, &mut outbox);
-    enqueue_all(
-        &mut outbox,
-        Direction::AtoB,
-        now,
-        wire,
-        rng,
-        &mut queue,
-        &mut trace,
-        &mut seq,
-    );
-    b.start(now, &mut outbox);
-    enqueue_all(
-        &mut outbox,
-        Direction::BtoA,
-        now,
-        wire,
-        rng,
-        &mut queue,
-        &mut trace,
-        &mut seq,
-    );
-
-    let mut events = 0usize;
-    loop {
-        if events >= limits.max_events {
-            return ExchangeOutcome {
-                trace,
-                finished_at: now,
-                quiesced: false,
-            };
-        }
-        events += 1;
-
-        // Find the earliest pending activity: a delivery or a timer.
-        let next_delivery = queue.peek().map(|Reverse(p)| p.at);
-        let next_timer_a = a.next_timer();
-        let next_timer_b = b.next_timer();
-        let candidates = [next_delivery, next_timer_a, next_timer_b];
-        let next_at = candidates.iter().flatten().min().copied();
-
-        let Some(at) = next_at else {
-            // Nothing in flight and no timers: quiescent.
-            let quiesced = a.is_done() && b.is_done();
-            return ExchangeOutcome {
-                trace,
-                finished_at: now,
-                quiesced,
-            };
-        };
-        if at > limits.deadline {
-            return ExchangeOutcome {
-                trace,
-                finished_at: now,
-                quiesced: a.is_done() && b.is_done(),
-            };
-        }
-        now = at;
-
-        // Deliveries win ties so that an endpoint sees a datagram before its
-        // co-scheduled timer fires (matches real stacks processing input
-        // before timeouts).
-        if next_delivery == Some(at) {
-            let Reverse(pending) = queue.pop().expect("peeked delivery must exist");
-            let reply_dir = match pending.direction {
-                Direction::AtoB => {
-                    b.on_datagram(&pending.dgram, now, &mut outbox);
-                    Direction::BtoA
-                }
-                Direction::BtoA => {
-                    a.on_datagram(&pending.dgram, now, &mut outbox);
-                    Direction::AtoB
-                }
-            };
-            enqueue_all(
-                &mut outbox,
-                reply_dir,
-                now,
-                wire,
-                rng,
-                &mut queue,
-                &mut trace,
-                &mut seq,
-            );
-        } else if next_timer_a == Some(at) {
-            a.on_timer(now, &mut outbox);
-            enqueue_all(
-                &mut outbox,
-                Direction::AtoB,
-                now,
-                wire,
-                rng,
-                &mut queue,
-                &mut trace,
-                &mut seq,
-            );
-        } else {
-            b.on_timer(now, &mut outbox);
-            enqueue_all(
-                &mut outbox,
-                Direction::BtoA,
-                now,
-                wire,
-                rng,
-                &mut queue,
-                &mut trace,
-                &mut seq,
-            );
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn enqueue_all(
-    outbox: &mut Vec<Datagram>,
-    direction: Direction,
-    now: SimTime,
-    wire: &mut Wire,
-    rng: &mut SimRng,
-    queue: &mut BinaryHeap<Reverse<PendingDelivery>>,
-    trace: &mut Vec<TraceEvent>,
-    seq: &mut u64,
-) {
-    for mut dgram in outbox.drain(..) {
-        dgram.sent_at = now;
-        let (link, fault) = match direction {
-            Direction::AtoB => (&wire.a_to_b, &mut wire.fault_a_to_b),
-            Direction::BtoA => (&wire.b_to_a, &mut wire.fault_b_to_a),
-        };
-        let payload_len = dgram.payload_len();
-
-        let outcome = match fault.apply(rng, dgram) {
-            None => Err(DropReason::Fault),
-            Some(dgram) => match link.deliver(rng, &dgram, now) {
-                Delivery::Arrives(at) => {
-                    *seq += 1;
-                    queue.push(Reverse(PendingDelivery {
-                        at,
-                        seq: *seq,
-                        direction,
-                        dgram,
-                    }));
-                    Ok(at)
-                }
-                Delivery::LostRandom => Err(DropReason::Loss),
-                Delivery::LostMtu(size) => Err(DropReason::Mtu(size)),
-            },
-        };
-        trace.push(TraceEvent {
-            sent_at: now,
-            direction,
-            payload_len,
-            outcome,
-        });
-    }
+    let mut net = SimNet::with_capacity(1);
+    let id = net.add_session(Box::new(a), Box::new(b), wire.clone(), limits, rng.clone());
+    net.run();
+    let (outcome, wire_back, rng_back) = net.take_parts(id);
+    *wire = wire_back;
+    *rng = rng_back;
+    outcome
 }
 
 #[cfg(test)]

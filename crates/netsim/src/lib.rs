@@ -4,8 +4,10 @@
 //! simulated time, UDP datagrams, link models with latency / loss / MTU
 //! constraints, tunnel encapsulation (the load-balancer effect of §4.1 of the
 //! paper), a network telescope for observing backscatter from spoofed
-//! handshakes (§4.3), and a tiny discrete-event loop that drives a pair of
-//! endpoints through a packet exchange.
+//! handshakes (§4.3), named [`NetworkProfile`] link-condition overlays, and
+//! [`SimNet`] — a discrete-event scheduler multiplexing any number of
+//! endpoint pairs on one shared timeline ([`run_exchange`] remains as its
+//! classic two-endpoint wrapper).
 //!
 //! Everything is deterministic: all randomness flows from a [`SimRng`] seeded
 //! with a caller-provided `u64`, so every experiment in the workspace is
@@ -20,7 +22,9 @@ pub mod datagram;
 pub mod event;
 pub mod fault;
 pub mod link;
+pub mod profile;
 pub mod rng;
+pub mod simnet;
 pub mod telescope;
 pub mod time;
 
@@ -29,6 +33,8 @@ pub use datagram::{Datagram, UDP_IPV4_OVERHEAD};
 pub use event::{run_exchange, Endpoint, ExchangeLimits, ExchangeOutcome, TraceEvent, Wire};
 pub use fault::FaultInjector;
 pub use link::{Delivery, LinkModel};
+pub use profile::NetworkProfile;
 pub use rng::SimRng;
+pub use simnet::{SessionId, SimNet};
 pub use telescope::{BackscatterRecord, Telescope};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,774 @@
+//! [`SimNet`]: a discrete-event network core multiplexing N endpoint pairs
+//! on one shared timeline.
+//!
+//! The original simulator ran one isolated two-endpoint exchange per call,
+//! rebuilding its event heap and scratch buffers for every probe. `SimNet`
+//! generalises that core: any number of *sessions* — each a pair of
+//! [`Endpoint`] state machines joined by its own [`Wire`] — share a single
+//! event heap and outbox buffer, so a scanner can batch an entire shard of
+//! domain probes onto one network and amortise the per-probe allocation
+//! cost. [`crate::event::run_exchange`] is retained as a thin one-session
+//! wrapper over this scheduler.
+//!
+//! ## Determinism and batch-size invariance
+//!
+//! Sessions never interact: each owns its wire, its fault injectors, its
+//! [`SimRng`] stream, its timers and its trace. Events are ordered by
+//! `(timestamp, session, deliveries-before-timers, sequence)`, which makes
+//! the *per-session* processing order — and therefore every per-session RNG
+//! draw — exactly the order the two-endpoint loop used. Consequently a
+//! session's [`ExchangeOutcome`] is bit-for-bit identical whether it runs
+//! alone, in a batch of ten, or in a batch of ten thousand; the property
+//! tests pin this invariance and the equivalence against the pre-`SimNet`
+//! loop.
+//!
+//! ## Timers
+//!
+//! Endpoint timers are re-polled after every event the endpoint handles.
+//! Rather than rebuilding a heap entry per poll, `SimNet` keeps one *live*
+//! timer event per endpoint side and lazily discards superseded entries: a
+//! queued timer carries the epoch of the (session, side) timer slot at push
+//! time, and a pop with a stale epoch is skipped. This preserves the
+//! two-endpoint loop's semantics, where `next_timer` was consulted fresh on
+//! every iteration.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::datagram::Datagram;
+use crate::event::{
+    Direction, DropReason, Endpoint, ExchangeLimits, ExchangeOutcome, TraceEvent, Wire,
+};
+use crate::link::Delivery;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Handle to one session on a [`SimNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(usize);
+
+impl SessionId {
+    /// The session's index, in `add_session` order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Which endpoint of a session a timer belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    A,
+    B,
+}
+
+impl Side {
+    fn idx(self) -> usize {
+        match self {
+            Side::A => 0,
+            Side::B => 1,
+        }
+    }
+}
+
+/// What a queued event does when it fires.
+enum EventKind {
+    /// A datagram arriving at the session's far endpoint.
+    Delivery {
+        seq: u64,
+        direction: Direction,
+        dgram: Datagram,
+    },
+    /// A timer callback on one endpoint; `epoch` validates it against the
+    /// session's current timer slot (stale epochs are discarded).
+    Timer { side: Side, epoch: u64 },
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    session: usize,
+    kind: EventKind,
+}
+
+impl QueuedEvent {
+    /// Total ordering key. Within a session at one timestamp, deliveries
+    /// fire before timers (an endpoint sees input before its co-scheduled
+    /// timeout, matching real stacks), deliveries order by send sequence,
+    /// and timer A fires before timer B — exactly the tie-breaks of the
+    /// original two-endpoint loop.
+    fn key(&self) -> (SimTime, usize, u8, u64, u64) {
+        match &self.kind {
+            EventKind::Delivery { seq, .. } => (self.at, self.session, 0, *seq, 0),
+            EventKind::Timer { side, epoch } => {
+                (self.at, self.session, 1, side.idx() as u64, *epoch)
+            }
+        }
+    }
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// One endpoint pair and all of its private state.
+struct Session<'e> {
+    a: Box<dyn Endpoint + 'e>,
+    b: Box<dyn Endpoint + 'e>,
+    wire: Wire,
+    limits: ExchangeLimits,
+    rng: SimRng,
+    trace: Vec<TraceEvent>,
+    /// Simulated time of the session's last processed event.
+    now: SimTime,
+    /// Per-session datagram sequence counter (delivery tie-break).
+    seq: u64,
+    /// Processed events, checked against `limits.max_events`.
+    events: usize,
+    /// Deliveries currently queued for this session.
+    pending_deliveries: usize,
+    /// Last `next_timer()` answer pushed per side; `None` = no live event.
+    timer_target: [Option<SimTime>; 2],
+    /// Epoch of each side's timer slot; queued timers with older epochs are
+    /// stale and skipped on pop.
+    timer_epoch: [u64; 2],
+    /// Fault-injector counters at session creation, so outcomes report the
+    /// faults of *this* exchange even on a reused wire.
+    faults_before: (u64, u64),
+    finished: bool,
+    quiesced: bool,
+}
+
+impl Session<'_> {
+    fn both_done(&self) -> bool {
+        self.a.is_done() && self.b.is_done()
+    }
+
+    fn fault_drops(&self) -> u64 {
+        self.wire.fault_a_to_b.drops() + self.wire.fault_b_to_a.drops() - self.faults_before.0
+    }
+
+    fn fault_corruptions(&self) -> u64 {
+        self.wire.fault_a_to_b.corruptions() + self.wire.fault_b_to_a.corruptions()
+            - self.faults_before.1
+    }
+}
+
+/// A batch of independent two-endpoint sessions scheduled on one event heap.
+///
+/// ```
+/// use quicert_netsim::{SimNet, SimRng, Wire, ExchangeLimits, SimDuration};
+/// # use quicert_netsim::{Datagram, Endpoint, SimTime};
+/// # struct Quiet;
+/// # impl Endpoint for Quiet {
+/// #     fn on_datagram(&mut self, _: &Datagram, _: SimTime, _: &mut Vec<Datagram>) {}
+/// #     fn on_timer(&mut self, _: SimTime, _: &mut Vec<Datagram>) {}
+/// #     fn next_timer(&self) -> Option<SimTime> { None }
+/// #     fn is_done(&self) -> bool { true }
+/// # }
+/// let mut net = SimNet::new();
+/// let id = net.add_session(
+///     Box::new(Quiet),
+///     Box::new(Quiet),
+///     Wire::ideal(SimDuration::from_millis(10)),
+///     ExchangeLimits::default(),
+///     SimRng::new(1),
+/// );
+/// net.run();
+/// assert!(net.take_outcome(id).quiesced);
+/// ```
+#[derive(Default)]
+pub struct SimNet<'e> {
+    sessions: Vec<Session<'e>>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    /// Shared scratch buffer endpoints write their transmissions into.
+    outbox: Vec<Datagram>,
+}
+
+impl fmt::Debug for SimNet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("sessions", &self.sessions.len())
+            .field("queued_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<'e> SimNet<'e> {
+    /// An empty network.
+    pub fn new() -> Self {
+        SimNet::default()
+    }
+
+    /// An empty network with room for `sessions` endpoint pairs.
+    pub fn with_capacity(sessions: usize) -> Self {
+        SimNet {
+            sessions: Vec::with_capacity(sessions),
+            queue: BinaryHeap::new(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Number of sessions added so far.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the network has no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Add one session: endpoint `a` initiates toward endpoint `b` over
+    /// `wire`. Both `start` hooks run immediately at `SimTime::ZERO` — every
+    /// session lives on its own virtual timeline starting at zero,
+    /// regardless of when it is added or how the batch interleaves.
+    pub fn add_session(
+        &mut self,
+        a: Box<dyn Endpoint + 'e>,
+        b: Box<dyn Endpoint + 'e>,
+        wire: Wire,
+        limits: ExchangeLimits,
+        rng: SimRng,
+    ) -> SessionId {
+        let idx = self.sessions.len();
+        let faults_before = (
+            wire.fault_a_to_b.drops() + wire.fault_b_to_a.drops(),
+            wire.fault_a_to_b.corruptions() + wire.fault_b_to_a.corruptions(),
+        );
+        let mut sess = Session {
+            a,
+            b,
+            wire,
+            limits,
+            rng,
+            trace: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            events: 0,
+            pending_deliveries: 0,
+            timer_target: [None, None],
+            timer_epoch: [0, 0],
+            faults_before,
+            finished: false,
+            quiesced: false,
+        };
+        sess.a.start(SimTime::ZERO, &mut self.outbox);
+        enqueue_outbox(
+            &mut sess,
+            idx,
+            Direction::AtoB,
+            SimTime::ZERO,
+            &mut self.outbox,
+            &mut self.queue,
+        );
+        sess.b.start(SimTime::ZERO, &mut self.outbox);
+        enqueue_outbox(
+            &mut sess,
+            idx,
+            Direction::BtoA,
+            SimTime::ZERO,
+            &mut self.outbox,
+            &mut self.queue,
+        );
+        sync_timers_and_check(&mut sess, idx, &mut self.queue);
+        self.sessions.push(sess);
+        SessionId(idx)
+    }
+
+    /// Whether a session has finished (quiesced or hit a limit).
+    pub fn is_finished(&self, id: SessionId) -> bool {
+        self.sessions[id.0].finished
+    }
+
+    /// The session's wire (fault-injector counters live here).
+    pub fn wire(&self, id: SessionId) -> &Wire {
+        &self.sessions[id.0].wire
+    }
+
+    /// Drive every session until it quiesces or hits its limits.
+    ///
+    /// Events across sessions interleave in global timestamp order, but
+    /// since sessions share no state, each session's outcome is identical
+    /// to running it alone.
+    pub fn run(&mut self) {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            let s = ev.session;
+            let sess = &mut self.sessions[s];
+            if sess.finished {
+                continue;
+            }
+            if let EventKind::Timer { side, epoch } = ev.kind {
+                if sess.timer_epoch[side.idx()] != epoch {
+                    continue;
+                }
+            }
+            // The first live event of a session is its earliest pending
+            // activity; past the deadline the session stops un-advanced,
+            // exactly like the two-endpoint loop.
+            if ev.at > sess.limits.deadline {
+                sess.quiesced = sess.both_done();
+                sess.finished = true;
+                continue;
+            }
+            sess.now = ev.at;
+            sess.events += 1;
+            match ev.kind {
+                EventKind::Delivery {
+                    direction, dgram, ..
+                } => {
+                    sess.pending_deliveries -= 1;
+                    let reply_dir = match direction {
+                        Direction::AtoB => {
+                            sess.b.on_datagram(&dgram, ev.at, &mut self.outbox);
+                            Direction::BtoA
+                        }
+                        Direction::BtoA => {
+                            sess.a.on_datagram(&dgram, ev.at, &mut self.outbox);
+                            Direction::AtoB
+                        }
+                    };
+                    enqueue_outbox(sess, s, reply_dir, ev.at, &mut self.outbox, &mut self.queue);
+                }
+                EventKind::Timer { side, .. } => {
+                    // This slot's event is consumed: clear the target so a
+                    // re-armed deadline (even an identical one) gets a
+                    // fresh queue entry.
+                    sess.timer_target[side.idx()] = None;
+                    sess.timer_epoch[side.idx()] += 1;
+                    let direction = match side {
+                        Side::A => {
+                            sess.a.on_timer(ev.at, &mut self.outbox);
+                            Direction::AtoB
+                        }
+                        Side::B => {
+                            sess.b.on_timer(ev.at, &mut self.outbox);
+                            Direction::BtoA
+                        }
+                    };
+                    enqueue_outbox(sess, s, direction, ev.at, &mut self.outbox, &mut self.queue);
+                }
+            }
+            sync_timers_and_check(sess, s, &mut self.queue);
+        }
+        debug_assert!(
+            self.sessions.iter().all(|s| s.finished),
+            "event heap drained with unfinished sessions"
+        );
+    }
+
+    /// Take a finished session's outcome (trace moves out; a second take
+    /// returns an empty trace).
+    pub fn take_outcome(&mut self, id: SessionId) -> ExchangeOutcome {
+        let sess = &mut self.sessions[id.0];
+        ExchangeOutcome {
+            trace: std::mem::take(&mut sess.trace),
+            finished_at: sess.now,
+            quiesced: sess.quiesced,
+            fault_drops: sess.fault_drops(),
+            fault_corruptions: sess.fault_corruptions(),
+        }
+    }
+
+    /// Take a finished session's outcome together with its wire and RNG —
+    /// what the [`crate::event::run_exchange`] wrapper writes back to its
+    /// caller so counters and RNG streams advance exactly as before.
+    pub fn take_parts(&mut self, id: SessionId) -> (ExchangeOutcome, Wire, SimRng) {
+        let outcome = self.take_outcome(id);
+        let sess = &mut self.sessions[id.0];
+        let wire = std::mem::take(&mut sess.wire);
+        let rng = std::mem::replace(&mut sess.rng, SimRng::new(0));
+        (outcome, wire, rng)
+    }
+
+    /// Consume the network, returning every session's outcome in
+    /// `add_session` order.
+    pub fn into_outcomes(mut self) -> Vec<ExchangeOutcome> {
+        (0..self.sessions.len())
+            .map(|i| self.take_outcome(SessionId(i)))
+            .collect()
+    }
+}
+
+/// Offer every datagram in `outbox` to the session's wire: apply the fault
+/// injector, then the link model, queueing deliveries and recording one
+/// [`TraceEvent`] per datagram. RNG draw order matches the pre-`SimNet`
+/// loop exactly (fault first, then link).
+fn enqueue_outbox(
+    sess: &mut Session<'_>,
+    session_idx: usize,
+    direction: Direction,
+    now: SimTime,
+    outbox: &mut Vec<Datagram>,
+    queue: &mut BinaryHeap<Reverse<QueuedEvent>>,
+) {
+    for mut dgram in outbox.drain(..) {
+        dgram.sent_at = now;
+        let (link, fault) = match direction {
+            Direction::AtoB => (&sess.wire.a_to_b, &mut sess.wire.fault_a_to_b),
+            Direction::BtoA => (&sess.wire.b_to_a, &mut sess.wire.fault_b_to_a),
+        };
+        let payload_len = dgram.payload_len();
+
+        let outcome = match fault.apply(&mut sess.rng, dgram) {
+            None => Err(DropReason::Fault),
+            Some(dgram) => match link.deliver(&mut sess.rng, &dgram, now) {
+                Delivery::Arrives(at) => {
+                    sess.seq += 1;
+                    queue.push(Reverse(QueuedEvent {
+                        at,
+                        session: session_idx,
+                        kind: EventKind::Delivery {
+                            seq: sess.seq,
+                            direction,
+                            dgram,
+                        },
+                    }));
+                    sess.pending_deliveries += 1;
+                    Ok(at)
+                }
+                Delivery::LostRandom => Err(DropReason::Loss),
+                Delivery::LostMtu(size) => Err(DropReason::Mtu(size)),
+            },
+        };
+        sess.trace.push(TraceEvent {
+            sent_at: now,
+            direction,
+            payload_len,
+            outcome,
+        });
+    }
+}
+
+/// Re-poll both endpoints' timers (pushing fresh events for changed
+/// deadlines) and apply the session termination rules: the event budget
+/// first — exhausting `max_events` reports `quiesced: false` exactly like
+/// the old loop's runaway guard — then quiescence when nothing is in
+/// flight and no timer is armed.
+fn sync_timers_and_check(
+    sess: &mut Session<'_>,
+    session_idx: usize,
+    queue: &mut BinaryHeap<Reverse<QueuedEvent>>,
+) {
+    for (i, side) in [Side::A, Side::B].into_iter().enumerate() {
+        let next = match side {
+            Side::A => sess.a.next_timer(),
+            Side::B => sess.b.next_timer(),
+        };
+        if sess.timer_target[i] != next {
+            sess.timer_target[i] = next;
+            sess.timer_epoch[i] += 1;
+            if let Some(at) = next {
+                queue.push(Reverse(QueuedEvent {
+                    at,
+                    session: session_idx,
+                    kind: EventKind::Timer {
+                        side,
+                        epoch: sess.timer_epoch[i],
+                    },
+                }));
+            }
+        }
+    }
+    if sess.events >= sess.limits.max_events {
+        sess.quiesced = false;
+        sess.finished = true;
+    } else if sess.pending_deliveries == 0 && sess.timer_target == [None, None] {
+        sess.quiesced = sess.both_done();
+        sess.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultInjector;
+    use crate::link::LinkModel;
+    use crate::time::SimDuration;
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    /// Sends `count` pings; expects an echo for each before the next.
+    struct Pinger {
+        remaining: u32,
+        payload: usize,
+    }
+
+    struct Echoer;
+
+    impl Endpoint for Pinger {
+        fn start(&mut self, _now: SimTime, out: &mut Vec<Datagram>) {
+            if self.remaining > 0 {
+                out.push(Datagram::new(A, B, 1000, 443, vec![1; self.payload]));
+            }
+        }
+        fn on_datagram(&mut self, _d: &Datagram, _now: SimTime, out: &mut Vec<Datagram>) {
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                out.push(Datagram::new(A, B, 1000, 443, vec![1; self.payload]));
+            }
+        }
+        fn on_timer(&mut self, _now: SimTime, _out: &mut Vec<Datagram>) {}
+        fn next_timer(&self) -> Option<SimTime> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    impl Endpoint for Echoer {
+        fn on_datagram(&mut self, d: &Datagram, _now: SimTime, out: &mut Vec<Datagram>) {
+            out.push(d.reply_with(d.payload.clone()));
+        }
+        fn on_timer(&mut self, _now: SimTime, _out: &mut Vec<Datagram>) {}
+        fn next_timer(&self) -> Option<SimTime> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    /// A burst sender: emits `n` datagrams at once so several deliveries
+    /// share one arrival timestamp.
+    struct Burst {
+        n: usize,
+    }
+
+    impl Endpoint for Burst {
+        fn start(&mut self, _now: SimTime, out: &mut Vec<Datagram>) {
+            for i in 0..self.n {
+                out.push(Datagram::new(A, B, 1000, 443, vec![i as u8; 10 + i]));
+            }
+        }
+        fn on_datagram(&mut self, _d: &Datagram, _now: SimTime, _out: &mut Vec<Datagram>) {}
+        fn on_timer(&mut self, _now: SimTime, _out: &mut Vec<Datagram>) {}
+        fn next_timer(&self) -> Option<SimTime> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    /// Records the payload sizes it receives, in arrival order.
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<usize>,
+    }
+
+    impl Endpoint for Recorder {
+        fn on_datagram(&mut self, d: &Datagram, _now: SimTime, _out: &mut Vec<Datagram>) {
+            self.seen.push(d.payload_len());
+        }
+        fn on_timer(&mut self, _now: SimTime, _out: &mut Vec<Datagram>) {}
+        fn next_timer(&self) -> Option<SimTime> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    fn lossy_wire(latency_ms: u64, loss: f64, jitter_ms: u64) -> Wire {
+        Wire::symmetric(LinkModel {
+            latency: SimDuration::from_millis(latency_ms),
+            jitter: SimDuration::from_millis(jitter_ms),
+            loss,
+            ..LinkModel::default()
+        })
+    }
+
+    #[test]
+    fn single_session_ping_pong_quiesces() {
+        let mut net = SimNet::new();
+        let id = net.add_session(
+            Box::new(Pinger {
+                remaining: 3,
+                payload: 100,
+            }),
+            Box::new(Echoer),
+            Wire::ideal(SimDuration::from_millis(10)),
+            ExchangeLimits::default(),
+            SimRng::new(1),
+        );
+        net.run();
+        let out = net.take_outcome(id);
+        assert!(out.quiesced);
+        assert_eq!(out.datagrams(Direction::AtoB), 3);
+        assert_eq!(
+            out.finished_at,
+            SimTime::ZERO + SimDuration::from_millis(60)
+        );
+    }
+
+    #[test]
+    fn equal_timestamp_deliveries_arrive_in_send_order() {
+        // A burst of datagrams over a zero-jitter wire all arrive at the
+        // same instant; the recorder must see them in send (seq) order.
+        let mut recorder = Recorder::default();
+        let mut net = SimNet::new();
+        let id = net.add_session(
+            Box::new(Burst { n: 8 }),
+            Box::new(&mut recorder),
+            Wire::ideal(SimDuration::from_millis(5)),
+            ExchangeLimits::default(),
+            SimRng::new(2),
+        );
+        net.run();
+        assert!(net.take_outcome(id).quiesced);
+        drop(net);
+        assert_eq!(recorder.seen, (0..8).map(|i| 10 + i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_sessions_match_solo_runs_bit_for_bit() {
+        // 12 sessions with jittery, lossy wires and distinct RNG streams:
+        // the outcome of each must be identical run alone or batched.
+        let seeds: Vec<u64> = (0..12).collect();
+        let solo: Vec<ExchangeOutcome> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut net = SimNet::new();
+                let id = net.add_session(
+                    Box::new(Pinger {
+                        remaining: 5,
+                        payload: 50 + seed as usize,
+                    }),
+                    Box::new(Echoer),
+                    lossy_wire(1 + seed % 7, 0.2, 3),
+                    ExchangeLimits::default(),
+                    SimRng::new(seed ^ 0xBA7C),
+                );
+                net.run();
+                net.take_outcome(id)
+            })
+            .collect();
+
+        let mut net = SimNet::with_capacity(seeds.len());
+        let ids: Vec<SessionId> = seeds
+            .iter()
+            .map(|&seed| {
+                net.add_session(
+                    Box::new(Pinger {
+                        remaining: 5,
+                        payload: 50 + seed as usize,
+                    }),
+                    Box::new(Echoer),
+                    lossy_wire(1 + seed % 7, 0.2, 3),
+                    ExchangeLimits::default(),
+                    SimRng::new(seed ^ 0xBA7C),
+                )
+            })
+            .collect();
+        net.run();
+        for (id, reference) in ids.into_iter().zip(&solo) {
+            let batched = net.take_outcome(id);
+            assert_eq!(batched.trace, reference.trace, "session {}", id.index());
+            assert_eq!(batched.finished_at, reference.finished_at);
+            assert_eq!(batched.quiesced, reference.quiesced);
+        }
+    }
+
+    #[test]
+    fn outcome_surfaces_fault_counters() {
+        let mut wire = Wire::ideal(SimDuration::from_millis(1));
+        wire.fault_a_to_b = FaultInjector::dropping(1.0);
+        let mut net = SimNet::new();
+        let id = net.add_session(
+            Box::new(Pinger {
+                remaining: 1,
+                payload: 64,
+            }),
+            Box::new(Echoer),
+            wire,
+            ExchangeLimits::default(),
+            SimRng::new(3),
+        );
+        net.run();
+        let out = net.take_outcome(id);
+        assert!(!out.quiesced);
+        assert_eq!(out.fault_drops, 1);
+        assert_eq!(out.fault_corruptions, 0);
+    }
+
+    #[test]
+    fn max_events_zero_finishes_immediately_unquiesced() {
+        let mut net = SimNet::new();
+        let id = net.add_session(
+            Box::new(Pinger {
+                remaining: 1,
+                payload: 10,
+            }),
+            Box::new(Echoer),
+            Wire::ideal(SimDuration::from_millis(1)),
+            ExchangeLimits {
+                max_events: 0,
+                ..ExchangeLimits::default()
+            },
+            SimRng::new(4),
+        );
+        assert!(net.is_finished(id));
+        net.run();
+        assert!(!net.take_outcome(id).quiesced);
+    }
+
+    #[test]
+    fn sessions_added_with_nothing_to_do_quiesce_at_zero() {
+        let mut net = SimNet::new();
+        let id = net.add_session(
+            Box::new(Pinger {
+                remaining: 0,
+                payload: 0,
+            }),
+            Box::new(Echoer),
+            Wire::ideal(SimDuration::from_millis(1)),
+            ExchangeLimits::default(),
+            SimRng::new(5),
+        );
+        assert!(net.is_finished(id));
+        net.run();
+        let out = net.take_outcome(id);
+        assert!(out.quiesced);
+        assert_eq!(out.finished_at, SimTime::ZERO);
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn into_outcomes_returns_sessions_in_add_order() {
+        let mut net = SimNet::new();
+        for i in 0..3u32 {
+            net.add_session(
+                Box::new(Pinger {
+                    remaining: i,
+                    payload: 10,
+                }),
+                Box::new(Echoer),
+                Wire::ideal(SimDuration::from_millis(1)),
+                ExchangeLimits::default(),
+                SimRng::new(i as u64),
+            );
+        }
+        net.run();
+        let outcomes = net.into_outcomes();
+        assert_eq!(outcomes.len(), 3);
+        for (i, out) in outcomes.iter().enumerate() {
+            assert_eq!(out.datagrams(Direction::AtoB), i);
+        }
+    }
+}

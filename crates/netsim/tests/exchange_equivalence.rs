@@ -1,0 +1,526 @@
+//! Pins the `run_exchange` wrapper bit-for-bit against the pre-`SimNet`
+//! two-endpoint event loop.
+//!
+//! `reference_run_exchange` below is a verbatim copy of the implementation
+//! that shipped before the `SimNet` refactor (modulo the two fault-counter
+//! fields that did not exist then). Every scenario — ideal ping-pong,
+//! lossy jittery wires, retransmission timers, fault injection, MTU drops,
+//! deadlines and event budgets — must produce an identical trace, finish
+//! time, quiescence flag and RNG stream position through both paths.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+
+use quicert_netsim::event::{Direction, DropReason};
+use quicert_netsim::link::Delivery;
+use quicert_netsim::{
+    run_exchange, Datagram, Endpoint, ExchangeLimits, FaultInjector, LinkModel, SimDuration,
+    SimRng, SimTime, TraceEvent, Wire,
+};
+
+// ------------------------------------------------- the reference loop --
+
+#[derive(Debug)]
+struct PendingDelivery {
+    at: SimTime,
+    seq: u64,
+    direction: Direction,
+    dgram: Datagram,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The pre-refactor outcome shape (no fault counters).
+struct ReferenceOutcome {
+    trace: Vec<TraceEvent>,
+    finished_at: SimTime,
+    quiesced: bool,
+}
+
+/// Verbatim copy of the pre-`SimNet` `run_exchange`.
+fn reference_run_exchange(
+    a: &mut dyn Endpoint,
+    b: &mut dyn Endpoint,
+    wire: &mut Wire,
+    limits: ExchangeLimits,
+    rng: &mut SimRng,
+) -> ReferenceOutcome {
+    let mut queue: BinaryHeap<Reverse<PendingDelivery>> = BinaryHeap::new();
+    let mut trace = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut seq: u64 = 0;
+    let mut outbox = Vec::new();
+
+    a.start(now, &mut outbox);
+    enqueue_all(
+        &mut outbox,
+        Direction::AtoB,
+        now,
+        wire,
+        rng,
+        &mut queue,
+        &mut trace,
+        &mut seq,
+    );
+    b.start(now, &mut outbox);
+    enqueue_all(
+        &mut outbox,
+        Direction::BtoA,
+        now,
+        wire,
+        rng,
+        &mut queue,
+        &mut trace,
+        &mut seq,
+    );
+
+    let mut events = 0usize;
+    loop {
+        if events >= limits.max_events {
+            return ReferenceOutcome {
+                trace,
+                finished_at: now,
+                quiesced: false,
+            };
+        }
+        events += 1;
+
+        let next_delivery = queue.peek().map(|Reverse(p)| p.at);
+        let next_timer_a = a.next_timer();
+        let next_timer_b = b.next_timer();
+        let candidates = [next_delivery, next_timer_a, next_timer_b];
+        let next_at = candidates.iter().flatten().min().copied();
+
+        let Some(at) = next_at else {
+            let quiesced = a.is_done() && b.is_done();
+            return ReferenceOutcome {
+                trace,
+                finished_at: now,
+                quiesced,
+            };
+        };
+        if at > limits.deadline {
+            return ReferenceOutcome {
+                trace,
+                finished_at: now,
+                quiesced: a.is_done() && b.is_done(),
+            };
+        }
+        now = at;
+
+        if next_delivery == Some(at) {
+            let Reverse(pending) = queue.pop().expect("peeked delivery must exist");
+            let reply_dir = match pending.direction {
+                Direction::AtoB => {
+                    b.on_datagram(&pending.dgram, now, &mut outbox);
+                    Direction::BtoA
+                }
+                Direction::BtoA => {
+                    a.on_datagram(&pending.dgram, now, &mut outbox);
+                    Direction::AtoB
+                }
+            };
+            enqueue_all(
+                &mut outbox,
+                reply_dir,
+                now,
+                wire,
+                rng,
+                &mut queue,
+                &mut trace,
+                &mut seq,
+            );
+        } else if next_timer_a == Some(at) {
+            a.on_timer(now, &mut outbox);
+            enqueue_all(
+                &mut outbox,
+                Direction::AtoB,
+                now,
+                wire,
+                rng,
+                &mut queue,
+                &mut trace,
+                &mut seq,
+            );
+        } else {
+            b.on_timer(now, &mut outbox);
+            enqueue_all(
+                &mut outbox,
+                Direction::BtoA,
+                now,
+                wire,
+                rng,
+                &mut queue,
+                &mut trace,
+                &mut seq,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enqueue_all(
+    outbox: &mut Vec<Datagram>,
+    direction: Direction,
+    now: SimTime,
+    wire: &mut Wire,
+    rng: &mut SimRng,
+    queue: &mut BinaryHeap<Reverse<PendingDelivery>>,
+    trace: &mut Vec<TraceEvent>,
+    seq: &mut u64,
+) {
+    for mut dgram in outbox.drain(..) {
+        dgram.sent_at = now;
+        let (link, fault) = match direction {
+            Direction::AtoB => (&wire.a_to_b, &mut wire.fault_a_to_b),
+            Direction::BtoA => (&wire.b_to_a, &mut wire.fault_b_to_a),
+        };
+        let payload_len = dgram.payload_len();
+
+        let outcome = match fault.apply(rng, dgram) {
+            None => Err(DropReason::Fault),
+            Some(dgram) => match link.deliver(rng, &dgram, now) {
+                Delivery::Arrives(at) => {
+                    *seq += 1;
+                    queue.push(Reverse(PendingDelivery {
+                        at,
+                        seq: *seq,
+                        direction,
+                        dgram,
+                    }));
+                    Ok(at)
+                }
+                Delivery::LostRandom => Err(DropReason::Loss),
+                Delivery::LostMtu(size) => Err(DropReason::Mtu(size)),
+            },
+        };
+        trace.push(TraceEvent {
+            sent_at: now,
+            direction,
+            payload_len,
+            outcome,
+        });
+    }
+}
+
+// ------------------------------------------------------ test endpoints --
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// A pinger with a retransmission timer: resends its ping after `pto` if
+/// no echo arrived, up to `max_sends` total transmissions. Exercises every
+/// timer path of the scheduler (arm, fire, re-arm, cancel).
+#[derive(Clone)]
+struct RetryPinger {
+    remaining: u32,
+    payload: usize,
+    pto: SimDuration,
+    max_sends: u32,
+    sends: u32,
+    deadline: Option<SimTime>,
+}
+
+impl RetryPinger {
+    fn new(remaining: u32, payload: usize, pto_ms: u64, max_sends: u32) -> Self {
+        RetryPinger {
+            remaining,
+            payload,
+            pto: SimDuration::from_millis(pto_ms),
+            max_sends,
+            sends: 0,
+            deadline: None,
+        }
+    }
+
+    fn ping(&mut self, now: SimTime, out: &mut Vec<Datagram>) {
+        out.push(Datagram::new(A, B, 1000, 443, vec![7; self.payload]));
+        self.sends += 1;
+        self.deadline = Some(now + self.pto);
+    }
+}
+
+impl Endpoint for RetryPinger {
+    fn start(&mut self, now: SimTime, out: &mut Vec<Datagram>) {
+        if self.remaining > 0 {
+            self.ping(now, out);
+        }
+    }
+    fn on_datagram(&mut self, _d: &Datagram, now: SimTime, out: &mut Vec<Datagram>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        self.sends = 0;
+        self.deadline = None;
+        if self.remaining > 0 {
+            self.ping(now, out);
+        }
+    }
+    fn on_timer(&mut self, now: SimTime, out: &mut Vec<Datagram>) {
+        self.deadline = None;
+        if self.remaining > 0 && self.sends < self.max_sends {
+            self.ping(now, out);
+        }
+    }
+    fn next_timer(&self) -> Option<SimTime> {
+        self.deadline
+    }
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Echoes datagrams back after a think delay driven by its own timer.
+#[derive(Clone)]
+struct DelayedEchoer {
+    think: SimDuration,
+    queued: Vec<Datagram>,
+    deadline: Option<SimTime>,
+}
+
+impl DelayedEchoer {
+    fn new(think_ms: u64) -> Self {
+        DelayedEchoer {
+            think: SimDuration::from_millis(think_ms),
+            queued: Vec::new(),
+            deadline: None,
+        }
+    }
+}
+
+impl Endpoint for DelayedEchoer {
+    fn on_datagram(&mut self, d: &Datagram, now: SimTime, _out: &mut Vec<Datagram>) {
+        self.queued.push(d.reply_with(d.payload.clone()));
+        if self.deadline.is_none() {
+            self.deadline = Some(now + self.think);
+        }
+    }
+    fn on_timer(&mut self, _now: SimTime, out: &mut Vec<Datagram>) {
+        self.deadline = None;
+        out.append(&mut self.queued);
+    }
+    fn next_timer(&self) -> Option<SimTime> {
+        self.deadline
+    }
+    fn is_done(&self) -> bool {
+        self.queued.is_empty()
+    }
+}
+
+// ------------------------------------------------------------ scenarios --
+
+struct Scenario {
+    name: &'static str,
+    pinger: RetryPinger,
+    echoer: DelayedEchoer,
+    wire: Wire,
+    limits: ExchangeLimits,
+    seed: u64,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut faulty = Wire::ideal(SimDuration::from_millis(5));
+    faulty.fault_a_to_b = FaultInjector::dropping(0.3);
+    let mut corrupting = FaultInjector::dropping(0.1);
+    corrupting.corrupt_chance = 0.5;
+    faulty.fault_b_to_a = corrupting;
+
+    let mut tunneled = Wire::ideal(SimDuration::from_millis(8));
+    tunneled.a_to_b = LinkModel::tunneled(SimDuration::from_millis(8), 40);
+
+    vec![
+        Scenario {
+            name: "ideal ping-pong, no timers fire",
+            pinger: RetryPinger::new(4, 100, 1_000, 2),
+            echoer: DelayedEchoer::new(0),
+            wire: Wire::ideal(SimDuration::from_millis(10)),
+            limits: ExchangeLimits::default(),
+            seed: 1,
+        },
+        Scenario {
+            name: "lossy jittery wire with retransmissions",
+            pinger: RetryPinger::new(6, 64, 40, 5),
+            echoer: DelayedEchoer::new(3),
+            wire: Wire::symmetric(LinkModel {
+                latency: SimDuration::from_millis(15),
+                jitter: SimDuration::from_millis(4),
+                loss: 0.25,
+                ..LinkModel::default()
+            }),
+            limits: ExchangeLimits::default(),
+            seed: 2,
+        },
+        Scenario {
+            name: "fault injectors on both directions",
+            pinger: RetryPinger::new(5, 200, 30, 4),
+            echoer: DelayedEchoer::new(1),
+            wire: faulty,
+            limits: ExchangeLimits::default(),
+            seed: 3,
+        },
+        Scenario {
+            name: "MTU drops through a tunnel",
+            pinger: RetryPinger::new(3, 1_460, 25, 3),
+            echoer: DelayedEchoer::new(0),
+            wire: tunneled,
+            limits: ExchangeLimits::default(),
+            seed: 4,
+        },
+        Scenario {
+            name: "deadline cuts the exchange short",
+            pinger: RetryPinger::new(1_000, 50, 20, 1_000),
+            echoer: DelayedEchoer::new(2),
+            wire: Wire::ideal(SimDuration::from_millis(30)),
+            limits: ExchangeLimits {
+                deadline: SimTime::ZERO + SimDuration::from_millis(500),
+                ..ExchangeLimits::default()
+            },
+            seed: 5,
+        },
+        Scenario {
+            name: "event budget runaway guard",
+            pinger: RetryPinger::new(u32::MAX, 20, 10, u32::MAX),
+            echoer: DelayedEchoer::new(0),
+            wire: Wire::ideal(SimDuration::from_micros(10)),
+            limits: ExchangeLimits {
+                max_events: 73,
+                ..ExchangeLimits::default()
+            },
+            seed: 6,
+        },
+        Scenario {
+            name: "nothing to do at all",
+            pinger: RetryPinger::new(0, 0, 10, 1),
+            echoer: DelayedEchoer::new(0),
+            wire: Wire::ideal(SimDuration::from_millis(1)),
+            limits: ExchangeLimits::default(),
+            seed: 7,
+        },
+    ]
+}
+
+#[test]
+fn wrapper_reproduces_the_pre_refactor_loop_bit_for_bit() {
+    for scenario in scenarios() {
+        let mut ref_pinger = scenario.pinger.clone();
+        let mut ref_echoer = scenario.echoer.clone();
+        let mut ref_wire = scenario.wire.clone();
+        let mut ref_rng = SimRng::new(scenario.seed);
+        let reference = reference_run_exchange(
+            &mut ref_pinger,
+            &mut ref_echoer,
+            &mut ref_wire,
+            scenario.limits,
+            &mut ref_rng,
+        );
+
+        let mut pinger = scenario.pinger.clone();
+        let mut echoer = scenario.echoer.clone();
+        let mut wire = scenario.wire.clone();
+        let mut rng = SimRng::new(scenario.seed);
+        let outcome = run_exchange(
+            &mut pinger,
+            &mut echoer,
+            &mut wire,
+            scenario.limits,
+            &mut rng,
+        );
+
+        assert_eq!(outcome.trace, reference.trace, "trace: {}", scenario.name);
+        assert_eq!(
+            outcome.finished_at, reference.finished_at,
+            "finished_at: {}",
+            scenario.name
+        );
+        assert_eq!(
+            outcome.quiesced, reference.quiesced,
+            "quiesced: {}",
+            scenario.name
+        );
+        // The caller-visible side effects match too: RNG stream position…
+        assert_eq!(
+            rng.next_u64(),
+            ref_rng.next_u64(),
+            "rng stream: {}",
+            scenario.name
+        );
+        // …endpoint state…
+        assert_eq!(
+            pinger.remaining, ref_pinger.remaining,
+            "pinger state: {}",
+            scenario.name
+        );
+        // …and fault counters accumulated on the caller's wire.
+        assert_eq!(
+            wire.fault_a_to_b.drops() + wire.fault_b_to_a.drops(),
+            ref_wire.fault_a_to_b.drops() + ref_wire.fault_b_to_a.drops(),
+            "fault drops: {}",
+            scenario.name
+        );
+        assert_eq!(
+            wire.fault_b_to_a.corruptions(),
+            ref_wire.fault_b_to_a.corruptions(),
+            "fault corruptions: {}",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn wrapper_equivalence_holds_across_many_seeds() {
+    // A randomised sweep over the nastiest scenario shape: loss + jitter +
+    // faults + timers, 64 different RNG streams.
+    for seed in 0..64u64 {
+        let mut wire = Wire::symmetric(LinkModel {
+            latency: SimDuration::from_millis(1 + seed % 23),
+            jitter: SimDuration::from_millis(seed % 7),
+            loss: (seed % 5) as f64 * 0.08,
+            ..LinkModel::default()
+        });
+        wire.fault_a_to_b = FaultInjector::dropping((seed % 3) as f64 * 0.1);
+
+        let make_pinger = || RetryPinger::new(3 + (seed % 5) as u32, 60, 15 + seed % 30, 4);
+        let make_echoer = || DelayedEchoer::new(seed % 4);
+
+        let mut ref_wire = wire.clone();
+        let mut ref_rng = SimRng::new(seed.wrapping_mul(0x9E37));
+        let reference = reference_run_exchange(
+            &mut make_pinger(),
+            &mut make_echoer(),
+            &mut ref_wire,
+            ExchangeLimits::default(),
+            &mut ref_rng,
+        );
+
+        let mut rng = SimRng::new(seed.wrapping_mul(0x9E37));
+        let outcome = run_exchange(
+            &mut make_pinger(),
+            &mut make_echoer(),
+            &mut wire,
+            ExchangeLimits::default(),
+            &mut rng,
+        );
+
+        assert_eq!(outcome.trace, reference.trace, "seed {seed}");
+        assert_eq!(outcome.finished_at, reference.finished_at, "seed {seed}");
+        assert_eq!(outcome.quiesced, reference.quiesced, "seed {seed}");
+        assert_eq!(rng.next_u64(), ref_rng.next_u64(), "seed {seed}");
+    }
+}

@@ -7,10 +7,62 @@
 //! as it was to the paper's scanners.
 
 use quicert_netsim::event::Direction;
-use quicert_netsim::{run_exchange, Datagram, ExchangeLimits, SimDuration, SimRng, SimTime, Wire};
+use quicert_netsim::{
+    run_exchange, Datagram, Endpoint, ExchangeLimits, ExchangeOutcome, SessionId, SimDuration,
+    SimNet, SimRng, SimTime, Wire,
+};
 
 use crate::client::{ClientConfig, ClientConn, SilentClient};
 use crate::server::{ServerConfig, ServerConn, ServerStats};
+
+/// RNG stream label for complete-handshake exchanges ("DSH").
+const HANDSHAKE_RNG_LABEL: u64 = 0x44_5348;
+/// RNG stream label for spoofed probes ("SPOO").
+const SPOOFED_RNG_LABEL: u64 = 0x5350_4F4F;
+
+/// Event limits for a complete-handshake attempt.
+fn handshake_limits() -> ExchangeLimits {
+    ExchangeLimits {
+        deadline: SimTime::ZERO + SimDuration::from_secs(30),
+        max_events: 10_000,
+    }
+}
+
+/// Event limits for a spoofed probe (sessions span the full retransmission
+/// backoff, tens of simulated seconds).
+fn spoofed_limits() -> ExchangeLimits {
+    ExchangeLimits {
+        deadline: SimTime::ZERO + SimDuration::from_secs(300),
+        max_events: 100_000,
+    }
+}
+
+/// Drive N borrowed endpoint pairs as sessions of one [`SimNet`] and hand
+/// back each session's `(outcome, wire)` in input order. Shared by both
+/// batch drivers so the wire/RNG threading can never diverge between the
+/// handshake and spoofed paths.
+fn drive_sessions<A: Endpoint, B: Endpoint>(
+    initiators: &mut [A],
+    responders: &mut [B],
+    wires: Vec<Wire>,
+    rngs: Vec<SimRng>,
+    limits: ExchangeLimits,
+) -> Vec<(ExchangeOutcome, Wire)> {
+    let mut net = SimNet::with_capacity(initiators.len());
+    let ids: Vec<SessionId> = initiators
+        .iter_mut()
+        .zip(responders.iter_mut())
+        .zip(wires.into_iter().zip(rngs))
+        .map(|((a, b), (wire, rng))| net.add_session(Box::new(a), Box::new(b), wire, limits, rng))
+        .collect();
+    net.run();
+    ids.into_iter()
+        .map(|id| {
+            let (outcome, wire, _rng) = net.take_parts(id);
+            (outcome, wire)
+        })
+        .collect()
+}
 
 /// The handshake classes of §3.2 / §4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,6 +116,12 @@ pub struct HandshakeOutcome {
     pub server_stats: ServerStats,
     /// When the client completed, if it did.
     pub completed_at: Option<SimTime>,
+    /// Datagrams removed by the wire's fault injectors during this attempt
+    /// (both directions) — the per-session view of adverse link conditions.
+    pub fault_drops: u64,
+    /// Datagrams corrupted by the wire's fault injectors during this
+    /// attempt.
+    pub fault_corruptions: u64,
 }
 
 impl HandshakeOutcome {
@@ -98,22 +156,16 @@ impl HandshakeOutcome {
     }
 }
 
-/// Run a complete handshake attempt.
-pub fn run_handshake(
-    client_config: ClientConfig,
-    server_config: ServerConfig,
-    wire: &mut Wire,
-    seed: u64,
+/// Turn one finished exchange into the paper's handshake measurements.
+///
+/// Shared by the single-probe [`run_handshake`] and the batched
+/// [`run_handshake_batch`], so both paths measure identically.
+fn extract_handshake_outcome(
+    client: &ClientConn,
+    server: &ServerConn,
+    wire: &Wire,
+    outcome: &ExchangeOutcome,
 ) -> HandshakeOutcome {
-    let mut client = ClientConn::new(client_config);
-    let mut server = ServerConn::new(server_config);
-    let mut rng = SimRng::new(seed ^ 0x44_5348);
-    let limits = ExchangeLimits {
-        deadline: SimTime::ZERO + SimDuration::from_secs(30),
-        max_events: 10_000,
-    };
-    let outcome = run_exchange(&mut client, &mut server, wire, limits, &mut rng);
-
     // The first flight is everything the server sent before the client's
     // second datagram arrived at the server.
     let second_client_arrival = outcome
@@ -151,7 +203,68 @@ pub fn run_handshake(
         rtt_count,
         server_stats: *server.stats(),
         completed_at: client.completed_at,
+        fault_drops: outcome.fault_drops,
+        fault_corruptions: outcome.fault_corruptions,
     }
+}
+
+/// Run a complete handshake attempt.
+pub fn run_handshake(
+    client_config: ClientConfig,
+    server_config: ServerConfig,
+    wire: &mut Wire,
+    seed: u64,
+) -> HandshakeOutcome {
+    let mut client = ClientConn::new(client_config);
+    let mut server = ServerConn::new(server_config);
+    let mut rng = SimRng::new(seed ^ HANDSHAKE_RNG_LABEL);
+    let outcome = run_exchange(&mut client, &mut server, wire, handshake_limits(), &mut rng);
+    extract_handshake_outcome(&client, &server, wire, &outcome)
+}
+
+/// One probe of a batched handshake scan: everything [`run_handshake`]
+/// takes, as data.
+#[derive(Debug, Clone)]
+pub struct HandshakeProbe {
+    /// Scanner/browser client configuration (Initial size, compression…).
+    pub client: ClientConfig,
+    /// Target server configuration (behaviour, chain, compression support).
+    pub server: ServerConfig,
+    /// The path between them, fault injectors included.
+    pub wire: Wire,
+    /// Per-probe RNG seed; forked per record at world generation, so
+    /// results are independent of batch composition.
+    pub seed: u64,
+}
+
+/// Run a whole batch of handshake probes as sessions of one [`SimNet`],
+/// amortising the event heap and scratch buffers a per-probe loop would
+/// rebuild for every exchange.
+///
+/// Each probe draws from its own RNG stream (`seed ^ label`, exactly like
+/// [`run_handshake`]) and owns its wire, so the returned outcomes are
+/// **bit-for-bit identical** to calling [`run_handshake`] once per probe —
+/// at any batch size. The determinism tests pin this equivalence.
+pub fn run_handshake_batch(probes: Vec<HandshakeProbe>) -> Vec<HandshakeOutcome> {
+    let mut clients = Vec::with_capacity(probes.len());
+    let mut servers = Vec::with_capacity(probes.len());
+    let mut wires = Vec::with_capacity(probes.len());
+    let mut rngs = Vec::with_capacity(probes.len());
+    for probe in probes {
+        clients.push(ClientConn::new(probe.client));
+        servers.push(ServerConn::new(probe.server));
+        wires.push(probe.wire);
+        rngs.push(SimRng::new(probe.seed ^ HANDSHAKE_RNG_LABEL));
+    }
+
+    let parts = drive_sessions(&mut clients, &mut servers, wires, rngs, handshake_limits());
+    parts
+        .into_iter()
+        .zip(clients.iter().zip(&servers))
+        .map(|((outcome, wire), (client, server))| {
+            extract_handshake_outcome(client, server, &wire, &outcome)
+        })
+        .collect()
 }
 
 /// A backscatter datagram emitted by the server during a spoofed probe.
@@ -177,6 +290,10 @@ pub struct SpoofedOutcome {
     pub server_scid: Vec<u8>,
     /// Number of flight transmissions the server performed.
     pub flight_transmissions: u32,
+    /// Datagrams removed by the wire's fault injectors during the probe.
+    pub fault_drops: u64,
+    /// Datagrams corrupted by the wire's fault injectors during the probe.
+    pub fault_corruptions: u64,
 }
 
 impl SpoofedOutcome {
@@ -197,27 +314,12 @@ impl SpoofedOutcome {
     }
 }
 
-/// Run a spoofed handshake probe: one Initial, no ACKs ever, watch what the
-/// server reflects (including all retransmissions).
-pub fn run_spoofed_probe(
+/// Turn one finished spoofed exchange into the telescope's session view.
+fn extract_spoofed_outcome(
     probe_size: usize,
-    spoofed_src: std::net::Ipv4Addr,
-    server_addr: std::net::Ipv4Addr,
-    server_config: ServerConfig,
-    wire: &mut Wire,
-    seed: u64,
+    server: &ServerConn,
+    outcome: &ExchangeOutcome,
 ) -> SpoofedOutcome {
-    let mut config = ClientConfig::scanner(probe_size, server_addr, seed);
-    config.src = spoofed_src;
-    let mut client = SilentClient::new(config);
-    let mut server = ServerConn::new(server_config);
-    let mut rng = SimRng::new(seed ^ 0x5350_4F4F);
-    let limits = ExchangeLimits {
-        deadline: SimTime::ZERO + SimDuration::from_secs(300),
-        max_events: 100_000,
-    };
-    let outcome = run_exchange(&mut client, &mut server, wire, limits, &mut rng);
-
     let datagrams: Vec<BackscatterDatagram> = outcome
         .trace
         .iter()
@@ -234,7 +336,74 @@ pub fn run_spoofed_probe(
         datagrams,
         server_scid: server.scid().0.clone(),
         flight_transmissions: server.stats().flight_transmissions,
+        fault_drops: outcome.fault_drops,
+        fault_corruptions: outcome.fault_corruptions,
     }
+}
+
+/// Run a spoofed handshake probe: one Initial, no ACKs ever, watch what the
+/// server reflects (including all retransmissions).
+pub fn run_spoofed_probe(
+    probe_size: usize,
+    spoofed_src: std::net::Ipv4Addr,
+    server_addr: std::net::Ipv4Addr,
+    server_config: ServerConfig,
+    wire: &mut Wire,
+    seed: u64,
+) -> SpoofedOutcome {
+    let mut config = ClientConfig::scanner(probe_size, server_addr, seed);
+    config.src = spoofed_src;
+    let mut client = SilentClient::new(config);
+    let mut server = ServerConn::new(server_config);
+    let mut rng = SimRng::new(seed ^ SPOOFED_RNG_LABEL);
+    let outcome = run_exchange(&mut client, &mut server, wire, spoofed_limits(), &mut rng);
+    extract_spoofed_outcome(probe_size, &server, &outcome)
+}
+
+/// One probe of a batched spoofed-handshake scan.
+#[derive(Debug, Clone)]
+pub struct SpoofedProbe {
+    /// UDP payload size of the probe Initial.
+    pub probe_size: usize,
+    /// The (victim) source address written into the probe.
+    pub spoofed_src: std::net::Ipv4Addr,
+    /// The reflecting server's address.
+    pub server_addr: std::net::Ipv4Addr,
+    /// The reflecting server's configuration.
+    pub server: ServerConfig,
+    /// The path between prober and server.
+    pub wire: Wire,
+    /// Per-probe RNG seed.
+    pub seed: u64,
+}
+
+/// Run a batch of spoofed probes as sessions of one [`SimNet`]; outcomes
+/// are bit-for-bit identical to per-probe [`run_spoofed_probe`] calls in
+/// the same order, at any batch size.
+pub fn run_spoofed_probe_batch(probes: Vec<SpoofedProbe>) -> Vec<SpoofedOutcome> {
+    let mut clients = Vec::with_capacity(probes.len());
+    let mut servers = Vec::with_capacity(probes.len());
+    let mut wires = Vec::with_capacity(probes.len());
+    let mut rngs = Vec::with_capacity(probes.len());
+    let mut sizes = Vec::with_capacity(probes.len());
+    for probe in probes {
+        let mut config = ClientConfig::scanner(probe.probe_size, probe.server_addr, probe.seed);
+        config.src = probe.spoofed_src;
+        clients.push(SilentClient::new(config));
+        servers.push(ServerConn::new(probe.server));
+        wires.push(probe.wire);
+        rngs.push(SimRng::new(probe.seed ^ SPOOFED_RNG_LABEL));
+        sizes.push(probe.probe_size);
+    }
+
+    let parts = drive_sessions(&mut clients, &mut servers, wires, rngs, spoofed_limits());
+    parts
+        .into_iter()
+        .zip(servers.iter().zip(sizes))
+        .map(|((outcome, _wire), (server, probe_size))| {
+            extract_spoofed_outcome(probe_size, server, &outcome)
+        })
+        .collect()
 }
 
 /// Observe a spoofed probe's backscatter *into a telescope*: records every

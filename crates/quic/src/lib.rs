@@ -30,6 +30,9 @@ pub mod varint;
 pub use amplification::{AmplificationBudget, LimitPolicy};
 pub use client::{ClientConfig, ClientConn};
 pub use frame::Frame;
-pub use handshake::{run_handshake, run_spoofed_probe, HandshakeOutcome, SpoofedOutcome};
+pub use handshake::{
+    run_handshake, run_handshake_batch, run_spoofed_probe, run_spoofed_probe_batch,
+    HandshakeOutcome, HandshakeProbe, SpoofedOutcome, SpoofedProbe,
+};
 pub use packet::{ConnectionId, Packet, PacketType, AEAD_TAG_LEN, QUIC_MIN_INITIAL_SIZE};
 pub use server::{ServerBehavior, ServerConfig, ServerConn};

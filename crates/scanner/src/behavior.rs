@@ -1,6 +1,6 @@
 //! Mapping from world deployments to concrete QUIC server configurations.
 
-use quicert_netsim::{LinkModel, SimDuration, Wire};
+use quicert_netsim::{LinkModel, NetworkProfile, SimDuration, Wire};
 use quicert_pki::world::BehaviorKind;
 use quicert_pki::{DomainRecord, World};
 use quicert_quic::{ServerBehavior, ServerConfig};
@@ -68,6 +68,15 @@ pub fn wire_for(record: &DomainRecord) -> Wire {
             wire.a_to_b = LinkModel::tunneled(latency, quic.lb_overhead);
         }
     }
+    wire
+}
+
+/// [`wire_for`] with a [`NetworkProfile`] overlay applied on top of the
+/// domain's base path. [`NetworkProfile::Ideal`] is the identity, so
+/// ideal-profile scans reproduce profile-unaware ones byte-for-byte.
+pub fn wire_for_profile(record: &DomainRecord, profile: NetworkProfile) -> Wire {
+    let mut wire = wire_for(record);
+    profile.apply(&mut wire);
     wire
 }
 

@@ -1,11 +1,19 @@
 //! QUIC handshake classification (quicreach with Retry support, §3.2).
+//!
+//! Since the `SimNet` refactor a whole shard of probes is batched as
+//! sessions of one discrete-event network ([`scan_records`]), amortising
+//! the per-probe heap and buffer churn of the old one-exchange-at-a-time
+//! loop; [`scan_records_per_probe`] keeps that loop alive as the reference
+//! path for equivalence tests and the throughput benchmark. Every entry
+//! point also exists in a `NetworkProfile`-aware form, scanning the same
+//! population under lossy / long-fat / tunneled path overlays.
 
-use quicert_netsim::UDP_IPV4_OVERHEAD;
+use quicert_netsim::{NetworkProfile, UDP_IPV4_OVERHEAD};
 use quicert_pki::{DomainRecord, World};
-use quicert_quic::handshake::HandshakeClass;
-use quicert_quic::{run_handshake, ClientConfig};
+use quicert_quic::handshake::{HandshakeClass, HandshakeOutcome, HandshakeProbe};
+use quicert_quic::{run_handshake, run_handshake_batch, ClientConfig};
 
-use crate::behavior::{server_config_for, wire_for};
+use crate::behavior::{server_config_for, wire_for_profile};
 
 /// The Initial sizes the paper sweeps: 1200 to 1472 bytes in steps of 10
 /// (the upper bound is dictated by a 1500-byte MTU).
@@ -34,6 +42,27 @@ pub struct QuicReachResult {
     pub padding_received: usize,
     /// Round trips to completion (0 when unreachable).
     pub rtt_count: u32,
+    /// Datagrams the path's fault injectors dropped during the probe
+    /// (always 0 on the ideal profile).
+    pub fault_drops: u64,
+    /// Datagrams the path's fault injectors corrupted during the probe.
+    pub fault_corruptions: u64,
+}
+
+impl QuicReachResult {
+    fn from_outcome(rank: usize, out: &HandshakeOutcome) -> QuicReachResult {
+        QuicReachResult {
+            rank,
+            class: out.classify(),
+            amplification: out.amplification_first_flight(),
+            wire_received: out.total_server_wire,
+            tls_received: out.server_stats.tls_sent,
+            padding_received: out.server_stats.padding_sent,
+            rtt_count: out.rtt_count,
+            fault_drops: out.fault_drops,
+            fault_corruptions: out.fault_corruptions,
+        }
+    }
 }
 
 /// Aggregated class counts at one Initial size (one bar of Fig 3).
@@ -59,6 +88,22 @@ impl ScanSummary {
         self.one_rtt + self.retry + self.multi_rtt + self.amplification
     }
 
+    /// Every probed service: reachable plus unreachable.
+    pub fn total(&self) -> usize {
+        self.reachable() + self.unreachable
+    }
+
+    /// Raw count for one class.
+    pub fn count(&self, class: HandshakeClass) -> usize {
+        match class {
+            HandshakeClass::OneRtt => self.one_rtt,
+            HandshakeClass::Retry => self.retry,
+            HandshakeClass::MultiRtt => self.multi_rtt,
+            HandshakeClass::Amplification => self.amplification,
+            HandshakeClass::Unreachable => self.unreachable,
+        }
+    }
+
     /// Add one classified result.
     pub fn add(&mut self, class: HandshakeClass) {
         match class {
@@ -70,41 +115,77 @@ impl ScanSummary {
         }
     }
 
-    /// Share of a class among reachable services, in percent.
-    pub fn share(&self, class: HandshakeClass) -> f64 {
-        let n = self.reachable().max(1) as f64;
-        let count = match class {
-            HandshakeClass::OneRtt => self.one_rtt,
-            HandshakeClass::Retry => self.retry,
-            HandshakeClass::MultiRtt => self.multi_rtt,
-            HandshakeClass::Amplification => self.amplification,
-            HandshakeClass::Unreachable => self.unreachable,
-        };
-        count as f64 / n * 100.0
+    /// Share of a class among **reachable** services, in percent — the
+    /// denominator of the paper's Fig 3 class splits.
+    ///
+    /// [`HandshakeClass::Unreachable`] is not part of the reachable
+    /// population, so its share here is 0 by definition; ask
+    /// [`ScanSummary::share_of_all`] for it instead. An empty scan (or one
+    /// where nothing was reachable) has no well-defined split and reports
+    /// 0% for every class rather than dividing by zero.
+    pub fn share_of_reachable(&self, class: HandshakeClass) -> f64 {
+        if class == HandshakeClass::Unreachable {
+            return 0.0;
+        }
+        let reachable = self.reachable();
+        if reachable == 0 {
+            return 0.0;
+        }
+        self.count(class) as f64 / reachable as f64 * 100.0
+    }
+
+    /// Share of a class among **all probed** services (reachable plus
+    /// unreachable), in percent — the right denominator for unreachability
+    /// rates (§4.1). An empty scan reports 0% for every class.
+    pub fn share_of_all(&self, class: HandshakeClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.count(class) as f64 / total as f64 * 100.0
     }
 }
 
-/// Probe one service at one Initial size.
-pub fn scan_service(world: &World, record: &DomainRecord, initial_size: usize) -> QuicReachResult {
+/// Build the [`HandshakeProbe`] for one service at one Initial size under a
+/// network profile; shared by the batched and per-probe scan paths.
+fn probe_for(
+    world: &World,
+    record: &DomainRecord,
+    initial_size: usize,
+    profile: NetworkProfile,
+) -> HandshakeProbe {
     let chain = world.quic_chain(record).expect("QUIC services have chains");
     let server = server_config_for(world, record, chain);
-    let mut wire = wire_for(record);
     // quicreach's stack offers no certificate compression (§3.2).
     let client = ClientConfig::scanner(
         initial_size,
         quicert_pki::World::server_addr(record),
         record.seed ^ initial_size as u64,
     );
-    let out = run_handshake(client, server, &mut wire, record.seed);
-    QuicReachResult {
-        rank: record.rank,
-        class: out.classify(),
-        amplification: out.amplification_first_flight(),
-        wire_received: out.total_server_wire,
-        tls_received: out.server_stats.tls_sent,
-        padding_received: out.server_stats.padding_sent,
-        rtt_count: out.rtt_count,
+    HandshakeProbe {
+        client,
+        server,
+        wire: wire_for_profile(record, profile),
+        seed: record.seed,
     }
+}
+
+/// Probe one service at one Initial size (ideal path).
+pub fn scan_service(world: &World, record: &DomainRecord, initial_size: usize) -> QuicReachResult {
+    scan_service_profiled(world, record, initial_size, NetworkProfile::Ideal)
+}
+
+/// Probe one service at one Initial size under a network profile.
+pub fn scan_service_profiled(
+    world: &World,
+    record: &DomainRecord,
+    initial_size: usize,
+    profile: NetworkProfile,
+) -> QuicReachResult {
+    let probe = probe_for(world, record, initial_size, profile);
+    let mut wire = probe.wire;
+    let out = run_handshake(probe.client, probe.server, &mut wire, probe.seed);
+    QuicReachResult::from_outcome(record.rank, &out)
 }
 
 /// Probe every QUIC service at one Initial size.
@@ -115,18 +196,53 @@ pub fn scan(world: &World, initial_size: usize) -> Vec<QuicReachResult> {
 
 /// Probe an explicit shard of services at one Initial size.
 ///
-/// This is the shard-aware entry point: every probe derives its randomness
-/// from the record's own forked seed, so splitting the service list into
-/// shards, probing them on separate workers and concatenating the shard
-/// outputs in order is bit-for-bit identical to a serial [`scan`].
+/// This is the shard-aware entry point: the whole shard is batched as
+/// sessions of one `SimNet`. Every probe derives its randomness from the
+/// record's own forked seed and owns its session state, so splitting the
+/// service list into shards, probing them on separate workers and
+/// concatenating the shard outputs in order is bit-for-bit identical to a
+/// serial [`scan`] — and to the per-probe loop in
+/// [`scan_records_per_probe`] — at any shard size.
 pub fn scan_records(
     world: &World,
     records: &[&DomainRecord],
     initial_size: usize,
 ) -> Vec<QuicReachResult> {
+    scan_records_profiled(world, records, initial_size, NetworkProfile::Ideal)
+}
+
+/// [`scan_records`] under a network profile.
+pub fn scan_records_profiled(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+) -> Vec<QuicReachResult> {
+    let probes: Vec<HandshakeProbe> = records
+        .iter()
+        .map(|record| probe_for(world, record, initial_size, profile))
+        .collect();
+    let outcomes = run_handshake_batch(probes);
     records
         .iter()
-        .map(|record| scan_service(world, record, initial_size))
+        .zip(&outcomes)
+        .map(|(record, out)| QuicReachResult::from_outcome(record.rank, out))
+        .collect()
+}
+
+/// The pre-batching reference path: one isolated exchange per probe.
+///
+/// Kept for the batched-vs-per-probe equivalence tests and the scan
+/// throughput benchmark; scanners should prefer [`scan_records`].
+pub fn scan_records_per_probe(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+) -> Vec<QuicReachResult> {
+    records
+        .iter()
+        .map(|record| scan_service_profiled(world, record, initial_size, profile))
         .collect()
 }
 
@@ -174,9 +290,9 @@ mod tests {
         let world = world();
         let results = scan(&world, 1362);
         let summary = summarize(1362, &results);
-        let ampl = summary.share(quicert_quic::handshake::HandshakeClass::Amplification);
-        let multi = summary.share(quicert_quic::handshake::HandshakeClass::MultiRtt);
-        let one = summary.share(quicert_quic::handshake::HandshakeClass::OneRtt);
+        let ampl = summary.share_of_reachable(HandshakeClass::Amplification);
+        let multi = summary.share_of_reachable(HandshakeClass::MultiRtt);
+        let one = summary.share_of_reachable(HandshakeClass::OneRtt);
         // Paper: 61% / 38% / 0.75% (±tolerance for a 3k-domain world).
         assert!((ampl - 61.0).abs() < 8.0, "amplification {ampl}");
         assert!((multi - 38.0).abs() < 8.0, "multi-rtt {multi}");
@@ -210,10 +326,116 @@ mod tests {
         // Fig 4: amplification factors for complete handshakes stay < 6x.
         let world = world();
         for r in scan(&world, 1362) {
-            if r.class == quicert_quic::handshake::HandshakeClass::Amplification {
+            if r.class == HandshakeClass::Amplification {
                 assert!(r.amplification > 3.0);
                 assert!(r.amplification < 6.5, "factor {}", r.amplification);
             }
         }
+    }
+
+    #[test]
+    fn batched_scan_matches_per_probe_loop_bit_for_bit() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(120).collect();
+        for profile in [NetworkProfile::Ideal, NetworkProfile::Lossy] {
+            let batched = scan_records_profiled(&world, &records, 1362, profile);
+            let per_probe = scan_records_per_probe(&world, &records, 1362, profile);
+            assert_eq!(batched, per_probe, "profile {profile}");
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_outcomes() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(90).collect();
+        let whole = scan_records(&world, &records, 1250);
+        for chunk in [1usize, 7, 30] {
+            let pieces: Vec<QuicReachResult> = records
+                .chunks(chunk)
+                .flat_map(|shard| scan_records(&world, shard, 1250))
+                .collect();
+            assert_eq!(whole, pieces, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn share_denominators_are_explicit() {
+        let summary = ScanSummary {
+            initial_size: 1362,
+            one_rtt: 10,
+            retry: 0,
+            multi_rtt: 20,
+            amplification: 10,
+            unreachable: 60,
+        };
+        assert_eq!(summary.reachable(), 40);
+        assert_eq!(summary.total(), 100);
+        // Of the 40 reachable, half were multi-RTT…
+        assert_eq!(summary.share_of_reachable(HandshakeClass::MultiRtt), 50.0);
+        // …which is 20% of everything probed.
+        assert_eq!(summary.share_of_all(HandshakeClass::MultiRtt), 20.0);
+        // Unreachability is only meaningful against the full population.
+        assert_eq!(summary.share_of_reachable(HandshakeClass::Unreachable), 0.0);
+        assert_eq!(summary.share_of_all(HandshakeClass::Unreachable), 60.0);
+    }
+
+    #[test]
+    fn empty_scan_has_zero_shares_everywhere() {
+        let summary = ScanSummary::default();
+        for class in [
+            HandshakeClass::OneRtt,
+            HandshakeClass::Retry,
+            HandshakeClass::MultiRtt,
+            HandshakeClass::Amplification,
+            HandshakeClass::Unreachable,
+        ] {
+            assert_eq!(summary.share_of_reachable(class), 0.0);
+            assert_eq!(summary.share_of_all(class), 0.0);
+        }
+    }
+
+    #[test]
+    fn all_unreachable_scan_keeps_reachable_shares_at_zero() {
+        let summary = ScanSummary {
+            initial_size: 1472,
+            unreachable: 7,
+            ..ScanSummary::default()
+        };
+        assert_eq!(summary.share_of_reachable(HandshakeClass::OneRtt), 0.0);
+        assert_eq!(summary.share_of_all(HandshakeClass::Unreachable), 100.0);
+    }
+
+    #[test]
+    fn ideal_profile_reports_no_faults_lossy_reports_some() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(60).collect();
+        let ideal = scan_records_profiled(&world, &records, 1362, NetworkProfile::Ideal);
+        assert!(ideal
+            .iter()
+            .all(|r| r.fault_drops == 0 && r.fault_corruptions == 0));
+        let lossy = scan_records_profiled(&world, &records, 1362, NetworkProfile::Lossy);
+        let drops: u64 = lossy.iter().map(|r| r.fault_drops).sum();
+        assert!(drops > 0, "3% loss over 60 probes must drop something");
+    }
+
+    #[test]
+    fn tunneled_profile_kills_large_initials() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(80).collect();
+        let ideal = summarize(
+            1472,
+            &scan_records_profiled(&world, &records, 1472, NetworkProfile::Ideal),
+        );
+        let tunneled = summarize(
+            1472,
+            &scan_records_profiled(&world, &records, 1472, NetworkProfile::Tunneled),
+        );
+        assert!(
+            tunneled.unreachable > ideal.unreachable,
+            "tunnel overhead must push 1472-byte Initials over the MTU \
+             ({} vs {})",
+            tunneled.unreachable,
+            ideal.unreachable
+        );
     }
 }

@@ -31,7 +31,7 @@ pub struct ServerFlight {
     /// CRYPTO payload at the Initial encryption level (ServerHello).
     pub initial_crypto: Vec<u8>,
     /// CRYPTO payload at the Handshake encryption level
-    /// (EE ‖ Certificate[Compressed] ‖ CertificateVerify ‖ Finished).
+    /// (EE ‖ Certificate\[Compressed\] ‖ CertificateVerify ‖ Finished).
     pub handshake_crypto: Vec<u8>,
     /// Size of the (possibly compressed) certificate message inside
     /// `handshake_crypto`.

@@ -1,0 +1,58 @@
+//! Scenario matrix: the same QUIC population scanned under every
+//! [`NetworkProfile`] × a few client Initial sizes.
+//!
+//! The paper measures from real networks, where paths are lossy, long and
+//! sometimes tunneled. This example shows how those conditions move the
+//! handshake-class shares: loss trades amplification handshakes for extra
+//! rounds, universal tunnel encapsulation reproduces the §4.1 MTU failure
+//! for large Initials, and a long fat path's jitter collapses the
+//! timing-based 1-RTT/Amplification classes into Multi-RTT while leaving
+//! reachability untouched.
+//!
+//! ```sh
+//! cargo run --release --example network_conditions
+//! ```
+
+use quicert::core::{Campaign, CampaignConfig};
+use quicert::netsim::NetworkProfile;
+use quicert::quic::handshake::HandshakeClass;
+use quicert::scanner::quicreach;
+
+fn main() {
+    let campaign = Campaign::new(CampaignConfig::small().with_domains(3_000));
+    println!(
+        "world: {} domains, {} QUIC services\n",
+        campaign.world().domains().len(),
+        campaign.world().quic_services().count(),
+    );
+
+    println!(
+        "{:<10} {:>8} | {:>7} {:>7} {:>7} {:>9} | {:>6} {:>7}",
+        "profile", "initial", "ampl %", "multi %", "1RTT %", "unreach %", "drops", "corrupt"
+    );
+    for profile in NetworkProfile::ALL {
+        for initial_size in [1200usize, 1362, 1472] {
+            let results = campaign.quicreach_profiled(profile, initial_size);
+            let summary = quicreach::summarize(initial_size, &results);
+            let drops: u64 = results.iter().map(|r| r.fault_drops).sum();
+            let corruptions: u64 = results.iter().map(|r| r.fault_corruptions).sum();
+            println!(
+                "{:<10} {:>8} | {:>7.1} {:>7.1} {:>7.2} {:>9.1} | {:>6} {:>7}",
+                profile.name(),
+                initial_size,
+                summary.share_of_reachable(HandshakeClass::Amplification),
+                summary.share_of_reachable(HandshakeClass::MultiRtt),
+                summary.share_of_reachable(HandshakeClass::OneRtt),
+                summary.share_of_all(HandshakeClass::Unreachable),
+                drops,
+                corruptions,
+            );
+        }
+        println!();
+    }
+
+    println!("ideal reproduces the paper's Fig 3 shares; lossy trades amplification for");
+    println!("extra rounds; long-fat jitter defeats timing-based 1-RTT classification;");
+    println!("tunneled wipes out the largest Initials exactly like the load-balancer");
+    println!("deployments of §4.1 — now for the whole population.");
+}

@@ -33,7 +33,11 @@ fn main() {
         HandshakeClass::Retry,
         HandshakeClass::OneRtt,
     ] {
-        println!("  {:<14} {:>6.2}%", class.label(), summary.share(class));
+        println!(
+            "  {:<14} {:>6.2}%",
+            class.label(),
+            summary.share_of_reachable(class)
+        );
     }
 
     println!("\npaper (Fig 3 @1362): Amplification 61%, Multi-RTT 38%, RETRY 0.07%, 1-RTT 0.75%");

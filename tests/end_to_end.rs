@@ -97,6 +97,7 @@ fn full_report_runs_end_to_end() {
             compression_stride: 40,
             full_sweep: false,
             guidance_mitigation: false,
+            network_profiles: true,
         },
     );
     assert!(
