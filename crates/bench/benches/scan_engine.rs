@@ -1,12 +1,18 @@
 //! Scan-engine throughput: the end-to-end quicreach scan at 1 / 2 / auto
-//! workers, and the batched (`SimNet`) vs per-probe exchange paths.
+//! workers, the batched (`SimNet`) vs per-probe exchange paths, and the
+//! warm (resumption) scan path.
 //!
 //! Unlike the figure benches this harness also *persists* its measurements:
 //! it writes a `BENCH_scan.json` to the workspace root so future changes
 //! have a perf trajectory to compare against.
 //!
+//! Set `QUICERT_BENCH_SMOKE=1` (the CI default) to run a down-scaled smoke
+//! configuration that finishes in seconds while still exercising every
+//! timed path and emitting the same JSON shape.
+//!
 //! ```sh
 //! cargo bench -p quicert-bench --bench scan_engine
+//! QUICERT_BENCH_SMOKE=1 cargo bench -p quicert-bench --bench scan_engine
 //! ```
 
 use std::hint::black_box;
@@ -16,15 +22,24 @@ use quicert_core::ScanEngine;
 use quicert_netsim::NetworkProfile;
 use quicert_pki::{DomainRecord, World, WorldConfig};
 use quicert_scanner::quicreach;
+use quicert_session::ResumptionPolicy;
 
-const DOMAINS: usize = 3_000;
 const SEED: u64 = 0x5CA1;
 const INITIAL: usize = 1362;
-const SAMPLES: usize = 3;
 
-fn world() -> World {
+/// Bench scale: (domains, samples); the smoke configuration trades
+/// statistical niceness for CI wall-clock.
+fn scale() -> (usize, usize) {
+    if std::env::var_os("QUICERT_BENCH_SMOKE").is_some_and(|v| v != "0") {
+        (600, 1)
+    } else {
+        (3_000, 3)
+    }
+}
+
+fn world(domains: usize) -> World {
     World::generate(WorldConfig {
-        domains: DOMAINS,
+        domains,
         seed: SEED,
         ..WorldConfig::default()
     })
@@ -48,27 +63,27 @@ struct EngineRow {
 
 /// End-to-end: a fresh engine computes the default-size quicreach artifact
 /// (world generation excluded from the timed region).
-fn bench_engine(workers: usize) -> EngineRow {
+fn bench_engine(domains: usize, samples: usize, workers: usize) -> EngineRow {
     let mut resolved_workers = 0;
     let seconds = {
-        // One warm-up plus SAMPLES timed runs, each on a fresh engine so
+        // One warm-up plus `samples` timed runs, each on a fresh engine so
         // the artifact cache never short-circuits the scan.
         let mut run = || {
-            let engine = ScanEngine::new(world(), INITIAL, workers);
+            let engine = ScanEngine::new(world(domains), INITIAL, workers);
             resolved_workers = engine.workers();
             black_box(engine.quicreach(INITIAL).len());
         };
         run();
         // World generation dominates engine construction; regenerate
         // outside the timed region by pre-building the engines.
-        let mut engines: Vec<ScanEngine> = (0..SAMPLES)
-            .map(|_| ScanEngine::new(world(), INITIAL, workers))
+        let mut engines: Vec<ScanEngine> = (0..samples)
+            .map(|_| ScanEngine::new(world(domains), INITIAL, workers))
             .collect();
         let start = Instant::now();
         for engine in &mut engines {
             black_box(engine.quicreach(INITIAL).len());
         }
-        start.elapsed().as_secs_f64() / SAMPLES as f64
+        start.elapsed().as_secs_f64() / samples as f64
     };
     EngineRow {
         workers,
@@ -78,32 +93,56 @@ fn bench_engine(workers: usize) -> EngineRow {
 }
 
 fn main() {
-    let world = world();
+    let (domains, samples) = scale();
+    let world = world(domains);
     let records: Vec<&DomainRecord> = world.quic_services().collect();
     eprintln!(
-        "scan_engine bench: {DOMAINS} domains, {} QUIC services, Initial {INITIAL}",
+        "scan_engine bench: {domains} domains, {} QUIC services, Initial {INITIAL}, \
+         {samples} samples",
         records.len()
     );
 
     // Batched (one SimNet per shard) vs per-probe (one exchange at a time),
     // both serial so the comparison isolates the scheduling path.
-    let batched = time_mean(SAMPLES, || {
+    let batched = time_mean(samples, || {
         black_box(quicreach::scan_records(&world, &records, INITIAL).len());
     });
-    let per_probe = time_mean(SAMPLES, || {
+    let per_probe = time_mean(samples, || {
         black_box(
             quicreach::scan_records_per_probe(&world, &records, INITIAL, NetworkProfile::Ideal)
                 .len(),
         );
+    });
+    // The warm (resumption) path probes every service twice — cold visit
+    // with ticket issuance, then the resumed revisit.
+    let mut warm_resumed = 0usize;
+    let warm = time_mean(samples, || {
+        let results = quicreach::warm_scan_records(
+            &world,
+            &records,
+            INITIAL,
+            NetworkProfile::Ideal,
+            ResumptionPolicy::WarmAfterFirstVisit,
+        );
+        warm_resumed = results.iter().filter(|r| r.resumed).count();
+        black_box(results.len());
     });
     eprintln!("scan path  batched    {batched:>10.4} s");
     eprintln!(
         "scan path  per-probe  {per_probe:>10.4} s  ({:.2}x)",
         per_probe / batched
     );
+    eprintln!(
+        "scan path  warm       {warm:>10.4} s  ({warm_resumed} resumed, \
+         {:.2}x batched cold)",
+        warm / batched
+    );
 
     // The engine end to end at 1 / 2 / auto workers.
-    let engine_rows: Vec<EngineRow> = [1usize, 2, 0].into_iter().map(bench_engine).collect();
+    let engine_rows: Vec<EngineRow> = [1usize, 2, 0]
+        .into_iter()
+        .map(|workers| bench_engine(domains, samples, workers))
+        .collect();
     for row in &engine_rows {
         eprintln!(
             "engine     workers={} (resolved {})  {:>10.4} s",
@@ -113,13 +152,21 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str(&format!("  \"domains\": {DOMAINS},\n"));
+    json.push_str(&format!("  \"domains\": {domains},\n"));
     json.push_str(&format!("  \"quic_services\": {},\n", records.len()));
     json.push_str(&format!("  \"initial_size\": {INITIAL},\n"));
-    json.push_str(&format!("  \"samples\": {SAMPLES},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str("  \"scan_paths\": {\n");
     json.push_str(&format!("    \"batched_seconds\": {batched:.6},\n"));
     json.push_str(&format!("    \"per_probe_seconds\": {per_probe:.6}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"scan_warm\": {\n");
+    json.push_str(&format!("    \"seconds\": {warm:.6},\n"));
+    json.push_str(&format!("    \"resumed\": {warm_resumed},\n"));
+    json.push_str(&format!(
+        "    \"policy\": \"{}\"\n",
+        ResumptionPolicy::WarmAfterFirstVisit.name()
+    ));
     json.push_str("  },\n");
     json.push_str("  \"engine_end_to_end\": [\n");
     for (i, row) in engine_rows.iter().enumerate() {

@@ -54,6 +54,7 @@ fn handshake_engine(c: &mut Criterion) {
         chain,
         leaf_key: KeyAlgorithm::EcdsaP256,
         compression_support: vec![Algorithm::Brotli],
+        resumption: None,
         seed: 0xBE,
     };
     c.bench_function("quic_full_handshake", |b| {

@@ -38,6 +38,7 @@ fn main() {
         full_sweep: true,
         guidance_mitigation: true,
         network_profiles: true,
+        resumption: true,
     };
     let report = full_report(&campaign, options);
     println!("{report}");

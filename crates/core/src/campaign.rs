@@ -9,9 +9,10 @@ use quicert_pki::{World, WorldConfig};
 use quicert_scanner::compression::{AlgorithmSupport, SyntheticCompression};
 use quicert_scanner::https_scan::HttpsScanReport;
 use quicert_scanner::qscanner::{ConsistencyReport, QuicCertObservation};
-use quicert_scanner::quicreach::{QuicReachResult, ScanSummary};
+use quicert_scanner::quicreach::{QuicReachResult, ScanSummary, WarmScanResult};
 use quicert_scanner::telescope_scan::BackscatterSession;
 use quicert_scanner::zmap::ZmapResult;
+use quicert_session::ResumptionPolicy;
 
 use crate::engine::ScanEngine;
 
@@ -32,6 +33,10 @@ pub struct CampaignConfig {
     /// campaigns byte-for-byte; the report's profile matrix additionally
     /// scans explicit profiles regardless of this setting.
     pub profile: NetworkProfile,
+    /// The resumption policy policy-unaware warm scans run under. Only
+    /// warm-scan artifacts depend on it — every cold scan is computed with
+    /// resumption disabled, exactly as before the subsystem existed.
+    pub resumption: ResumptionPolicy,
 }
 
 impl CampaignConfig {
@@ -45,6 +50,7 @@ impl CampaignConfig {
             default_initial: 1362,
             workers: 0,
             profile: NetworkProfile::Ideal,
+            resumption: ResumptionPolicy::WarmAfterFirstVisit,
         }
     }
 
@@ -55,6 +61,7 @@ impl CampaignConfig {
             default_initial: 1362,
             workers: 0,
             profile: NetworkProfile::Ideal,
+            resumption: ResumptionPolicy::WarmAfterFirstVisit,
         }
     }
 
@@ -81,6 +88,12 @@ impl CampaignConfig {
         self.profile = profile;
         self
     }
+
+    /// Override the default resumption policy.
+    pub fn with_resumption(mut self, policy: ResumptionPolicy) -> Self {
+        self.resumption = policy;
+        self
+    }
 }
 
 impl Default for CampaignConfig {
@@ -101,7 +114,8 @@ impl Campaign {
     pub fn new(config: CampaignConfig) -> Campaign {
         let world = World::generate(config.world.clone());
         let engine = ScanEngine::new(world, config.default_initial, config.workers)
-            .with_profile(config.profile);
+            .with_profile(config.profile)
+            .with_resumption(config.resumption);
         Campaign { config, engine }
     }
 
@@ -149,6 +163,25 @@ impl Campaign {
         initial_size: usize,
     ) -> Arc<Vec<QuicReachResult>> {
         self.engine.quicreach_profiled(profile, initial_size)
+    }
+
+    /// The cold-then-warm resumption scan at the default Initial size under
+    /// the campaign's default profile and policy.
+    pub fn warm_scan_default(&self) -> Arc<Vec<WarmScanResult>> {
+        self.engine.warm_scan(self.config.default_initial)
+    }
+
+    /// The resumption scan under an explicit profile, policy and Initial
+    /// size (cached per `(profile, policy, size)` — the scenario-matrix
+    /// axes).
+    pub fn warm_scan_profiled(
+        &self,
+        profile: NetworkProfile,
+        policy: ResumptionPolicy,
+        initial_size: usize,
+    ) -> Arc<Vec<WarmScanResult>> {
+        self.engine
+            .warm_scan_profiled(profile, policy, initial_size)
     }
 
     /// The full Fig 3 sweep (29 Initial sizes), computed once.

@@ -34,9 +34,10 @@ use quicert_pki::{DomainRecord, World};
 use quicert_scanner::compression::{self, AlgorithmSupport, SyntheticCompression};
 use quicert_scanner::https_scan::{self, HttpsScanReport};
 use quicert_scanner::qscanner::{self, ConsistencyReport, QuicCertObservation};
-use quicert_scanner::quicreach::{self, QuicReachResult, ScanSummary};
+use quicert_scanner::quicreach::{self, QuicReachResult, ScanSummary, WarmScanResult};
 use quicert_scanner::telescope_scan::{self, BackscatterSession};
 use quicert_scanner::zmap::{self, ZmapResult};
+use quicert_session::ResumptionPolicy;
 
 /// One lazily-computed artifact family, keyed by scan parameters.
 ///
@@ -104,8 +105,10 @@ pub struct ScanEngine {
     default_initial: usize,
     workers: usize,
     profile: NetworkProfile,
+    resumption: ResumptionPolicy,
     https: ArtifactCache<(), HttpsScanReport>,
     quicreach: ArtifactCache<(NetworkProfile, usize), Vec<QuicReachResult>>,
+    warm: ArtifactCache<(NetworkProfile, ResumptionPolicy, usize), Vec<WarmScanResult>>,
     sweep: ArtifactCache<(), Vec<ScanSummary>>,
     compression_support: ArtifactCache<(), Vec<AlgorithmSupport>>,
     all_three: ArtifactCache<(), (usize, usize)>,
@@ -131,8 +134,10 @@ impl ScanEngine {
             default_initial,
             workers,
             profile: NetworkProfile::Ideal,
+            resumption: ResumptionPolicy::WarmAfterFirstVisit,
             https: ArtifactCache::new(),
             quicreach: ArtifactCache::new(),
+            warm: ArtifactCache::new(),
             sweep: ArtifactCache::new(),
             compression_support: ArtifactCache::new(),
             all_three: ArtifactCache::new(),
@@ -152,6 +157,14 @@ impl ScanEngine {
         self
     }
 
+    /// Set the engine's default [`ResumptionPolicy`]: the policy
+    /// policy-unaware warm-scan requests run under. The policy only affects
+    /// warm artifacts — cold scans never see it.
+    pub fn with_resumption(mut self, policy: ResumptionPolicy) -> ScanEngine {
+        self.resumption = policy;
+        self
+    }
+
     /// The world all scans run against.
     pub fn world(&self) -> &World {
         &self.world
@@ -160,6 +173,11 @@ impl ScanEngine {
     /// The engine's default network profile.
     pub fn profile(&self) -> NetworkProfile {
         self.profile
+    }
+
+    /// The engine's default resumption policy.
+    pub fn resumption(&self) -> ResumptionPolicy {
+        self.resumption
     }
 
     /// The resolved worker count.
@@ -211,6 +229,32 @@ impl ScanEngine {
     /// quicreach at the campaign's default Initial size.
     pub fn quicreach_default(&self) -> Arc<Vec<QuicReachResult>> {
         self.quicreach(self.default_initial)
+    }
+
+    /// The cold-then-warm resumption scan at one Initial size under the
+    /// engine's default profile and policy.
+    pub fn warm_scan(&self, initial_size: usize) -> Arc<Vec<WarmScanResult>> {
+        self.warm_scan_profiled(self.profile, self.resumption, initial_size)
+    }
+
+    /// The cold-then-warm resumption scan under an explicit
+    /// [`NetworkProfile`] and [`ResumptionPolicy`] — one cached artifact per
+    /// `(profile, policy, size)` triple. Worker shards batch their cold and
+    /// warm visits on one `SimNet` each; per-record RNG forking keeps the
+    /// artifact bit-for-bit identical at any worker count.
+    pub fn warm_scan_profiled(
+        &self,
+        profile: NetworkProfile,
+        policy: ResumptionPolicy,
+        initial_size: usize,
+    ) -> Arc<Vec<WarmScanResult>> {
+        self.warm
+            .get_or_compute((profile, policy, initial_size), || {
+                let records: Vec<&DomainRecord> = self.world.quic_services().collect();
+                run_sharded(&records, self.workers, |shard| {
+                    quicreach::warm_scan_records(&self.world, shard, initial_size, profile, policy)
+                })
+            })
     }
 
     /// The full Fig 3 sweep: one [`ScanSummary`] per swept Initial size.
@@ -437,6 +481,60 @@ mod tests {
             &engine.quicreach_profiled(NetworkProfile::Ideal, 1362),
             &engine.quicreach_profiled(NetworkProfile::Lossy, 1362)
         ));
+    }
+
+    #[test]
+    fn warm_scan_is_bit_identical_across_worker_counts() {
+        let serial = engine(1);
+        let reference = serial.warm_scan(1362);
+        for workers in [2, 8] {
+            let parallel = engine(workers);
+            assert_eq!(
+                *reference,
+                *parallel.warm_scan(1362),
+                "warm scan diverged at {workers} workers"
+            );
+        }
+        // And under a non-default (profile, policy) pair.
+        let a = engine(1).warm_scan_profiled(
+            NetworkProfile::Tunneled,
+            ResumptionPolicy::TicketExpired,
+            1362,
+        );
+        let b = engine(8).warm_scan_profiled(
+            NetworkProfile::Tunneled,
+            ResumptionPolicy::TicketExpired,
+            1362,
+        );
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn warm_artifacts_are_cached_per_profile_policy_and_size() {
+        let engine = engine(2);
+        // The default-policy request and the explicit request share one
+        // cache entry.
+        assert!(Arc::ptr_eq(
+            &engine.warm_scan(1362),
+            &engine.warm_scan_profiled(
+                NetworkProfile::Ideal,
+                ResumptionPolicy::WarmAfterFirstVisit,
+                1362
+            )
+        ));
+        // Distinct policies and sizes are distinct artifacts.
+        assert!(!Arc::ptr_eq(
+            &engine.warm_scan_profiled(
+                NetworkProfile::Ideal,
+                ResumptionPolicy::WarmAfterFirstVisit,
+                1362
+            ),
+            &engine.warm_scan_profiled(NetworkProfile::Ideal, ResumptionPolicy::ColdOnly, 1362)
+        ));
+        // Warm scans never touch the cold quicreach cache: the cold
+        // artifact computed afterwards is built fresh and ticket-free.
+        let cold = engine.quicreach(1362);
+        assert!(!cold.is_empty());
     }
 
     #[test]

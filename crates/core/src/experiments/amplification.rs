@@ -220,6 +220,7 @@ pub fn table3(campaign: &Campaign) -> Table3 {
                 chain: chain.clone(),
                 leaf_key: KeyAlgorithm::Rsa2048,
                 compression_support: vec![],
+                resumption: None,
                 seed: 0x7AB3,
             };
             let mut wire = Wire::ideal(SimDuration::from_millis(15));

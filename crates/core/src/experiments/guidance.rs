@@ -97,6 +97,7 @@ pub fn server_ablation(campaign: &Campaign) -> Vec<AblationRow> {
                 chain: chain.clone(),
                 leaf_key: KeyAlgorithm::Rsa2048,
                 compression_support: server_algs,
+                resumption: None,
                 seed: 0x9D9D,
             };
             let mut client = ClientConfig::scanner(1362, SERVER_ADDR, 0x9D9D);
@@ -237,6 +238,7 @@ pub fn loss_study(campaign: &Campaign, loss: f64, trials: usize) -> LossStudy {
             } else {
                 vec![]
             },
+            resumption: None,
             seed: 0x1055 + trial as u64,
         };
         let mut client = ClientConfig::scanner(1362, SERVER_ADDR, 0x1055 + trial as u64);

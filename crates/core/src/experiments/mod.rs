@@ -7,9 +7,11 @@
 //! | [`amplification`] | Fig 9, the §4.3 ZMap scan, Fig 11, Table 3 |
 //! | [`guidance`] | the §5 discussion as runnable ablations |
 //! | [`compression`] | Table 1 and the §4.2 compression study |
+//! | [`resumption`] | the §5 session-resumption mitigation, cold vs warm |
 
 pub mod amplification;
 pub mod certs;
 pub mod compression;
 pub mod guidance;
 pub mod handshakes;
+pub mod resumption;

@@ -2,7 +2,7 @@
 
 use quicert_compress::Algorithm;
 
-use crate::experiments::{amplification, certs, compression, guidance, handshakes};
+use crate::experiments::{amplification, certs, compression, guidance, handshakes, resumption};
 use crate::Campaign;
 
 /// Tunables for the full report (how much work the expensive experiments
@@ -24,6 +24,10 @@ pub struct ReportOptions {
     /// Include the network-profile scenario matrix (it re-scans the QUIC
     /// population once per non-ideal [`quicert_netsim::NetworkProfile`]).
     pub network_profiles: bool,
+    /// Include the session-resumption section (cold-vs-warm scans per
+    /// network profile, the policy axis, and the budget sweep — each warm
+    /// scan probes every service twice).
+    pub resumption: bool,
 }
 
 impl Default for ReportOptions {
@@ -35,7 +39,29 @@ impl Default for ReportOptions {
             full_sweep: true,
             guidance_mitigation: true,
             network_profiles: true,
+            resumption: true,
         }
+    }
+}
+
+impl ReportOptions {
+    /// The names of the report sections these options disable — so callers
+    /// can say *what* a partial report omits instead of omitting silently.
+    pub fn skipped(&self) -> Vec<&'static str> {
+        let mut skipped = Vec::new();
+        if !self.full_sweep {
+            skipped.push("Fig 3 full Initial-size sweep");
+        }
+        if !self.guidance_mitigation {
+            skipped.push("§5 client mitigation and loss study");
+        }
+        if !self.network_profiles {
+            skipped.push("network-profile scenario matrix");
+        }
+        if !self.resumption {
+            skipped.push("session-resumption section");
+        }
+        skipped
     }
 }
 
@@ -139,6 +165,22 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
         ));
     }
 
+    // §5 session resumption: the mitigation that sidesteps the whole
+    // certificate/amplification interplay, measured cold-vs-warm.
+    if options.resumption {
+        out.push('\n');
+        out.push_str(&resumption::render_resumption_matrix(
+            &resumption::resumption_matrix(campaign),
+        ));
+        out.push_str(&resumption::render_policy_comparison(
+            &resumption::policy_comparison(campaign),
+        ));
+        out.push_str(&resumption::render_budget_sweep(&resumption::budget_sweep(
+            campaign,
+            &resumption::BUDGET_SWEEP_SIZES,
+        )));
+    }
+
     out
 }
 
@@ -159,6 +201,7 @@ mod tests {
                 full_sweep: false,
                 guidance_mitigation: false,
                 network_profiles: true,
+                resumption: true,
             },
         );
         for needle in [
@@ -185,8 +228,45 @@ mod tests {
             "lossy",
             "long-fat",
             "tunneled",
+            "Resumption matrix",
+            "Resumption policies",
+            "ticket-expired",
+            "3x budget",
         ] {
             assert!(report.contains(needle), "missing section {needle}");
         }
+    }
+
+    #[test]
+    fn every_toggle_is_honored_and_reported_as_skipped() {
+        let defaults = ReportOptions::default();
+        assert!(defaults.skipped().is_empty(), "defaults skip nothing");
+
+        let partial = ReportOptions {
+            full_sweep: false,
+            guidance_mitigation: false,
+            network_profiles: false,
+            resumption: false,
+            ..ReportOptions::default()
+        };
+        let skipped = partial.skipped();
+        assert_eq!(skipped.len(), 4);
+        assert!(skipped.iter().any(|s| s.contains("resumption")));
+
+        // A report with everything off renders none of the toggled
+        // sections (and still renders the always-on ones).
+        let campaign = Campaign::new(CampaignConfig::small().with_seed(3).with_domains(1_200));
+        let report = full_report(
+            &campaign,
+            ReportOptions {
+                telescope_per_provider: 2,
+                fig11_reps: 1,
+                compression_stride: 50,
+                ..partial
+            },
+        );
+        assert!(!report.contains("Resumption matrix"));
+        assert!(!report.contains("Network-profile matrix"));
+        assert!(report.contains("§3.1 funnel"));
     }
 }

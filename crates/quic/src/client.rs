@@ -11,7 +11,10 @@ use std::net::Ipv4Addr;
 
 use quicert_compress::Algorithm;
 use quicert_netsim::{Datagram, Endpoint, SimDuration, SimTime};
-use quicert_tls::{client_hello, ClientHelloParams};
+use quicert_tls::{
+    client_hello, parse_new_session_ticket, server_hello_accepted_psk, ClientHelloParams,
+    NewSessionTicket, PskOffer,
+};
 
 use crate::frame::Frame;
 use crate::packet::{
@@ -40,6 +43,9 @@ pub struct ClientConfig {
     pub max_initial_transmissions: u32,
     /// Probe timeout before retransmitting the Initial.
     pub pto: SimDuration,
+    /// Session-ticket offer for a resumed handshake. `None` (the default)
+    /// sends the classic cold ClientHello byte-for-byte.
+    pub psk: Option<PskOffer>,
     /// Deterministic seed.
     pub seed: u64,
 }
@@ -56,6 +62,7 @@ impl ClientConfig {
             send_acks: true,
             max_initial_transmissions: 2,
             pto: SimDuration::from_secs(1),
+            psk: None,
             seed,
         }
     }
@@ -74,6 +81,7 @@ pub struct ClientConn {
     // Reassembly buffers per encryption level.
     initial_rx: BTreeMap<u64, Vec<u8>>,
     handshake_rx: BTreeMap<u64, Vec<u8>>,
+    onertt_rx: BTreeMap<u64, Vec<u8>>,
     largest_initial_rx: Option<u64>,
     largest_handshake_rx: Option<u64>,
     got_server_hello: bool,
@@ -82,6 +90,10 @@ pub struct ClientConn {
     /// When the client had the full server handshake (handshake complete
     /// from the client's perspective).
     pub completed_at: Option<SimTime>,
+    /// Whether the server accepted our PSK offer (resumed handshake).
+    pub psk_accepted: bool,
+    /// A NewSessionTicket the server issued post-handshake, if any.
+    pub ticket: Option<NewSessionTicket>,
     /// Whether a Retry was received.
     pub saw_retry: bool,
     /// UDP payload bytes of the first Initial datagram sent.
@@ -107,12 +119,15 @@ impl ClientConn {
             handshake_pn: 0,
             initial_rx: BTreeMap::new(),
             handshake_rx: BTreeMap::new(),
+            onertt_rx: BTreeMap::new(),
             largest_initial_rx: None,
             largest_handshake_rx: None,
             got_server_hello: false,
             handshake_messages_done: false,
             fin_sent: false,
             completed_at: None,
+            psk_accepted: false,
+            ticket: None,
             saw_retry: false,
             first_datagram_len: 0,
             wire_sent: 0,
@@ -135,6 +150,7 @@ impl ClientConn {
         let ch = client_hello(&ClientHelloParams {
             server_name: self.config.server_name.clone(),
             compression: self.config.compression.clone(),
+            psk: self.config.psk.clone(),
             seed: self.config.seed,
         });
         let mut pkt = Packet::new(
@@ -193,10 +209,10 @@ impl ClientConn {
         out
     }
 
-    /// Parse complete TLS handshake messages from a byte stream, returning
-    /// their types. Incomplete trailing data is ignored.
-    fn message_types(stream: &[u8]) -> Vec<u8> {
-        let mut types = Vec::new();
+    /// Split a byte stream into complete TLS handshake messages.
+    /// Incomplete trailing data is ignored.
+    fn messages(stream: &[u8]) -> Vec<&[u8]> {
+        let mut msgs = Vec::new();
         let mut pos = 0usize;
         while stream.len() >= pos + 4 {
             let len = ((stream[pos + 1] as usize) << 16)
@@ -205,35 +221,54 @@ impl ClientConn {
             if stream.len() < pos + 4 + len {
                 break;
             }
-            types.push(stream[pos]);
+            msgs.push(&stream[pos..pos + 4 + len]);
             pos += 4 + len;
         }
-        types
+        msgs
+    }
+
+    /// Parse complete TLS handshake messages from a byte stream, returning
+    /// their types. Incomplete trailing data is ignored.
+    fn message_types(stream: &[u8]) -> Vec<u8> {
+        Self::messages(stream).iter().map(|m| m[0]).collect()
     }
 
     fn check_progress(&mut self, now: SimTime) {
         if !self.got_server_hello {
             let stream = Self::contiguous(&self.initial_rx);
-            let types = Self::message_types(&stream);
-            if types.contains(&2) {
-                self.got_server_hello = true;
+            for msg in Self::messages(&stream) {
+                if msg[0] == 2 {
+                    self.got_server_hello = true;
+                    // A resumed handshake is signalled by the ServerHello's
+                    // pre_shared_key extension (only meaningful when we
+                    // actually offered one).
+                    self.psk_accepted = self.config.psk.is_some() && server_hello_accepted_psk(msg);
+                    break;
+                }
             }
         }
         if self.got_server_hello && !self.handshake_messages_done {
             let stream = Self::contiguous(&self.handshake_rx);
             let types = Self::message_types(&stream);
-            // EncryptedExtensions(8), Certificate(11)/Compressed(25),
-            // CertificateVerify(15), Finished(20).
-            let done = types.contains(&8)
-                && (types.contains(&11) || types.contains(&25))
-                && types.contains(&15)
-                && types.contains(&20);
+            // Cold path: EncryptedExtensions(8), Certificate(11)/
+            // Compressed(25), CertificateVerify(15), Finished(20). A
+            // resumed flight omits certificate authentication entirely, so
+            // EE + Finished complete it.
+            let certs_done = self.psk_accepted
+                || ((types.contains(&11) || types.contains(&25)) && types.contains(&15));
+            let done = types.contains(&8) && certs_done && types.contains(&20);
             if done {
                 self.handshake_messages_done = true;
                 if self.completed_at.is_none() {
                     self.completed_at = Some(now);
                 }
             }
+        }
+        if self.ticket.is_none() {
+            let stream = Self::contiguous(&self.onertt_rx);
+            self.ticket = Self::messages(&stream)
+                .into_iter()
+                .find_map(parse_new_session_ticket);
         }
     }
 
@@ -350,7 +385,17 @@ impl Endpoint for ClientConn {
                         saw_ack_eliciting = true;
                     }
                 }
-                PacketType::OneRtt => {}
+                PacketType::OneRtt => {
+                    // Post-handshake messages (NewSessionTicket). Recorded
+                    // but never acknowledged at our abstraction level, so
+                    // the cold wire exchange is unchanged when no ticket
+                    // arrives.
+                    for frame in &pkt.frames {
+                        if let Frame::Crypto { offset, data } = frame {
+                            self.onertt_rx.insert(*offset, data.clone());
+                        }
+                    }
+                }
             }
         }
         self.check_progress(now);

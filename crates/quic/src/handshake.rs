@@ -11,6 +11,8 @@ use quicert_netsim::{
     run_exchange, Datagram, Endpoint, ExchangeLimits, ExchangeOutcome, SessionId, SimDuration,
     SimNet, SimRng, SimTime, Wire,
 };
+use quicert_session::{SessionCache, SessionTicket};
+use quicert_tls::PskOffer;
 
 use crate::client::{ClientConfig, ClientConn, SilentClient};
 use crate::server::{ServerConfig, ServerConn, ServerStats};
@@ -19,6 +21,12 @@ use crate::server::{ServerConfig, ServerConn, ServerStats};
 const HANDSHAKE_RNG_LABEL: u64 = 0x44_5348;
 /// RNG stream label for spoofed probes ("SPOO").
 const SPOOFED_RNG_LABEL: u64 = 0x5350_4F4F;
+/// RNG stream label for the warm (resumed) visit of a resumption probe
+/// ("WARM").
+const WARM_RNG_LABEL: u64 = 0x5741_524D;
+/// Seed tweak for the warm visit's client (fresh CIDs and randoms, exactly
+/// as a real second connection would draw them).
+const WARM_SEED_TWEAK: u64 = 0x5245_5355_4D45_0001;
 
 /// Event limits for a complete-handshake attempt.
 fn handshake_limits() -> ExchangeLimits {
@@ -95,7 +103,7 @@ impl HandshakeClass {
 }
 
 /// Everything measured about one complete-handshake attempt.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HandshakeOutcome {
     /// Whether the client completed the TLS handshake.
     pub completed: bool,
@@ -122,6 +130,13 @@ pub struct HandshakeOutcome {
     /// Datagrams corrupted by the wire's fault injectors during this
     /// attempt.
     pub fault_corruptions: u64,
+    /// Whether the handshake resumed via PSK (server accepted the offer;
+    /// no certificate on the wire).
+    pub resumed: bool,
+    /// A session ticket issued during this handshake, if the server handed
+    /// one out; `obtained_at_secs` is left 0 for the caller to stamp with
+    /// its wall clock.
+    pub ticket: Option<SessionTicket>,
 }
 
 impl HandshakeOutcome {
@@ -205,6 +220,13 @@ fn extract_handshake_outcome(
         completed_at: client.completed_at,
         fault_drops: outcome.fault_drops,
         fault_corruptions: outcome.fault_corruptions,
+        resumed: client.psk_accepted,
+        ticket: client.ticket.as_ref().map(|nst| SessionTicket {
+            identity: nst.ticket.clone(),
+            lifetime_secs: nst.lifetime_secs as u64,
+            age_add: nst.age_add,
+            obtained_at_secs: 0,
+        }),
     }
 }
 
@@ -263,6 +285,155 @@ pub fn run_handshake_batch(probes: Vec<HandshakeProbe>) -> Vec<HandshakeOutcome>
         .zip(clients.iter().zip(&servers))
         .map(|((outcome, wire), (client, server))| {
             extract_handshake_outcome(client, server, &wire, &outcome)
+        })
+        .collect()
+}
+
+/// One probe of a batched cold-then-warm resumption scan: the first visit
+/// runs a full certificate-laden handshake against a ticket-issuing server;
+/// the second visit re-probes the same service with the cached ticket (when
+/// the policy offers one) at a later wall-clock instant.
+#[derive(Debug, Clone)]
+pub struct ResumptionProbe {
+    /// Client configuration for the cold visit (any `psk` is ignored — the
+    /// first visit is cold by definition).
+    pub client: ClientConfig,
+    /// Server configuration; its [`ServerConfig::resumption`] host governs
+    /// ticket issuance on the cold visit and validation on the warm one.
+    pub server: ServerConfig,
+    /// The path for the cold visit.
+    pub wire: Wire,
+    /// The path for the warm visit (a fresh wire over the same route).
+    pub warm_wire: Wire,
+    /// Per-probe RNG seed (forked per record at world generation).
+    pub seed: u64,
+    /// The server/client wall clock at the warm visit, simulated seconds.
+    pub warm_now_secs: u64,
+    /// Whether the warm visit offers the cached ticket at all (the
+    /// cold-only policy revisits without one).
+    pub offer_ticket: bool,
+}
+
+/// What a cold-then-warm probe measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumptionOutcome {
+    /// The first (certificate-laden, ticket-issuing) visit.
+    pub cold: HandshakeOutcome,
+    /// The second visit — resumed when a ticket was offered and accepted,
+    /// a cold fallback otherwise.
+    pub warm: HandshakeOutcome,
+    /// Whether the warm visit actually offered a PSK (ticket cached and
+    /// policy allowed it).
+    pub offered_psk: bool,
+}
+
+/// Run a batch of resumption probes: all cold visits as sessions of one
+/// [`SimNet`], tickets collected into an LRU [`SessionCache`] keyed by SNI,
+/// then all warm visits as sessions of a second `SimNet`.
+///
+/// Every visit draws from its own RNG stream (`seed ^ label`) and owns its
+/// wire, so outcomes are bit-for-bit independent of batch composition —
+/// sharding a record list and concatenating the shard outputs reproduces
+/// the whole-batch result exactly, at any shard size. That invariance
+/// **requires distinct `server_name`s across the batch** (checked by a
+/// debug assertion): the cache is a real client cache, so probes aliasing
+/// one SNI would overwrite each other's tickets and make the warm offer
+/// depend on who else shares the batch. The scanner satisfies this by
+/// using each record's unique domain name; the cache is sized to the
+/// batch, so LRU eviction never interferes either.
+pub fn run_resumption_batch(probes: Vec<ResumptionProbe>) -> Vec<ResumptionOutcome> {
+    #[cfg(debug_assertions)]
+    {
+        let mut names = std::collections::HashSet::new();
+        for probe in &probes {
+            debug_assert!(
+                names.insert(probe.client.server_name.as_str()),
+                "run_resumption_batch requires distinct server_names; \
+                 {:?} appears twice (aliased SNIs break shard invariance)",
+                probe.client.server_name
+            );
+        }
+    }
+    // Phase 1: cold visits, tickets issued.
+    let mut clients = Vec::with_capacity(probes.len());
+    let mut servers = Vec::with_capacity(probes.len());
+    let mut wires = Vec::with_capacity(probes.len());
+    let mut rngs = Vec::with_capacity(probes.len());
+    for probe in &probes {
+        let mut config = probe.client.clone();
+        config.psk = None;
+        clients.push(ClientConn::new(config));
+        servers.push(ServerConn::new(probe.server.clone()));
+        wires.push(probe.wire.clone());
+        rngs.push(SimRng::new(probe.seed ^ HANDSHAKE_RNG_LABEL));
+    }
+    let parts = drive_sessions(&mut clients, &mut servers, wires, rngs, handshake_limits());
+    let cold: Vec<HandshakeOutcome> = parts
+        .into_iter()
+        .zip(clients.iter().zip(&servers))
+        .map(|((outcome, wire), (client, server))| {
+            extract_handshake_outcome(client, server, &wire, &outcome)
+        })
+        .collect();
+
+    // Tickets land in the client-side session cache, stamped with the
+    // wall clock of the visit that obtained them.
+    let mut cache = SessionCache::with_capacity(probes.len().max(1));
+    for (probe, out) in probes.iter().zip(&cold) {
+        if let Some(mut ticket) = out.ticket.clone() {
+            ticket.obtained_at_secs = probe
+                .server
+                .resumption
+                .as_ref()
+                .map(|host| host.now_secs)
+                .unwrap_or(0);
+            cache.insert(&probe.client.server_name, ticket);
+        }
+    }
+
+    // Phase 2: warm visits.
+    let mut clients = Vec::with_capacity(probes.len());
+    let mut servers = Vec::with_capacity(probes.len());
+    let mut wires = Vec::with_capacity(probes.len());
+    let mut rngs = Vec::with_capacity(probes.len());
+    let mut offered = Vec::with_capacity(probes.len());
+    for probe in &probes {
+        let mut config = probe.client.clone();
+        config.seed ^= WARM_SEED_TWEAK;
+        config.psk = probe
+            .offer_ticket
+            .then(|| cache.lookup(&probe.client.server_name))
+            .flatten()
+            .map(|ticket| PskOffer {
+                identity: ticket.identity.clone(),
+                obfuscated_age: ticket.obfuscated_age(probe.warm_now_secs),
+            });
+        offered.push(config.psk.is_some());
+        let mut server = probe.server.clone();
+        server.resumption = server
+            .resumption
+            .map(|host| host.revisited_at(probe.warm_now_secs));
+        clients.push(ClientConn::new(config));
+        servers.push(ServerConn::new(server));
+        wires.push(probe.warm_wire.clone());
+        rngs.push(SimRng::new(probe.seed ^ WARM_RNG_LABEL));
+    }
+    let parts = drive_sessions(&mut clients, &mut servers, wires, rngs, handshake_limits());
+    let warm: Vec<HandshakeOutcome> = parts
+        .into_iter()
+        .zip(clients.iter().zip(&servers))
+        .map(|((outcome, wire), (client, server))| {
+            extract_handshake_outcome(client, server, &wire, &outcome)
+        })
+        .collect();
+
+    cold.into_iter()
+        .zip(warm)
+        .zip(offered)
+        .map(|((cold, warm), offered_psk)| ResumptionOutcome {
+            cold,
+            warm,
+            offered_psk,
         })
         .collect()
 }
@@ -541,6 +712,7 @@ mod tests {
             chain,
             leaf_key,
             compression_support: vec![Algorithm::Brotli],
+            resumption: None,
             seed: 77,
         }
     }
@@ -692,6 +864,139 @@ mod tests {
         let small = run_handshake(cfg(1200), sc.clone(), &mut wire(), 7);
         let large = run_handshake(cfg(1472), sc, &mut wire(), 7);
         assert!(small.rtt_count >= large.rtt_count);
+    }
+
+    fn resumption_probe(
+        seed: u64,
+        chain: CertificateChain,
+        leaf_key: KeyAlgorithm,
+        warm_now_secs: u64,
+        offer_ticket: bool,
+    ) -> ResumptionProbe {
+        let mut server = server(ServerBehavior::rfc_compliant(), chain, leaf_key);
+        server.resumption = Some(quicert_session::ResumptionHost::issuing(
+            seed ^ 0x57E4,
+            1_000_000,
+        ));
+        // One SNI per probe, as in a real scan: the session cache is keyed
+        // by host name, so shared names would alias cache entries.
+        let mut client = ClientConfig::scanner(1362, SERVER, seed);
+        client.server_name = format!("svc-{seed}.example");
+        ResumptionProbe {
+            client,
+            server,
+            wire: wire(),
+            warm_wire: wire(),
+            seed,
+            warm_now_secs,
+            offer_ticket,
+        }
+    }
+
+    #[test]
+    fn warm_visit_resumes_without_certificates_and_fits_budget() {
+        let outs = run_resumption_batch(vec![resumption_probe(
+            21,
+            big_chain(),
+            KeyAlgorithm::Rsa2048,
+            1_000_060,
+            true,
+        )]);
+        let out = &outs[0];
+        // Cold visit: the big chain forces extra RTTs, a ticket arrives.
+        assert!(out.cold.completed);
+        assert_eq!(out.cold.classify(), HandshakeClass::MultiRtt);
+        assert!(out.cold.ticket.is_some(), "ticket issued on cold visit");
+        assert!(out.cold.server_stats.issued_ticket);
+        assert!(!out.cold.resumed);
+        // Warm visit: resumed, certificate-free, 1-RTT, inside the budget.
+        assert!(out.offered_psk);
+        assert!(out.warm.resumed);
+        assert!(out.warm.completed);
+        assert_eq!(out.warm.server_stats.certificate_message_len, 0);
+        assert_eq!(out.warm.classify(), HandshakeClass::OneRtt);
+        assert!(!out.warm.exceeds_limit());
+        assert!(out.warm.rtt_count < out.cold.rtt_count);
+        assert!(out.warm.total_server_wire < out.cold.total_server_wire);
+    }
+
+    #[test]
+    fn stale_ticket_falls_back_to_the_cold_path() {
+        // Revisit long after the lifetime and two STEK rotations: the offer
+        // is rejected and the full chain goes on the wire again.
+        let stale = 1_000_000 + 7_200 + 2 * 3_600 + 1;
+        let outs = run_resumption_batch(vec![resumption_probe(
+            22,
+            big_chain(),
+            KeyAlgorithm::Rsa2048,
+            stale,
+            true,
+        )]);
+        let out = &outs[0];
+        assert!(out.offered_psk, "the stale ticket is still offered");
+        assert!(!out.warm.resumed, "but the server must reject it");
+        assert!(out.warm.server_stats.certificate_message_len > 0);
+        assert_eq!(out.warm.classify(), out.cold.classify());
+    }
+
+    #[test]
+    fn cold_only_policy_never_offers() {
+        let outs = run_resumption_batch(vec![resumption_probe(
+            23,
+            small_chain(),
+            KeyAlgorithm::EcdsaP256,
+            1_000_060,
+            false,
+        )]);
+        assert!(!outs[0].offered_psk);
+        assert!(!outs[0].warm.resumed);
+        assert!(outs[0].warm.server_stats.certificate_message_len > 0);
+    }
+
+    #[test]
+    fn resumption_batch_is_composition_invariant() {
+        let probes: Vec<ResumptionProbe> = (0..9)
+            .map(|i| {
+                let chain = if i % 2 == 0 {
+                    big_chain()
+                } else {
+                    small_chain()
+                };
+                let key = if i % 2 == 0 {
+                    KeyAlgorithm::Rsa2048
+                } else {
+                    KeyAlgorithm::EcdsaP256
+                };
+                resumption_probe(100 + i, chain, key, 1_000_060, true)
+            })
+            .collect();
+        let whole = run_resumption_batch(probes.clone());
+        for chunk in [1usize, 2, 4] {
+            let pieces: Vec<ResumptionOutcome> = probes
+                .chunks(chunk)
+                .flat_map(|shard| run_resumption_batch(shard.to_vec()))
+                .collect();
+            assert_eq!(whole, pieces, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn resumption_free_servers_do_not_issue_tickets() {
+        // The classic cold handshake must not change: no OneRtt datagrams,
+        // no ticket, same wire totals as ever.
+        let out = run_handshake(
+            ClientConfig::scanner(1362, SERVER, 1),
+            server(
+                ServerBehavior::rfc_compliant(),
+                small_chain(),
+                KeyAlgorithm::EcdsaP256,
+            ),
+            &mut wire(),
+            1,
+        );
+        assert!(out.ticket.is_none());
+        assert!(!out.server_stats.issued_ticket);
+        assert!(!out.resumed);
     }
 
     #[test]

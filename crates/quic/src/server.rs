@@ -20,7 +20,10 @@ use std::collections::{BTreeMap, VecDeque};
 
 use quicert_compress::Algorithm;
 use quicert_netsim::{Datagram, Endpoint, SimDuration, SimTime};
-use quicert_tls::{ServerFlight, ServerFlightParams};
+use quicert_session::ResumptionHost;
+use quicert_tls::{
+    new_session_ticket, parse_psk_offer, parse_server_name, ServerFlight, ServerFlightParams,
+};
 use quicert_x509::{CertificateChain, KeyAlgorithm};
 
 use crate::amplification::{AmplificationBudget, LimitPolicy};
@@ -139,12 +142,17 @@ pub struct ServerConfig {
     pub leaf_key: KeyAlgorithm,
     /// Compression algorithms the server supports (RFC 8879).
     pub compression_support: Vec<Algorithm>,
+    /// Session-resumption participation: ticket issuance/validation state
+    /// plus the server's wall clock. `None` (the default everywhere outside
+    /// warm scans) disables resumption and reproduces the pre-subsystem
+    /// wire exchange byte-for-byte.
+    pub resumption: Option<ResumptionHost>,
     /// Deterministic seed.
     pub seed: u64,
 }
 
 /// Byte-accounting statistics exported after a handshake.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServerStats {
     /// Total UDP payload bytes handed to the wire.
     pub wire_sent: usize,
@@ -162,10 +170,15 @@ pub struct ServerStats {
     pub sent_retry: bool,
     /// Compression algorithm applied to the certificate message, if any.
     pub compression_used: Option<Algorithm>,
-    /// Encoded certificate message length as sent.
+    /// Encoded certificate message length as sent (0 on a resumed flight:
+    /// no certificate goes on the wire at all).
     pub certificate_message_len: usize,
     /// Certificate message length before compression.
     pub uncompressed_certificate_len: usize,
+    /// Whether the flight was a resumed (PSK) one.
+    pub resumed: bool,
+    /// Whether a NewSessionTicket was issued after completion.
+    pub issued_ticket: bool,
 }
 
 #[derive(Debug)]
@@ -191,12 +204,15 @@ pub struct ServerConn {
     queue: VecDeque<PendingDatagram>,
     initial_pn: u64,
     handshake_pn: u64,
+    onertt_pn: u64,
     largest_client_initial_pn: Option<u64>,
     retry_sent: bool,
     retry_token: Vec<u8>,
     /// Set once a client Handshake-level packet arrives (address validated,
     /// RFC 9001 §4.1.2) or a valid Retry token is echoed.
     complete: bool,
+    /// A NewSessionTicket has been queued (at most one per connection).
+    ticket_issued: bool,
     transmissions: u32,
     pto_deadline: Option<SimTime>,
     current_pto: SimDuration,
@@ -221,10 +237,12 @@ impl ServerConn {
             queue: VecDeque::new(),
             initial_pn: 0,
             handshake_pn: 0,
+            onertt_pn: 0,
             largest_client_initial_pn: None,
             retry_sent: false,
             retry_token: Vec::new(),
             complete: false,
+            ticket_issued: false,
             transmissions: 0,
             pto_deadline: None,
             current_pto,
@@ -271,18 +289,41 @@ impl ServerConn {
             .find(|alg| self.config.compression_support.contains(alg))
     }
 
+    /// Whether the ClientHello's PSK offer names a ticket this server
+    /// accepts (right STEK epoch, right SNI, within lifetime).
+    fn accepts_psk(&self, ch: &[u8]) -> bool {
+        let Some(host) = &self.config.resumption else {
+            return false;
+        };
+        let Some(offer) = parse_psk_offer(ch) else {
+            return false;
+        };
+        let sni = parse_server_name(ch).unwrap_or_default();
+        host.issuer
+            .validate(&offer.identity, &sni, host.now_secs)
+            .accepted()
+    }
+
     fn build_flight(&mut self, ch: &[u8]) {
-        let compression = self.negotiate_compression(ch);
-        let flight = ServerFlight::build(&ServerFlightParams {
-            chain: self.config.chain.clone(),
-            leaf_key: self.config.leaf_key,
-            compression,
-            seed: self.config.seed,
-        });
-        self.stats.compression_used = if flight.is_compressed() {
-            compression
+        let flight = if self.accepts_psk(ch) {
+            // Resumed: ServerHello(+pre_shared_key), EE, Finished — the
+            // certificate chain never touches the wire.
+            self.stats.resumed = true;
+            ServerFlight::build_resumed(self.config.seed)
         } else {
-            None
+            let compression = self.negotiate_compression(ch);
+            let flight = ServerFlight::build(&ServerFlightParams {
+                chain: self.config.chain.clone(),
+                leaf_key: self.config.leaf_key,
+                compression,
+                seed: self.config.seed,
+            });
+            self.stats.compression_used = if flight.is_compressed() {
+                compression
+            } else {
+                None
+            };
+            flight
         };
         self.stats.certificate_message_len = flight.certificate_message_len;
         self.stats.uncompressed_certificate_len = flight.uncompressed_certificate_len;
@@ -470,6 +511,47 @@ impl ServerConn {
         }
     }
 
+    /// Queue a NewSessionTicket (1-RTT level) after a completed handshake,
+    /// when this server participates in resumption. At most one per
+    /// connection; never on the plain (resumption-free) configuration, so
+    /// the classic wire exchange is untouched.
+    fn maybe_issue_ticket(&mut self) {
+        if self.ticket_issued || !self.complete {
+            return;
+        }
+        let Some(host) = &self.config.resumption else {
+            return;
+        };
+        if !host.issue_tickets {
+            return;
+        }
+        let ch = self.contiguous_ch();
+        let sni = parse_server_name(&ch).unwrap_or_default();
+        let identity = host.issuer.issue(&sni, host.now_secs, self.config.seed);
+        let lifetime = host.issuer.config.lifetime_secs.min(u32::MAX as u64) as u32;
+        let age_add = (self.config.seed ^ (self.config.seed >> 32)) as u32;
+        let nst = new_session_ticket(lifetime, age_add, &identity, self.config.seed);
+        let pn = self.onertt_pn;
+        self.onertt_pn += 1;
+        let pkt = Packet::new(
+            PacketType::OneRtt,
+            self.client_cid.clone(),
+            self.scid.clone(),
+            pn,
+            vec![Frame::Crypto {
+                offset: 0,
+                data: nst,
+            }],
+        );
+        self.queue.push_back(PendingDatagram {
+            packets: vec![pkt],
+            pad_to: None,
+            is_resend: false,
+        });
+        self.ticket_issued = true;
+        self.stats.issued_ticket = true;
+    }
+
     fn make_retry_token(&self) -> Vec<u8> {
         let mut token = vec![0u8; 48];
         let mut z = self.config.seed ^ 0x0072_6574_7279;
@@ -566,6 +648,7 @@ impl Endpoint for ServerConn {
                             self.pto_deadline = None;
                         }
                     }
+                    self.maybe_issue_ticket();
                 }
                 _ => {}
             }
@@ -669,6 +752,7 @@ mod tests {
         let ch = client_hello(&ClientHelloParams {
             server_name: "example.org".into(),
             compression: vec![Algorithm::Brotli, Algorithm::Zstd],
+            psk: None,
             seed: 4,
         });
         let offers = parse_compression_offers(&ch).expect("extension present");
@@ -677,6 +761,7 @@ mod tests {
         let ch_none = client_hello(&ClientHelloParams {
             server_name: "example.org".into(),
             compression: vec![],
+            psk: None,
             seed: 4,
         });
         assert_eq!(parse_compression_offers(&ch_none), None);
@@ -687,6 +772,7 @@ mod tests {
         let ch = client_hello(&ClientHelloParams {
             server_name: "a.example".into(),
             compression: vec![],
+            psk: None,
             seed: 1,
         });
         assert!(is_complete_handshake_message(&ch));

@@ -54,6 +54,7 @@ pub fn server_config_for(
         chain,
         leaf_key: quic.leaf_key,
         compression_support: quic.compression_support.clone(),
+        resumption: None,
         seed: record.seed,
     }
 }

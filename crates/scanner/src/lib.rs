@@ -24,4 +24,4 @@ pub mod zmap;
 
 pub use behavior::{server_config_for, wire_for};
 pub use https_scan::{ChainSummary, HttpsObservation, HttpsScanReport};
-pub use quicreach::{QuicReachResult, ScanSummary};
+pub use quicreach::{QuicReachResult, ScanSummary, WarmScanResult};

@@ -7,11 +7,20 @@
 //! path for equivalence tests and the throughput benchmark. Every entry
 //! point also exists in a `NetworkProfile`-aware form, scanning the same
 //! population under lossy / long-fat / tunneled path overlays.
+//!
+//! All three probe families — batched, per-probe, and the warm
+//! ([`warm_scan_records`]) resumption path — share one probe-construction
+//! helper (`probes_for`) and one collation helper (`collate`), so the
+//! probe parameters and the outcome→result mapping can never diverge
+//! between entry points.
 
 use quicert_netsim::{NetworkProfile, UDP_IPV4_OVERHEAD};
 use quicert_pki::{DomainRecord, World};
-use quicert_quic::handshake::{HandshakeClass, HandshakeOutcome, HandshakeProbe};
-use quicert_quic::{run_handshake, run_handshake_batch, ClientConfig};
+use quicert_quic::handshake::{
+    HandshakeClass, HandshakeOutcome, HandshakeProbe, ResumptionOutcome, ResumptionProbe,
+};
+use quicert_quic::{run_handshake, run_handshake_batch, run_resumption_batch, ClientConfig};
+use quicert_session::{ResumptionHost, ResumptionPolicy, TicketConfig, TicketIssuer};
 
 use crate::behavior::{server_config_for, wire_for_profile};
 
@@ -170,6 +179,30 @@ fn probe_for(
     }
 }
 
+/// Build the probes for a whole shard — the single probe-construction path
+/// every scan family (batched, per-probe, warm) goes through.
+fn probes_for(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+) -> Vec<HandshakeProbe> {
+    records
+        .iter()
+        .map(|record| probe_for(world, record, initial_size, profile))
+        .collect()
+}
+
+/// Pair a shard's outcomes back with its records — the single
+/// outcome→result mapping every scan family goes through.
+fn collate(records: &[&DomainRecord], outcomes: &[HandshakeOutcome]) -> Vec<QuicReachResult> {
+    records
+        .iter()
+        .zip(outcomes)
+        .map(|(record, out)| QuicReachResult::from_outcome(record.rank, out))
+        .collect()
+}
+
 /// Probe one service at one Initial size (ideal path).
 pub fn scan_service(world: &World, record: &DomainRecord, initial_size: usize) -> QuicReachResult {
     scan_service_profiled(world, record, initial_size, NetworkProfile::Ideal)
@@ -218,31 +251,153 @@ pub fn scan_records_profiled(
     initial_size: usize,
     profile: NetworkProfile,
 ) -> Vec<QuicReachResult> {
-    let probes: Vec<HandshakeProbe> = records
-        .iter()
-        .map(|record| probe_for(world, record, initial_size, profile))
-        .collect();
-    let outcomes = run_handshake_batch(probes);
-    records
-        .iter()
-        .zip(&outcomes)
-        .map(|(record, out)| QuicReachResult::from_outcome(record.rank, out))
-        .collect()
+    let outcomes = run_handshake_batch(probes_for(world, records, initial_size, profile));
+    collate(records, &outcomes)
 }
 
 /// The pre-batching reference path: one isolated exchange per probe.
 ///
 /// Kept for the batched-vs-per-probe equivalence tests and the scan
-/// throughput benchmark; scanners should prefer [`scan_records`].
+/// throughput benchmark; scanners should prefer [`scan_records`]. Probe
+/// construction and collation are the same helpers the batched path uses —
+/// only the exchange scheduling differs.
 pub fn scan_records_per_probe(
     world: &World,
     records: &[&DomainRecord],
     initial_size: usize,
     profile: NetworkProfile,
 ) -> Vec<QuicReachResult> {
+    let outcomes: Vec<HandshakeOutcome> = probes_for(world, records, initial_size, profile)
+        .into_iter()
+        .map(|probe| {
+            let mut wire = probe.wire;
+            run_handshake(probe.client, probe.server, &mut wire, probe.seed)
+        })
+        .collect();
+    collate(records, &outcomes)
+}
+
+// ------------------------------------------------------------ warm path --
+
+/// The simulated wall-clock second at which every cold (first-visit)
+/// handshake of a warm scan happens. Chosen away from epoch boundaries so a
+/// short revisit delay never straddles a STEK rotation by accident.
+pub const WARM_SCAN_EPOCH_SECS: u64 = 1_764_000_600;
+
+/// Revisit delay of the warm policies, seconds.
+pub const WARM_REVISIT_DELAY_SECS: u64 = 60;
+
+/// Label mixed into a record's seed to derive its server's STEK master key.
+const STEK_SEED_LABEL: u64 = 0x5354_454B_5345_4544;
+
+/// The wall clock of the warm visit under one [`ResumptionPolicy`].
+pub fn warm_visit_secs(policy: ResumptionPolicy) -> u64 {
+    let config = TicketConfig::default();
+    match policy {
+        // Cold-only and warm revisit shortly after the first handshake.
+        ResumptionPolicy::ColdOnly | ResumptionPolicy::WarmAfterFirstVisit => {
+            WARM_SCAN_EPOCH_SECS + WARM_REVISIT_DELAY_SECS
+        }
+        // Past the lifetime *and* past the previous-STEK window, so the
+        // server rejects deterministically.
+        ResumptionPolicy::TicketExpired => {
+            WARM_SCAN_EPOCH_SECS
+                + config.lifetime_secs
+                + 2 * config.rotation_secs
+                + WARM_REVISIT_DELAY_SECS
+        }
+    }
+}
+
+/// One service's cold-vs-warm measurement pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmScanResult {
+    /// Service rank.
+    pub rank: usize,
+    /// The first visit: full handshake against a ticket-issuing server.
+    pub cold: QuicReachResult,
+    /// The second visit: resumed when the policy offered a ticket and the
+    /// server accepted it, cold fallback otherwise.
+    pub warm: QuicReachResult,
+    /// Whether the warm visit offered a PSK at all.
+    pub offered_psk: bool,
+    /// Whether the server accepted the offer (handshake resumed).
+    pub resumed: bool,
+    /// Certificate-message bytes on the wire during the cold visit.
+    pub cold_cert_bytes: usize,
+    /// Certificate-message bytes during the warm visit (0 when resumed).
+    pub warm_cert_bytes: usize,
+    /// Whether the warm first flight exceeded the 3× budget.
+    pub warm_exceeds_limit: bool,
+    /// Round trips saved by the warm visit (cold RTTs − warm RTTs; 0 or
+    /// negative when nothing was saved, e.g. unreachable either way).
+    pub rtts_saved: i64,
+}
+
+impl WarmScanResult {
+    fn from_outcome(rank: usize, out: &ResumptionOutcome) -> WarmScanResult {
+        WarmScanResult {
+            rank,
+            cold: QuicReachResult::from_outcome(rank, &out.cold),
+            warm: QuicReachResult::from_outcome(rank, &out.warm),
+            offered_psk: out.offered_psk,
+            resumed: out.warm.resumed,
+            cold_cert_bytes: out.cold.server_stats.certificate_message_len,
+            warm_cert_bytes: out.warm.server_stats.certificate_message_len,
+            warm_exceeds_limit: out.warm.exceeds_limit(),
+            rtts_saved: out.cold.rtt_count as i64 - out.warm.rtt_count as i64,
+        }
+    }
+}
+
+/// Probe a shard of services cold-then-warm under a [`ResumptionPolicy`].
+///
+/// Each record's first visit runs the usual certificate-laden handshake
+/// against its server *with ticket issuance enabled*; the obtained ticket
+/// lands in an SNI-keyed LRU session cache, and the second visit re-probes
+/// with the cached ticket per the policy. The cold (ticket-free) scan
+/// entry points are untouched by any of this — their servers never issue
+/// tickets, so their artifacts stay byte-for-byte identical.
+///
+/// Probes use the record's *domain name* as SNI (tickets are host-bound);
+/// the probe parameters are otherwise exactly [`scan_records_profiled`]'s,
+/// via the shared probe builder. Every visit draws from per-record RNG
+/// streams, so shard splits and worker counts cannot change any result.
+pub fn warm_scan_records(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    policy: ResumptionPolicy,
+) -> Vec<WarmScanResult> {
+    let warm_now_secs = warm_visit_secs(policy);
+    let probes: Vec<ResumptionProbe> = probes_for(world, records, initial_size, profile)
+        .into_iter()
+        .zip(records)
+        .map(|(mut probe, record)| {
+            probe.client.server_name = record.name.clone();
+            probe.server.resumption = Some(ResumptionHost {
+                issuer: TicketIssuer::new(record.seed ^ STEK_SEED_LABEL, TicketConfig::default()),
+                now_secs: WARM_SCAN_EPOCH_SECS,
+                issue_tickets: true,
+            });
+            let warm_wire = probe.wire.clone();
+            ResumptionProbe {
+                client: probe.client,
+                server: probe.server,
+                wire: probe.wire,
+                warm_wire,
+                seed: probe.seed,
+                warm_now_secs,
+                offer_ticket: policy.offers_ticket(),
+            }
+        })
+        .collect();
+    let outcomes = run_resumption_batch(probes);
     records
         .iter()
-        .map(|record| scan_service_profiled(world, record, initial_size, profile))
+        .zip(&outcomes)
+        .map(|(record, out)| WarmScanResult::from_outcome(record.rank, out))
         .collect()
 }
 
@@ -403,6 +558,117 @@ mod tests {
         };
         assert_eq!(summary.share_of_reachable(HandshakeClass::OneRtt), 0.0);
         assert_eq!(summary.share_of_all(HandshakeClass::Unreachable), 100.0);
+    }
+
+    #[test]
+    fn warm_scan_resumes_the_reachable_population() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(80).collect();
+        let results = warm_scan_records(
+            &world,
+            &records,
+            1362,
+            NetworkProfile::Ideal,
+            ResumptionPolicy::WarmAfterFirstVisit,
+        );
+        assert_eq!(results.len(), records.len());
+        for r in &results {
+            if r.cold.class == HandshakeClass::Unreachable {
+                // No ticket could be obtained; revisit stays unreachable.
+                assert!(!r.resumed);
+                continue;
+            }
+            assert!(r.offered_psk, "rank {}: ticket cached and offered", r.rank);
+            assert!(r.resumed, "rank {}: server accepts fresh ticket", r.rank);
+            assert_eq!(r.warm_cert_bytes, 0, "rank {}: no certs on wire", r.rank);
+            assert!(!r.warm_exceeds_limit, "rank {}: fits 3x budget", r.rank);
+            // Always-on Retry servers still demand address validation on a
+            // resumed visit; everyone else completes in one round.
+            if r.cold.class == HandshakeClass::Retry {
+                assert_eq!(r.warm.class, HandshakeClass::Retry, "rank {}", r.rank);
+            } else {
+                assert_eq!(r.warm.class, HandshakeClass::OneRtt, "rank {}", r.rank);
+            }
+            assert!(r.cold_cert_bytes > 0);
+        }
+        // Every cold multi-RTT handshake saves at least one round trip.
+        let multi: Vec<&WarmScanResult> = results
+            .iter()
+            .filter(|r| r.cold.class == HandshakeClass::MultiRtt)
+            .collect();
+        assert!(!multi.is_empty(), "population includes multi-RTT services");
+        assert!(multi.iter().all(|r| r.rtts_saved >= 1));
+    }
+
+    #[test]
+    fn cold_only_and_expired_policies_fall_back_to_full_handshakes() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(40).collect();
+        for policy in [ResumptionPolicy::ColdOnly, ResumptionPolicy::TicketExpired] {
+            let results = warm_scan_records(&world, &records, 1362, NetworkProfile::Ideal, policy);
+            for r in &results {
+                assert!(!r.resumed, "policy {policy}: never resumed");
+                assert_eq!(
+                    r.offered_psk,
+                    policy.offers_ticket() && r.cold.class != HandshakeClass::Unreachable
+                );
+                // The fallback pays the certificate chain again.
+                if r.cold.class != HandshakeClass::Unreachable {
+                    assert!(r.warm_cert_bytes > 0, "policy {policy}: certs sent");
+                    assert_eq!(r.warm.class, r.cold.class, "policy {policy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_scan_cold_half_matches_the_plain_cold_scan_classes() {
+        // The warm scan's first visit adds ticket issuance, which must not
+        // disturb any classification-relevant measurement relative to the
+        // plain (resumption-free) scan.
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(60).collect();
+        let plain = scan_records_profiled(&world, &records, 1362, NetworkProfile::Ideal);
+        let warm = warm_scan_records(
+            &world,
+            &records,
+            1362,
+            NetworkProfile::Ideal,
+            ResumptionPolicy::WarmAfterFirstVisit,
+        );
+        for (p, w) in plain.iter().zip(&warm) {
+            assert_eq!(p.class, w.cold.class, "rank {}", p.rank);
+            assert_eq!(p.rtt_count, w.cold.rtt_count, "rank {}", p.rank);
+            assert_eq!(p.amplification, w.cold.amplification, "rank {}", p.rank);
+        }
+    }
+
+    #[test]
+    fn warm_scan_is_shard_invariant() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(48).collect();
+        let whole = warm_scan_records(
+            &world,
+            &records,
+            1250,
+            NetworkProfile::Lossy,
+            ResumptionPolicy::WarmAfterFirstVisit,
+        );
+        for chunk in [1usize, 7, 16] {
+            let pieces: Vec<WarmScanResult> = records
+                .chunks(chunk)
+                .flat_map(|shard| {
+                    warm_scan_records(
+                        &world,
+                        shard,
+                        1250,
+                        NetworkProfile::Lossy,
+                        ResumptionPolicy::WarmAfterFirstVisit,
+                    )
+                })
+                .collect();
+            assert_eq!(whole, pieces, "chunk size {chunk}");
+        }
     }
 
     #[test]

@@ -120,6 +120,7 @@ fn meta_server_config(
         chain,
         leaf_key: KeyAlgorithm::EcdsaP256,
         compression_support: vec![],
+        resumption: None,
         seed: 0xFB00 + octet as u64 + (variation << 16),
     }
 }

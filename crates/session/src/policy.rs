@@ -1,0 +1,68 @@
+//! The resumption scenario axis: how a revisit relates to the first visit.
+
+/// How the warm (second-visit) half of a scan treats session tickets —
+/// the resumption counterpart of `quicert_netsim::NetworkProfile`, swept
+/// orthogonally to network conditions and Initial sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResumptionPolicy {
+    /// The client never offers a ticket: every visit pays the full
+    /// certificate-laden handshake. The baseline row.
+    ColdOnly,
+    /// The client revisits shortly after the first handshake and offers the
+    /// cached ticket — the §5 mitigation working as intended.
+    WarmAfterFirstVisit,
+    /// The revisit happens after the ticket lifetime has elapsed *and* the
+    /// server's STEK has rotated past the acceptance window, so the offer
+    /// is deterministically rejected and the handshake falls back cold.
+    TicketExpired,
+}
+
+impl ResumptionPolicy {
+    /// Every policy, in report order (baseline first).
+    pub const ALL: [ResumptionPolicy; 3] = [
+        ResumptionPolicy::ColdOnly,
+        ResumptionPolicy::WarmAfterFirstVisit,
+        ResumptionPolicy::TicketExpired,
+    ];
+
+    /// Label used in reports and artifact keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResumptionPolicy::ColdOnly => "cold-only",
+            ResumptionPolicy::WarmAfterFirstVisit => "warm",
+            ResumptionPolicy::TicketExpired => "ticket-expired",
+        }
+    }
+
+    /// Whether the warm visit offers a cached ticket at all.
+    pub fn offers_ticket(self) -> bool {
+        !matches!(self, ResumptionPolicy::ColdOnly)
+    }
+}
+
+impl std::fmt::Display for ResumptionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_display_matches() {
+        let mut seen = std::collections::HashSet::new();
+        for p in ResumptionPolicy::ALL {
+            assert!(seen.insert(p.name()));
+            assert_eq!(format!("{p}"), p.name());
+        }
+    }
+
+    #[test]
+    fn only_cold_only_withholds_tickets() {
+        assert!(!ResumptionPolicy::ColdOnly.offers_ticket());
+        assert!(ResumptionPolicy::WarmAfterFirstVisit.offers_ticket());
+        assert!(ResumptionPolicy::TicketExpired.offers_ticket());
+    }
+}

@@ -41,6 +41,24 @@ pub struct ServerFlight {
 }
 
 impl ServerFlight {
+    /// Build the *resumed* flight: the server accepted a PSK offer, so the
+    /// first flight is ServerHello(+pre_shared_key) at the Initial level
+    /// and EncryptedExtensions ‖ Finished at the Handshake level — no
+    /// Certificate, no CertificateVerify. The whole flight is a few hundred
+    /// bytes, which is what lets a resumed handshake fit the 3×
+    /// anti-amplification budget at any client Initial size.
+    pub fn build_resumed(seed: u64) -> ServerFlight {
+        let initial_crypto = messages::server_hello_resumed(seed);
+        let mut handshake_crypto = messages::encrypted_extensions(seed);
+        handshake_crypto.extend_from_slice(&messages::finished(seed));
+        ServerFlight {
+            initial_crypto,
+            handshake_crypto,
+            certificate_message_len: 0,
+            uncompressed_certificate_len: 0,
+        }
+    }
+
     /// Build the flight for the given parameters.
     pub fn build(params: &ServerFlightParams) -> ServerFlight {
         let initial_crypto = messages::server_hello(params.seed);
@@ -87,9 +105,18 @@ impl ServerFlight {
     }
 
     /// Achieved compression ratio of the certificate message
-    /// (compressed/uncompressed; 1.0 when uncompressed).
+    /// (compressed/uncompressed; 1.0 when uncompressed or when the flight
+    /// carries no certificate at all — the resumed case).
     pub fn compression_ratio(&self) -> f64 {
+        if self.uncompressed_certificate_len == 0 {
+            return 1.0;
+        }
         self.certificate_message_len as f64 / self.uncompressed_certificate_len as f64
+    }
+
+    /// Whether this is a resumed (certificate-free) flight.
+    pub fn is_resumed(&self) -> bool {
+        self.uncompressed_certificate_len == 0
     }
 }
 
@@ -168,6 +195,25 @@ mod tests {
         let rsa = ServerFlight::build(&p);
         let ecdsa = ServerFlight::build(&params(None));
         assert!(rsa.handshake_crypto.len() > ecdsa.handshake_crypto.len() + 180);
+    }
+
+    #[test]
+    fn resumed_flight_carries_no_certificate_bytes() {
+        let cold = ServerFlight::build(&params(None));
+        let resumed = ServerFlight::build_resumed(21);
+        assert!(resumed.is_resumed());
+        assert!(!cold.is_resumed());
+        assert_eq!(resumed.certificate_message_len, 0);
+        assert_eq!(resumed.uncompressed_certificate_len, 0);
+        assert_eq!(resumed.compression_ratio(), 1.0);
+        // A resumed flight is a small fraction of even a compact cold one:
+        // SH + EE + Finished only.
+        assert!(resumed.total_tls_len() < 400, "{}", resumed.total_tls_len());
+        assert!(resumed.total_tls_len() * 3 < cold.total_tls_len());
+        // And it is detectably PSK-accepting at the Initial level.
+        assert!(crate::messages::server_hello_accepted_psk(
+            &resumed.initial_crypto
+        ));
     }
 
     #[test]

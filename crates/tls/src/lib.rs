@@ -22,5 +22,7 @@ pub use browser::{BrowserProfile, CHROMIUM, FIREFOX, SAFARI};
 pub use flight::{ServerFlight, ServerFlightParams};
 pub use messages::{
     certificate_message, certificate_verify, client_hello, compressed_certificate_message,
-    encrypted_extensions, finished, server_hello, ClientHelloParams, HandshakeType,
+    encrypted_extensions, finished, new_session_ticket, parse_new_session_ticket, parse_psk_offer,
+    parse_server_name, server_hello, server_hello_accepted_psk, server_hello_resumed,
+    ClientHelloParams, HandshakeType, NewSessionTicket, PskOffer,
 };

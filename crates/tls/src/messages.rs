@@ -15,6 +15,8 @@ pub enum HandshakeType {
     ClientHello = 1,
     /// ServerHello
     ServerHello = 2,
+    /// NewSessionTicket (post-handshake, RFC 8446 §4.6.1)
+    NewSessionTicket = 4,
     /// EncryptedExtensions
     EncryptedExtensions = 8,
     /// Certificate
@@ -73,6 +75,21 @@ const EXT_KEY_SHARE: u16 = 51;
 const EXT_QUIC_TRANSPORT_PARAMS: u16 = 0x0039;
 /// RFC 8879 compress_certificate extension.
 pub const EXT_COMPRESS_CERTIFICATE: u16 = 27;
+/// RFC 8446 pre_shared_key extension (resumption offers/acceptance).
+pub const EXT_PRE_SHARED_KEY: u16 = 41;
+
+/// PSK binder length for the SHA-256 suites.
+const PSK_BINDER_LEN: usize = 32;
+
+/// A pre-shared-key offer carried in a ClientHello (RFC 8446 §4.2.11):
+/// one ticket identity plus its obfuscated age.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PskOffer {
+    /// Opaque ticket identity as issued by the server.
+    pub identity: Vec<u8>,
+    /// Ticket age in milliseconds, obfuscated with `ticket_age_add`.
+    pub obfuscated_age: u32,
+}
 
 /// Parameters of a ClientHello.
 #[derive(Debug, Clone)]
@@ -82,6 +99,9 @@ pub struct ClientHelloParams {
     /// Offered certificate compression algorithms (empty = extension
     /// omitted).
     pub compression: Vec<Algorithm>,
+    /// Session-ticket offer; `None` encodes byte-for-byte the classic
+    /// (cold) ClientHello.
+    pub psk: Option<PskOffer>,
     /// Deterministic seed for random fields.
     pub seed: u64,
 }
@@ -155,6 +175,22 @@ pub fn client_hello(params: &ClientHelloParams) -> Vec<u8> {
         }
         exts.extend(extension(EXT_COMPRESS_CERTIFICATE, &cc));
     }
+    // pre_shared_key (RFC 8446 §4.2.11): must be the last extension.
+    if let Some(psk) = &params.psk {
+        let mut data = Vec::with_capacity(psk.identity.len() + PSK_BINDER_LEN + 11);
+        // identities: one entry = identity(2+len) + obfuscated_age(4).
+        data.extend_from_slice(&u16be(psk.identity.len() + 6));
+        data.extend_from_slice(&u16be(psk.identity.len()));
+        data.extend_from_slice(&psk.identity);
+        data.extend_from_slice(&psk.obfuscated_age.to_be_bytes());
+        // binders: one binder = 1-byte length + HMAC (deterministic filler).
+        data.extend_from_slice(&u16be(PSK_BINDER_LEN + 1));
+        data.push(PSK_BINDER_LEN as u8);
+        let mut binder = [0u8; PSK_BINDER_LEN];
+        fill(params.seed ^ 0x7073_6B62_6E64, &mut binder);
+        data.extend_from_slice(&binder);
+        exts.extend(extension(EXT_PRE_SHARED_KEY, &data));
+    }
 
     body.extend_from_slice(&u16be(exts.len()));
     body.extend_from_slice(&exts);
@@ -183,6 +219,159 @@ pub fn server_hello(seed: u64) -> Vec<u8> {
     body.extend_from_slice(&u16be(exts.len()));
     body.extend_from_slice(&exts);
     handshake_message(HandshakeType::ServerHello, &body)
+}
+
+/// Encode a ServerHello that accepts a PSK offer: the classic ServerHello
+/// plus a pre_shared_key extension selecting identity 0. This is the only
+/// wire-visible difference between a cold and a resumed ServerHello, and
+/// what [`server_hello_accepted_psk`] detects on the client side.
+pub fn server_hello_resumed(seed: u64) -> Vec<u8> {
+    let mut msg = server_hello(seed);
+    // Splice the extension into the extensions block: the block length
+    // field sits right after the fixed ServerHello prefix.
+    let body_start = 4;
+    let ext_len_pos = body_start + 2 + 32 + 1 + 2 + 1;
+    let old_ext_len = u16::from_be_bytes([msg[ext_len_pos], msg[ext_len_pos + 1]]) as usize;
+    let addition = extension(EXT_PRE_SHARED_KEY, &[0x00, 0x00]); // selected_identity 0
+    msg.extend_from_slice(&addition);
+    let new_ext_len = (old_ext_len + addition.len()) as u16;
+    msg[ext_len_pos..ext_len_pos + 2].copy_from_slice(&new_ext_len.to_be_bytes());
+    // Patch the handshake-message length header.
+    let new_body_len = msg.len() - 4;
+    msg[1..4].copy_from_slice(&u24(new_body_len));
+    msg
+}
+
+/// Whether a ServerHello handshake message carries a pre_shared_key
+/// extension — i.e. the server accepted the client's resumption offer.
+pub fn server_hello_accepted_psk(sh: &[u8]) -> bool {
+    if sh.len() < 4 || sh[0] != HandshakeType::ServerHello as u8 {
+        return false;
+    }
+    let body = &sh[4..];
+    // legacy_version(2) + random(32) + session_id(1+len) + cipher(2) +
+    // compression(1), then the extensions block.
+    let mut pos = 2 + 32;
+    let Some(&sid_len) = body.get(pos) else {
+        return false;
+    };
+    pos += 1 + sid_len as usize + 2 + 1;
+    let Some(ext_len_bytes) = body.get(pos..pos + 2) else {
+        return false;
+    };
+    let ext_total = u16::from_be_bytes([ext_len_bytes[0], ext_len_bytes[1]]) as usize;
+    pos += 2;
+    let end = (pos + ext_total).min(body.len());
+    while pos + 4 <= end {
+        let ty = u16::from_be_bytes([body[pos], body[pos + 1]]);
+        let len = u16::from_be_bytes([body[pos + 2], body[pos + 3]]) as usize;
+        pos += 4;
+        if ty == EXT_PRE_SHARED_KEY {
+            return true;
+        }
+        pos += len;
+    }
+    false
+}
+
+/// A parsed NewSessionTicket message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewSessionTicket {
+    /// Advertised ticket lifetime, seconds.
+    pub lifetime_secs: u32,
+    /// Obfuscation value added to the ticket age on later offers.
+    pub age_add: u32,
+    /// The opaque ticket.
+    pub ticket: Vec<u8>,
+}
+
+/// Encode a NewSessionTicket message (RFC 8446 §4.6.1).
+pub fn new_session_ticket(lifetime_secs: u32, age_add: u32, ticket: &[u8], seed: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(ticket.len() + 23);
+    body.extend_from_slice(&lifetime_secs.to_be_bytes());
+    body.extend_from_slice(&age_add.to_be_bytes());
+    let mut nonce = [0u8; 8];
+    fill(seed ^ 0x6E73_746E, &mut nonce);
+    body.push(nonce.len() as u8);
+    body.extend_from_slice(&nonce);
+    body.extend_from_slice(&u16be(ticket.len()));
+    body.extend_from_slice(ticket);
+    body.extend_from_slice(&u16be(0)); // no extensions
+    handshake_message(HandshakeType::NewSessionTicket, &body)
+}
+
+/// Parse a NewSessionTicket message; `None` when malformed or a different
+/// message type.
+pub fn parse_new_session_ticket(msg: &[u8]) -> Option<NewSessionTicket> {
+    if msg.len() < 4 || msg[0] != HandshakeType::NewSessionTicket as u8 {
+        return None;
+    }
+    let body = &msg[4..];
+    let lifetime_secs = u32::from_be_bytes(body.get(0..4)?.try_into().ok()?);
+    let age_add = u32::from_be_bytes(body.get(4..8)?.try_into().ok()?);
+    let mut pos = 8;
+    let nonce_len = *body.get(pos)? as usize;
+    pos += 1 + nonce_len;
+    let ticket_len = u16::from_be_bytes([*body.get(pos)?, *body.get(pos + 1)?]) as usize;
+    pos += 2;
+    let ticket = body.get(pos..pos + ticket_len)?.to_vec();
+    Some(NewSessionTicket {
+        lifetime_secs,
+        age_add,
+        ticket,
+    })
+}
+
+/// Walk a ClientHello's extensions, returning the first with type `wanted`.
+fn client_hello_extension(ch: &[u8], wanted: u16) -> Option<&[u8]> {
+    if ch.len() < 4 || ch[0] != HandshakeType::ClientHello as u8 {
+        return None;
+    }
+    let body = &ch[4..];
+    let mut pos = 2 + 32; // legacy_version + random
+    let sid_len = *body.get(pos)? as usize;
+    pos += 1 + sid_len;
+    let cs_len = u16::from_be_bytes([*body.get(pos)?, *body.get(pos + 1)?]) as usize;
+    pos += 2 + cs_len;
+    let comp_len = *body.get(pos)? as usize;
+    pos += 1 + comp_len;
+    let ext_total = u16::from_be_bytes([*body.get(pos)?, *body.get(pos + 1)?]) as usize;
+    pos += 2;
+    let end = (pos + ext_total).min(body.len());
+    while pos + 4 <= end {
+        let ty = u16::from_be_bytes([body[pos], body[pos + 1]]);
+        let len = u16::from_be_bytes([body[pos + 2], body[pos + 3]]) as usize;
+        pos += 4;
+        if ty == wanted {
+            return body.get(pos..pos + len);
+        }
+        pos += len;
+    }
+    None
+}
+
+/// Extract the SNI host name from a ClientHello (the server needs it to
+/// bind issued tickets to the host).
+pub fn parse_server_name(ch: &[u8]) -> Option<String> {
+    let data = client_hello_extension(ch, EXT_SERVER_NAME)?;
+    // server_name_list: list_len(2) + type(1) + name_len(2) + name.
+    let name_len = u16::from_be_bytes([*data.get(3)?, *data.get(4)?]) as usize;
+    let name = data.get(5..5 + name_len)?;
+    String::from_utf8(name.to_vec()).ok()
+}
+
+/// Extract the PSK offer from a ClientHello, if one is present.
+pub fn parse_psk_offer(ch: &[u8]) -> Option<PskOffer> {
+    let data = client_hello_extension(ch, EXT_PRE_SHARED_KEY)?;
+    // identities: list_len(2) + first identity (2+len) + age(4).
+    let id_len = u16::from_be_bytes([*data.get(2)?, *data.get(3)?]) as usize;
+    let identity = data.get(4..4 + id_len)?.to_vec();
+    let age_off = 4 + id_len;
+    let obfuscated_age = u32::from_be_bytes(data.get(age_off..age_off + 4)?.try_into().ok()?);
+    Some(PskOffer {
+        identity,
+        obfuscated_age,
+    })
 }
 
 /// Encode EncryptedExtensions (ALPN echo + QUIC transport parameters).
@@ -285,6 +474,7 @@ mod tests {
         ClientHelloParams {
             server_name: "example.org".into(),
             compression,
+            psk: None,
             seed: 7,
         }
     }
@@ -361,5 +551,82 @@ mod tests {
         assert_eq!(client_hello(&params(vec![])), client_hello(&params(vec![])));
         assert_eq!(server_hello(5), server_hello(5));
         assert_ne!(server_hello(5), server_hello(6));
+    }
+
+    fn psk_params() -> ClientHelloParams {
+        ClientHelloParams {
+            psk: Some(PskOffer {
+                identity: vec![0xAB; 40],
+                obfuscated_age: 123_456,
+            }),
+            ..params(vec![])
+        }
+    }
+
+    #[test]
+    fn psk_offer_roundtrips_through_client_hello() {
+        let ch = client_hello(&psk_params());
+        let offer = parse_psk_offer(&ch).expect("offer present");
+        assert_eq!(offer.identity, vec![0xAB; 40]);
+        assert_eq!(offer.obfuscated_age, 123_456);
+        assert_eq!(parse_psk_offer(&client_hello(&params(vec![]))), None);
+    }
+
+    #[test]
+    fn psk_extension_is_last_and_length_consistent() {
+        let ch = client_hello(&psk_params());
+        let body_len = ((ch[1] as usize) << 16) | ((ch[2] as usize) << 8) | ch[3] as usize;
+        assert_eq!(body_len + 4, ch.len());
+        // pre_shared_key must be the last extension (RFC 8446 §4.2.11):
+        // its payload is identities (2 + 2+40+4) + binders (2 + 1+32) = 83
+        // bytes, so the extension header sits exactly 87 bytes from the end.
+        let pos = ch.len() - 83 - 4;
+        let ty = u16::from_be_bytes([ch[pos], ch[pos + 1]]);
+        let len = u16::from_be_bytes([ch[pos + 2], ch[pos + 3]]) as usize;
+        assert_eq!(ty, EXT_PRE_SHARED_KEY);
+        assert_eq!(pos + 4 + len, ch.len(), "pre_shared_key must be last");
+    }
+
+    #[test]
+    fn server_name_parses_back_out() {
+        let ch = client_hello(&params(vec![]));
+        assert_eq!(parse_server_name(&ch).as_deref(), Some("example.org"));
+        assert_eq!(parse_server_name(&server_hello(1)), None);
+    }
+
+    #[test]
+    fn resumed_server_hello_is_detectable_and_wellformed() {
+        let cold = server_hello(9);
+        let resumed = server_hello_resumed(9);
+        assert!(!server_hello_accepted_psk(&cold));
+        assert!(server_hello_accepted_psk(&resumed));
+        // Length header stays consistent after the splice.
+        let body_len =
+            ((resumed[1] as usize) << 16) | ((resumed[2] as usize) << 8) | resumed[3] as usize;
+        assert_eq!(body_len + 4, resumed.len());
+        assert_eq!(resumed.len(), cold.len() + 6);
+    }
+
+    #[test]
+    fn new_session_ticket_roundtrips() {
+        let ticket = vec![0x42; 40];
+        let msg = new_session_ticket(7_200, 0xDEAD_BEEF, &ticket, 3);
+        assert_eq!(msg[0], HandshakeType::NewSessionTicket as u8);
+        let parsed = parse_new_session_ticket(&msg).expect("parses");
+        assert_eq!(parsed.lifetime_secs, 7_200);
+        assert_eq!(parsed.age_add, 0xDEAD_BEEF);
+        assert_eq!(parsed.ticket, ticket);
+        assert_eq!(parse_new_session_ticket(&server_hello(1)), None);
+    }
+
+    #[test]
+    fn psk_free_client_hello_is_bit_for_bit_unchanged() {
+        // The cold ClientHello must not move by a single byte when the
+        // resumption machinery is compiled in but unused.
+        let ch = client_hello(&params(vec![]));
+        assert!((230..500).contains(&ch.len()));
+        assert!(!ch
+            .windows(2)
+            .any(|w| w == [0x00u8, EXT_PRE_SHARED_KEY as u8]));
     }
 }

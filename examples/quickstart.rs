@@ -1,11 +1,12 @@
 //! Quickstart: generate a small world, classify every QUIC handshake, and
-//! print the paper's headline numbers.
+//! print the paper's headline numbers, followed by a trimmed campaign
+//! report that *says* which sections it skipped.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use quicert::core::{Campaign, CampaignConfig};
+use quicert::core::{full_report, Campaign, CampaignConfig, ReportOptions};
 use quicert::quic::handshake::HandshakeClass;
 use quicert::scanner::quicreach;
 
@@ -42,4 +43,26 @@ fn main() {
 
     println!("\npaper (Fig 3 @1362): Amplification 61%, Multi-RTT 38%, RETRY 0.07%, 1-RTT 0.75%");
     println!("take-away: a-priori DoS protection and fast 1-RTT handshakes are rare in the wild.");
+
+    // A quick partial report: expensive sections off, and every skipped
+    // section named up front instead of silently omitted.
+    let options = ReportOptions {
+        telescope_per_provider: 2,
+        fig11_reps: 1,
+        compression_stride: 40,
+        full_sweep: false,
+        guidance_mitigation: false,
+        network_profiles: false,
+        resumption: true,
+    };
+    let skipped = options.skipped();
+    if skipped.is_empty() {
+        println!("\n== full campaign report (no sections skipped) ==");
+    } else {
+        println!("\n== quick campaign report — skipped sections: ==");
+        for section in &skipped {
+            println!("  - {section}");
+        }
+    }
+    println!("\n{}", full_report(&campaign, options));
 }

@@ -27,6 +27,8 @@
 //! * [`compress`] — RFC 8879-style certificate compression (three profiles)
 //! * [`tls`] — TLS 1.3 handshake messages and browser profiles
 //! * [`quic`] — QUIC v1 handshake engine with real-world server behaviours
+//! * [`session`] — TLS session tickets, STEK rotation, the client cache
+//!   and the resumption-policy scenario axis
 //! * [`pki`] — the CA ecosystem and ranked world generator
 //! * [`scanner`] — quicreach / QScanner / telescope / ZMap counterparts
 //! * [`analysis`] — CDFs, statistics, table rendering
@@ -40,5 +42,6 @@ pub use quicert_netsim as netsim;
 pub use quicert_pki as pki;
 pub use quicert_quic as quic;
 pub use quicert_scanner as scanner;
+pub use quicert_session as session;
 pub use quicert_tls as tls;
 pub use quicert_x509 as x509;

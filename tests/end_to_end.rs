@@ -98,6 +98,7 @@ fn full_report_runs_end_to_end() {
             full_sweep: false,
             guidance_mitigation: false,
             network_profiles: true,
+            resumption: true,
         },
     );
     assert!(

@@ -307,3 +307,88 @@ mod simnet_properties {
         }
     }
 }
+
+mod session_properties {
+    use proptest::prelude::*;
+    use quicert::session::{TicketConfig, TicketIssuer, TicketValidation};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        // STEK sealing round-trips: a freshly issued ticket validates for
+        // any SNI, seed, nonce, and issuance instant within its lifetime.
+        #[test]
+        fn stek_sealing_roundtrips(
+            master_seed in any::<u64>(),
+            sni in "[a-z]{1,30}\\.[a-z]{2,6}",
+            now in 0u64..100_000_000_000,
+            nonce in any::<u64>(),
+            age in 0u64..7_200,
+        ) {
+            let issuer = TicketIssuer::new(master_seed, TicketConfig::default());
+            let ticket = issuer.issue(&sni, now, nonce);
+            let at = now + age;
+            let verdict = issuer.validate(&ticket, &sni, at);
+            // Within the lifetime the only possible rejection is the STEK
+            // rotating out from under a ticket issued near an epoch edge.
+            let epochs_apart =
+                issuer.config.epoch_at(at) - issuer.config.epoch_at(now);
+            if epochs_apart <= 1 {
+                prop_assert_eq!(verdict, TicketValidation::Valid { age_secs: age });
+            } else {
+                prop_assert_eq!(verdict, TicketValidation::RotatedKey);
+            }
+        }
+
+        // Past the lifetime or past the rotation window, validation
+        // deterministically rejects — the cold-path fallback trigger.
+        #[test]
+        fn stale_tickets_always_reject(
+            master_seed in any::<u64>(),
+            sni in "[a-z]{1,20}\\.[a-z]{2,4}",
+            now in 0u64..100_000_000_000,
+            extra in 1u64..1_000_000,
+        ) {
+            let config = TicketConfig::default();
+            let issuer = TicketIssuer::new(master_seed, config);
+            let ticket = issuer.issue(&sni, now, 0);
+            let at = now + config.lifetime_secs.max(2 * config.rotation_secs) + extra;
+            let verdict = issuer.validate(&ticket, &sni, at);
+            prop_assert!(
+                !verdict.accepted(),
+                "stale ticket accepted: {verdict:?} at +{extra}s"
+            );
+            prop_assert!(matches!(
+                verdict,
+                TicketValidation::Expired | TicketValidation::RotatedKey
+            ));
+        }
+
+        // Any single-byte tamper (or a wrong STEK, or a wrong SNI) is
+        // rejected: tickets bind to key, host, and content.
+        #[test]
+        fn tampered_or_misbound_tickets_reject(
+            master_seed in any::<u64>(),
+            sni in "[a-z]{1,20}\\.[a-z]{2,4}",
+            now in 0u64..100_000_000_000,
+            flip_at in 8usize..40,
+            flip_bits in 1u8..255,
+        ) {
+            let issuer = TicketIssuer::new(master_seed, TicketConfig::default());
+            let ticket = issuer.issue(&sni, now, 1);
+
+            let mut tampered = ticket.clone();
+            tampered[flip_at] ^= flip_bits;
+            prop_assert!(!issuer.validate(&tampered, &sni, now).accepted());
+
+            let other_key = TicketIssuer::new(master_seed ^ 0xA5A5, TicketConfig::default());
+            prop_assert!(!other_key.validate(&ticket, &sni, now).accepted());
+
+            let other_sni = format!("x{sni}");
+            prop_assert_eq!(
+                issuer.validate(&ticket, &other_sni, now),
+                TicketValidation::WrongSni
+            );
+        }
+    }
+}

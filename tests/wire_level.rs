@@ -40,6 +40,7 @@ fn server(behavior: ServerBehavior) -> ServerConn {
         chain: chain(),
         leaf_key: KeyAlgorithm::EcdsaP256,
         compression_support: vec![],
+        resumption: None,
         seed: 404,
     })
 }
