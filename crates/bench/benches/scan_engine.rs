@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use quicert_core::ScanEngine;
 use quicert_netsim::NetworkProfile;
-use quicert_pki::{DomainRecord, World, WorldConfig};
+use quicert_pki::{CertificateEra, DomainRecord, World, WorldConfig};
 use quicert_scanner::quicreach;
 use quicert_session::ResumptionPolicy;
 
@@ -127,6 +127,20 @@ fn main() {
         warm_resumed = results.iter().filter(|r| r.resumed).count();
         black_box(results.len());
     });
+    // The post-quantum era path: same scan, ML-DSA chains — an order of
+    // magnitude more flight bytes to build, fragment and simulate.
+    let pq = time_mean(samples, || {
+        black_box(
+            quicreach::scan_records_era(
+                &world,
+                &records,
+                INITIAL,
+                NetworkProfile::Ideal,
+                CertificateEra::PostQuantum,
+            )
+            .len(),
+        );
+    });
     eprintln!("scan path  batched    {batched:>10.4} s");
     eprintln!(
         "scan path  per-probe  {per_probe:>10.4} s  ({:.2}x)",
@@ -136,6 +150,10 @@ fn main() {
         "scan path  warm       {warm:>10.4} s  ({warm_resumed} resumed, \
          {:.2}x batched cold)",
         warm / batched
+    );
+    eprintln!(
+        "scan path  pq-era     {pq:>10.4} s  ({:.2}x batched classical)",
+        pq / batched
     );
 
     // The engine end to end at 1 / 2 / auto workers.
@@ -166,6 +184,13 @@ fn main() {
     json.push_str(&format!(
         "    \"policy\": \"{}\"\n",
         ResumptionPolicy::WarmAfterFirstVisit.name()
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"scan_pq_era\": {\n");
+    json.push_str(&format!("    \"seconds\": {pq:.6},\n"));
+    json.push_str(&format!(
+        "    \"era\": \"{}\"\n",
+        CertificateEra::PostQuantum.name()
     ));
     json.push_str("  },\n");
     json.push_str("  \"engine_end_to_end\": [\n");

@@ -39,6 +39,7 @@ fn main() {
         guidance_mitigation: true,
         network_profiles: true,
         resumption: true,
+        pq_eras: true,
     };
     let report = full_report(&campaign, options);
     println!("{report}");

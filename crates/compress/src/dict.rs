@@ -189,6 +189,32 @@ pub fn cert_dictionary() -> &'static [u8] {
 /// Convenience alias used by [`crate::Algorithm::dictionary`].
 pub static CERT_DICTIONARY_LEN_HINT: usize = 4096;
 
+/// Dictionary n-gram width used by [`coverage`].
+pub const COVERAGE_GRAM: usize = 4;
+
+/// Share of positions in `data` that start a [`COVERAGE_GRAM`]-byte
+/// substring also present in the certificate dictionary, in `[0, 1]`.
+///
+/// This is a cheap proxy for how much of an input the dictionary can help
+/// with at all: classical DER chains are dense in catalogued OIDs, CA
+/// strings and URL shapes, while ML-DSA keys and signatures are
+/// incompressible pseudo-random bytes the dictionary has never seen — their
+/// coverage collapses toward the chance level, which is what degrades the
+/// brotli profile's ratio on post-quantum chains.
+pub fn coverage(data: &[u8]) -> f64 {
+    if data.len() < COVERAGE_GRAM {
+        return 0.0;
+    }
+    static GRAMS: OnceLock<std::collections::HashSet<&'static [u8]>> = OnceLock::new();
+    let grams = GRAMS.get_or_init(|| cert_dictionary().windows(COVERAGE_GRAM).collect());
+    let positions = data.len() - COVERAGE_GRAM + 1;
+    let hits = data
+        .windows(COVERAGE_GRAM)
+        .filter(|w| grams.contains(w))
+        .count();
+    hits as f64 / positions as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +226,34 @@ mod tests {
         assert_eq!(d1.as_ptr(), d2.as_ptr(), "built once");
         assert!(d1.len() > 1500, "dictionary has substance: {}", d1.len());
         assert!(d1.len() < 16 * 1024, "dictionary stays small");
+    }
+
+    #[test]
+    fn coverage_separates_classical_der_from_random_bytes() {
+        // A classical-looking fragment: catalogued AlgorithmIdentifier plus
+        // a CA string the dictionary carries verbatim.
+        let mut classical = Vec::new();
+        classical
+            .extend_from_slice(b"\x30\x0d\x06\x09\x2a\x86\x48\x86\xf7\x0d\x01\x01\x0b\x05\x00");
+        classical.extend_from_slice(b"Let's Encrypt");
+        classical.extend_from_slice(b"http://ocsp.digicert.com");
+        let classical_cov = coverage(&classical);
+        assert!(classical_cov > 0.5, "classical coverage {classical_cov}");
+
+        // ML-DSA-style material: deterministic pseudo-random filler.
+        let mut pq = vec![0u8; 2420];
+        let mut z = 0x5EEDu64;
+        for b in pq.iter_mut() {
+            z = z.wrapping_mul(0x94D0_49BB_1331_11EB).wrapping_add(1);
+            *b = (z >> 32) as u8;
+        }
+        let pq_cov = coverage(&pq);
+        assert!(pq_cov < 0.05, "pq coverage {pq_cov}");
+        assert!(classical_cov > 10.0 * pq_cov.max(1e-6));
+
+        // Degenerate inputs are defined.
+        assert_eq!(coverage(&[]), 0.0);
+        assert_eq!(coverage(&[1, 2]), 0.0);
     }
 
     #[test]

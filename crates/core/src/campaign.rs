@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use quicert_compress::Algorithm;
 use quicert_netsim::NetworkProfile;
-use quicert_pki::{World, WorldConfig};
+use quicert_pki::{CertificateEra, World, WorldConfig};
 use quicert_scanner::compression::{AlgorithmSupport, SyntheticCompression};
 use quicert_scanner::https_scan::HttpsScanReport;
 use quicert_scanner::qscanner::{ConsistencyReport, QuicCertObservation};
@@ -37,6 +37,11 @@ pub struct CampaignConfig {
     /// warm-scan artifacts depend on it — every cold scan is computed with
     /// resumption disabled, exactly as before the subsystem existed.
     pub resumption: ResumptionPolicy,
+    /// The certificate era era-unaware scans run against.
+    /// [`CertificateEra::Classical`] (the default) reproduces era-unaware
+    /// campaigns byte-for-byte; the report's era section additionally scans
+    /// explicit eras regardless of this setting.
+    pub era: CertificateEra,
 }
 
 impl CampaignConfig {
@@ -51,6 +56,7 @@ impl CampaignConfig {
             workers: 0,
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
+            era: CertificateEra::Classical,
         }
     }
 
@@ -62,6 +68,7 @@ impl CampaignConfig {
             workers: 0,
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
+            era: CertificateEra::Classical,
         }
     }
 
@@ -94,6 +101,12 @@ impl CampaignConfig {
         self.resumption = policy;
         self
     }
+
+    /// Override the default certificate era.
+    pub fn with_era(mut self, era: CertificateEra) -> Self {
+        self.era = era;
+        self
+    }
 }
 
 impl Default for CampaignConfig {
@@ -115,7 +128,8 @@ impl Campaign {
         let world = World::generate(config.world.clone());
         let engine = ScanEngine::new(world, config.default_initial, config.workers)
             .with_profile(config.profile)
-            .with_resumption(config.resumption);
+            .with_resumption(config.resumption)
+            .with_era(config.era);
         Campaign { config, engine }
     }
 
@@ -165,6 +179,18 @@ impl Campaign {
         self.engine.quicreach_profiled(profile, initial_size)
     }
 
+    /// The quicreach classification under an explicit [`CertificateEra`]
+    /// and network profile (cached per `(era, profile, size)` — the
+    /// post-quantum scenario-matrix axes).
+    pub fn quicreach_era(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        initial_size: usize,
+    ) -> Arc<Vec<QuicReachResult>> {
+        self.engine.quicreach_era(era, profile, initial_size)
+    }
+
     /// The cold-then-warm resumption scan at the default Initial size under
     /// the campaign's default profile and policy.
     pub fn warm_scan_default(&self) -> Arc<Vec<WarmScanResult>> {
@@ -182,6 +208,19 @@ impl Campaign {
     ) -> Arc<Vec<WarmScanResult>> {
         self.engine
             .warm_scan_profiled(profile, policy, initial_size)
+    }
+
+    /// The resumption scan under an explicit era, profile, policy and
+    /// Initial size (cached per `(era, profile, policy, size)`).
+    pub fn warm_scan_era(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        policy: ResumptionPolicy,
+        initial_size: usize,
+    ) -> Arc<Vec<WarmScanResult>> {
+        self.engine
+            .warm_scan_era(era, profile, policy, initial_size)
     }
 
     /// The full Fig 3 sweep (29 Initial sizes), computed once.
@@ -206,6 +245,17 @@ impl Campaign {
         stride: usize,
     ) -> Arc<Vec<SyntheticCompression>> {
         self.engine.compression_study(algorithm, stride)
+    }
+
+    /// The synthetic compression study under an explicit
+    /// [`CertificateEra`] (cached per `(era, algorithm, stride)`).
+    pub fn compression_study_era(
+        &self,
+        era: CertificateEra,
+        algorithm: Algorithm,
+        stride: usize,
+    ) -> Arc<Vec<SyntheticCompression>> {
+        self.engine.compression_study_era(era, algorithm, stride)
     }
 
     /// Telescope backscatter sessions (Fig 9) for one probe budget.

@@ -30,7 +30,7 @@ use std::sync::{Arc, Mutex};
 
 use quicert_compress::Algorithm;
 use quicert_netsim::{Ipv4Net, NetworkProfile};
-use quicert_pki::{DomainRecord, World};
+use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_scanner::compression::{self, AlgorithmSupport, SyntheticCompression};
 use quicert_scanner::https_scan::{self, HttpsScanReport};
 use quicert_scanner::qscanner::{self, ConsistencyReport, QuicCertObservation};
@@ -106,13 +106,17 @@ pub struct ScanEngine {
     workers: usize,
     profile: NetworkProfile,
     resumption: ResumptionPolicy,
+    era: CertificateEra,
     https: ArtifactCache<(), HttpsScanReport>,
-    quicreach: ArtifactCache<(NetworkProfile, usize), Vec<QuicReachResult>>,
-    warm: ArtifactCache<(NetworkProfile, ResumptionPolicy, usize), Vec<WarmScanResult>>,
+    quicreach: ArtifactCache<(CertificateEra, NetworkProfile, usize), Vec<QuicReachResult>>,
+    warm: ArtifactCache<
+        (CertificateEra, NetworkProfile, ResumptionPolicy, usize),
+        Vec<WarmScanResult>,
+    >,
     sweep: ArtifactCache<(), Vec<ScanSummary>>,
     compression_support: ArtifactCache<(), Vec<AlgorithmSupport>>,
     all_three: ArtifactCache<(), (usize, usize)>,
-    compression_study: ArtifactCache<(Algorithm, usize), Vec<SyntheticCompression>>,
+    compression_study: ArtifactCache<(CertificateEra, Algorithm, usize), Vec<SyntheticCompression>>,
     telescope: ArtifactCache<usize, Vec<BackscatterSession>>,
     zmap: ArtifactCache<(bool, u64), Vec<ZmapResult>>,
     qscanner: ArtifactCache<(), (Vec<QuicCertObservation>, ConsistencyReport)>,
@@ -135,6 +139,7 @@ impl ScanEngine {
             workers,
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
+            era: CertificateEra::Classical,
             https: ArtifactCache::new(),
             quicreach: ArtifactCache::new(),
             warm: ArtifactCache::new(),
@@ -165,6 +170,15 @@ impl ScanEngine {
         self
     }
 
+    /// Set the engine's default [`CertificateEra`]: the PKI generation all
+    /// era-unaware scan requests run against.
+    /// [`CertificateEra::Classical`] (the default) reproduces era-unaware
+    /// campaigns byte-for-byte.
+    pub fn with_era(mut self, era: CertificateEra) -> ScanEngine {
+        self.era = era;
+        self
+    }
+
     /// The world all scans run against.
     pub fn world(&self) -> &World {
         &self.world
@@ -178,6 +192,11 @@ impl ScanEngine {
     /// The engine's default resumption policy.
     pub fn resumption(&self) -> ResumptionPolicy {
         self.resumption
+    }
+
+    /// The engine's default certificate era.
+    pub fn era(&self) -> CertificateEra {
+        self.era
     }
 
     /// The resolved worker count.
@@ -209,21 +228,33 @@ impl ScanEngine {
     }
 
     /// quicreach classifications at one Initial size under an explicit
-    /// [`NetworkProfile`] — one cached artifact per `(profile, size)` pair.
-    /// Each worker shard is batched as sessions of one `SimNet`; per-record
-    /// RNG forking keeps the artifact bit-for-bit identical at any worker
-    /// count and batch size.
+    /// [`NetworkProfile`] and the engine's default era.
     pub fn quicreach_profiled(
         &self,
         profile: NetworkProfile,
         initial_size: usize,
     ) -> Arc<Vec<QuicReachResult>> {
-        self.quicreach.get_or_compute((profile, initial_size), || {
-            let records: Vec<&DomainRecord> = self.world.quic_services().collect();
-            run_sharded(&records, self.workers, |shard| {
-                quicreach::scan_records_profiled(&self.world, shard, initial_size, profile)
+        self.quicreach_era(self.era, profile, initial_size)
+    }
+
+    /// quicreach classifications under an explicit [`CertificateEra`] and
+    /// [`NetworkProfile`] — one cached artifact per `(era, profile, size)`
+    /// triple. Each worker shard is batched as sessions of one `SimNet`;
+    /// per-record RNG forking keeps the artifact bit-for-bit identical at
+    /// any worker count and batch size, on every era.
+    pub fn quicreach_era(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        initial_size: usize,
+    ) -> Arc<Vec<QuicReachResult>> {
+        self.quicreach
+            .get_or_compute((era, profile, initial_size), || {
+                let records: Vec<&DomainRecord> = self.world.quic_services().collect();
+                run_sharded(&records, self.workers, |shard| {
+                    quicreach::scan_records_era(&self.world, shard, initial_size, profile, era)
+                })
             })
-        })
     }
 
     /// quicreach at the campaign's default Initial size.
@@ -238,21 +269,42 @@ impl ScanEngine {
     }
 
     /// The cold-then-warm resumption scan under an explicit
-    /// [`NetworkProfile`] and [`ResumptionPolicy`] — one cached artifact per
-    /// `(profile, policy, size)` triple. Worker shards batch their cold and
-    /// warm visits on one `SimNet` each; per-record RNG forking keeps the
-    /// artifact bit-for-bit identical at any worker count.
+    /// [`NetworkProfile`] and [`ResumptionPolicy`], on the engine's default
+    /// era.
     pub fn warm_scan_profiled(
         &self,
         profile: NetworkProfile,
         policy: ResumptionPolicy,
         initial_size: usize,
     ) -> Arc<Vec<WarmScanResult>> {
+        self.warm_scan_era(self.era, profile, policy, initial_size)
+    }
+
+    /// The cold-then-warm resumption scan under an explicit
+    /// [`CertificateEra`], [`NetworkProfile`] and [`ResumptionPolicy`] —
+    /// one cached artifact per `(era, profile, policy, size)` tuple. Worker
+    /// shards batch their cold and warm visits on one `SimNet` each;
+    /// per-record RNG forking keeps the artifact bit-for-bit identical at
+    /// any worker count.
+    pub fn warm_scan_era(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        policy: ResumptionPolicy,
+        initial_size: usize,
+    ) -> Arc<Vec<WarmScanResult>> {
         self.warm
-            .get_or_compute((profile, policy, initial_size), || {
+            .get_or_compute((era, profile, policy, initial_size), || {
                 let records: Vec<&DomainRecord> = self.world.quic_services().collect();
                 run_sharded(&records, self.workers, |shard| {
-                    quicreach::warm_scan_records(&self.world, shard, initial_size, profile, policy)
+                    quicreach::warm_scan_records_era(
+                        &self.world,
+                        shard,
+                        initial_size,
+                        profile,
+                        policy,
+                        era,
+                    )
                 })
             })
     }
@@ -289,18 +341,32 @@ impl ScanEngine {
             .get_or_compute((), || compression::all_three_support(&self.world))
     }
 
-    /// The §4.2 synthetic compression study for one (algorithm, stride),
-    /// chain compression sharded over the sampled records.
+    /// The §4.2 synthetic compression study for one (algorithm, stride) on
+    /// the engine's default era.
     pub fn compression_study(
         &self,
         algorithm: Algorithm,
         stride: usize,
     ) -> Arc<Vec<SyntheticCompression>> {
+        self.compression_study_era(self.era, algorithm, stride)
+    }
+
+    /// The synthetic compression study under an explicit
+    /// [`CertificateEra`] — one cached artifact per `(era, algorithm,
+    /// stride)` triple, chain compression sharded over the sampled records.
+    /// This is how the report measures the Fig-9-style dictionary degrading
+    /// on PQC chains.
+    pub fn compression_study_era(
+        &self,
+        era: CertificateEra,
+        algorithm: Algorithm,
+        stride: usize,
+    ) -> Arc<Vec<SyntheticCompression>> {
         self.compression_study
-            .get_or_compute((algorithm, stride), || {
+            .get_or_compute((era, algorithm, stride), || {
                 let sampled = compression::study_sample(&self.world, stride);
                 run_sharded(&sampled, self.workers, |shard| {
-                    compression::study_records(&self.world, shard, algorithm)
+                    compression::study_records_era(&self.world, shard, algorithm, era)
                 })
             })
     }
@@ -481,6 +547,74 @@ mod tests {
             &engine.quicreach_profiled(NetworkProfile::Ideal, 1362),
             &engine.quicreach_profiled(NetworkProfile::Lossy, 1362)
         ));
+    }
+
+    #[test]
+    fn era_artifacts_are_cached_per_era_and_worker_invariant() {
+        let serial = engine(1);
+        let parallel = engine(8);
+        for era in [CertificateEra::Hybrid, CertificateEra::PostQuantum] {
+            assert_eq!(
+                *serial.quicreach_era(era, NetworkProfile::Ideal, 1362),
+                *parallel.quicreach_era(era, NetworkProfile::Ideal, 1362),
+                "{era} diverged across worker counts"
+            );
+        }
+
+        let engine = engine(2);
+        // The era-unaware request and the explicit classical request share
+        // one cache entry; other eras are distinct artifacts.
+        assert!(Arc::ptr_eq(
+            &engine.quicreach(1362),
+            &engine.quicreach_era(CertificateEra::Classical, NetworkProfile::Ideal, 1362)
+        ));
+        assert!(!Arc::ptr_eq(
+            &engine.quicreach_era(CertificateEra::Classical, NetworkProfile::Ideal, 1362),
+            &engine.quicreach_era(CertificateEra::PostQuantum, NetworkProfile::Ideal, 1362)
+        ));
+        assert!(Arc::ptr_eq(
+            &engine.compression_study(Algorithm::Brotli, 20),
+            &engine.compression_study_era(CertificateEra::Classical, Algorithm::Brotli, 20)
+        ));
+        assert!(!Arc::ptr_eq(
+            &engine.compression_study_era(CertificateEra::Classical, Algorithm::Brotli, 20),
+            &engine.compression_study_era(CertificateEra::PostQuantum, Algorithm::Brotli, 20)
+        ));
+        assert!(Arc::ptr_eq(
+            &engine.warm_scan(1362),
+            &engine.warm_scan_era(
+                CertificateEra::Classical,
+                NetworkProfile::Ideal,
+                ResumptionPolicy::WarmAfterFirstVisit,
+                1362
+            )
+        ));
+    }
+
+    #[test]
+    fn engine_default_era_steers_era_unaware_requests() {
+        let world = World::generate(WorldConfig {
+            domains: 1_200,
+            seed: 0xD37E,
+            ..WorldConfig::default()
+        });
+        let pq_engine = ScanEngine::new(world, 1362, 2).with_era(CertificateEra::PostQuantum);
+        assert_eq!(pq_engine.era(), CertificateEra::PostQuantum);
+        // The default request is the PQ artifact…
+        assert!(Arc::ptr_eq(
+            &pq_engine.quicreach(1362),
+            &pq_engine.quicreach_era(CertificateEra::PostQuantum, NetworkProfile::Ideal, 1362)
+        ));
+        // …and it matches a classical-default engine's explicit PQ request.
+        let classical_engine = engine(2);
+        assert_eq!(
+            *pq_engine.quicreach(1362),
+            *classical_engine.quicreach_era(
+                CertificateEra::PostQuantum,
+                NetworkProfile::Ideal,
+                1362
+            )
+        );
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! | [`guidance`] | the §5 discussion as runnable ablations |
 //! | [`compression`] | Table 1 and the §4.2 compression study |
 //! | [`resumption`] | the §5 session-resumption mitigation, cold vs warm |
+//! | [`pq`] | the post-quantum certificate-era axis (beyond the paper) |
 
 pub mod amplification;
 pub mod certs;
 pub mod compression;
 pub mod guidance;
 pub mod handshakes;
+pub mod pq;
 pub mod resumption;

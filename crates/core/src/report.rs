@@ -2,7 +2,7 @@
 
 use quicert_compress::Algorithm;
 
-use crate::experiments::{amplification, certs, compression, guidance, handshakes, resumption};
+use crate::experiments::{amplification, certs, compression, guidance, handshakes, pq, resumption};
 use crate::Campaign;
 
 /// Tunables for the full report (how much work the expensive experiments
@@ -28,6 +28,10 @@ pub struct ReportOptions {
     /// network profile, the policy axis, and the budget sweep — each warm
     /// scan probes every service twice).
     pub resumption: bool,
+    /// Include the post-quantum certificate-era section (it re-scans the
+    /// QUIC population once per `(era, profile)` cell and compresses the
+    /// sampled chain population once per era).
+    pub pq_eras: bool,
 }
 
 impl Default for ReportOptions {
@@ -40,28 +44,39 @@ impl Default for ReportOptions {
             guidance_mitigation: true,
             network_profiles: true,
             resumption: true,
+            pq_eras: true,
         }
     }
 }
 
+/// One toggleable report section: its enable-flag accessor and its name.
+type ToggledSection = (fn(&ReportOptions) -> bool, &'static str);
+
+/// The toggleable report sections, in the order [`full_report`] renders
+/// them. [`ReportOptions::skipped`] derives from this table, so the
+/// skipped-section list always follows the report's canonical section order
+/// no matter how the toggles are declared or queried.
+const TOGGLED_SECTIONS: [ToggledSection; 5] = [
+    (|o| o.full_sweep, "Fig 3 full Initial-size sweep"),
+    (
+        |o| o.guidance_mitigation,
+        "§5 client mitigation and loss study",
+    ),
+    (|o| o.network_profiles, "network-profile scenario matrix"),
+    (|o| o.resumption, "session-resumption section"),
+    (|o| o.pq_eras, "post-quantum certificate-era section"),
+];
+
 impl ReportOptions {
     /// The names of the report sections these options disable — so callers
     /// can say *what* a partial report omits instead of omitting silently.
+    /// The list follows the report's canonical section order.
     pub fn skipped(&self) -> Vec<&'static str> {
-        let mut skipped = Vec::new();
-        if !self.full_sweep {
-            skipped.push("Fig 3 full Initial-size sweep");
-        }
-        if !self.guidance_mitigation {
-            skipped.push("§5 client mitigation and loss study");
-        }
-        if !self.network_profiles {
-            skipped.push("network-profile scenario matrix");
-        }
-        if !self.resumption {
-            skipped.push("session-resumption section");
-        }
-        skipped
+        TOGGLED_SECTIONS
+            .iter()
+            .filter(|(enabled, _)| !enabled(self))
+            .map(|&(_, name)| name)
+            .collect()
     }
 }
 
@@ -181,6 +196,19 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
         )));
     }
 
+    // Beyond the paper: the same population after the post-quantum PKI
+    // migration (ML-DSA / hybrid chains, per Chou & Cao's TTFB study).
+    if options.pq_eras {
+        out.push('\n');
+        out.push_str(&pq::render_era_matrix(&pq::era_matrix(campaign)));
+        out.push_str(&pq::render_one_rtt_survivors(&pq::one_rtt_survivors(
+            campaign,
+        )));
+        out.push_str(&pq::render_compression_degradation(
+            &pq::compression_degradation(campaign, options.compression_stride),
+        ));
+    }
+
     out
 }
 
@@ -202,6 +230,7 @@ mod tests {
                 guidance_mitigation: false,
                 network_profiles: true,
                 resumption: true,
+                pq_eras: true,
             },
         );
         for needle in [
@@ -232,6 +261,10 @@ mod tests {
             "Resumption policies",
             "ticket-expired",
             "3x budget",
+            "Certificate-era matrix",
+            "1-RTT survivorship",
+            "brotli dictionary performance",
+            "post-quantum",
         ] {
             assert!(report.contains(needle), "missing section {needle}");
         }
@@ -247,10 +280,11 @@ mod tests {
             guidance_mitigation: false,
             network_profiles: false,
             resumption: false,
+            pq_eras: false,
             ..ReportOptions::default()
         };
         let skipped = partial.skipped();
-        assert_eq!(skipped.len(), 4);
+        assert_eq!(skipped.len(), 5);
         assert!(skipped.iter().any(|s| s.contains("resumption")));
 
         // A report with everything off renders none of the toggled
@@ -267,6 +301,47 @@ mod tests {
         );
         assert!(!report.contains("Resumption matrix"));
         assert!(!report.contains("Network-profile matrix"));
+        assert!(!report.contains("Certificate-era matrix"));
         assert!(report.contains("§3.1 funnel"));
+    }
+
+    #[test]
+    fn skipped_sections_follow_the_reports_canonical_order() {
+        // Every toggle off: the list is exactly the report's section order,
+        // regardless of the order the toggles are declared or flipped in.
+        let all_off = ReportOptions {
+            full_sweep: false,
+            guidance_mitigation: false,
+            network_profiles: false,
+            resumption: false,
+            pq_eras: false,
+            ..ReportOptions::default()
+        };
+        assert_eq!(
+            all_off.skipped(),
+            vec![
+                "Fig 3 full Initial-size sweep",
+                "§5 client mitigation and loss study",
+                "network-profile scenario matrix",
+                "session-resumption section",
+                "post-quantum certificate-era section",
+            ]
+        );
+
+        // A subset keeps the same relative order: resumption (rendered
+        // later) never precedes the sweep (rendered first), even though it
+        // was "turned off first" here.
+        let mut subset = ReportOptions {
+            resumption: false,
+            ..ReportOptions::default()
+        };
+        subset.full_sweep = false;
+        assert_eq!(
+            subset.skipped(),
+            vec![
+                "Fig 3 full Initial-size sweep",
+                "session-resumption section"
+            ]
+        );
     }
 }

@@ -1,0 +1,78 @@
+//! Cross-axis shard-invariance: every artifact family must be bit-for-bit
+//! identical at any worker count across the full `(era × profile × policy)`
+//! scenario grid, so no future axis can silently break the engine's
+//! determinism guarantee the way a single-cell spot check could miss.
+
+use quicert_core::ScanEngine;
+use quicert_netsim::NetworkProfile;
+use quicert_pki::{CertificateEra, World, WorldConfig};
+use quicert_session::ResumptionPolicy;
+
+const INITIAL: usize = 1362;
+
+fn engine(workers: usize) -> ScanEngine {
+    // Small on purpose: the grid below multiplies every cell by three
+    // worker counts, and each warm cell probes every service twice.
+    let world = World::generate(WorldConfig {
+        domains: 320,
+        seed: 0x9121,
+        ..WorldConfig::default()
+    });
+    ScanEngine::new(world, INITIAL, workers)
+}
+
+#[test]
+fn quicreach_grid_is_worker_invariant() {
+    let reference = engine(1);
+    for workers in [2usize, 8] {
+        let parallel = engine(workers);
+        for era in CertificateEra::ALL {
+            for profile in NetworkProfile::ALL {
+                assert_eq!(
+                    *reference.quicreach_era(era, profile, INITIAL),
+                    *parallel.quicreach_era(era, profile, INITIAL),
+                    "quicreach {era}/{profile} diverged at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_scan_grid_is_worker_invariant() {
+    let reference = engine(1);
+    for workers in [2usize, 8] {
+        let parallel = engine(workers);
+        for era in CertificateEra::ALL {
+            for profile in NetworkProfile::ALL {
+                for policy in ResumptionPolicy::ALL {
+                    assert_eq!(
+                        *reference.warm_scan_era(era, profile, policy, INITIAL),
+                        *parallel.warm_scan_era(era, profile, policy, INITIAL),
+                        "warm {era}/{profile}/{policy} diverged at {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn compression_study_grid_is_worker_invariant() {
+    let reference = engine(1);
+    let parallel = engine(8);
+    for era in CertificateEra::ALL {
+        for algorithm in quicert_compress::Algorithm::ALL {
+            let a = reference.compression_study_era(era, algorithm, 4);
+            let b = parallel.compression_study_era(era, algorithm, 4);
+            assert_eq!(a.len(), b.len(), "{era}/{algorithm}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(
+                    (x.original, x.compressed),
+                    (y.original, y.compressed),
+                    "{era}/{algorithm}"
+                );
+            }
+        }
+    }
+}

@@ -1,5 +1,14 @@
 //! The CA ecosystem of Fig 7: named parent chains as real certificates.
+//!
+//! Since the certificate-era axis the catalog exists once per
+//! [`CertificateEra`]: the classical catalog is byte-for-byte the pre-era
+//! one, and the hybrid / post-quantum catalogs rebuild every chain with the
+//! same topology, names, seeds and validity but era-mapped keys and
+//! signatures (ML-DSA-44/65 and ECDSA+ML-DSA composites).
 
+use std::sync::OnceLock;
+
+use crate::era::CertificateEra;
 use quicert_netsim::SimRng;
 use quicert_x509::ext::KeyUsageFlags;
 use quicert_x509::oid;
@@ -135,41 +144,89 @@ impl ParentChain {
     }
 }
 
-/// The full CA ecosystem: every catalogued chain, built deterministically.
+/// The full CA ecosystem: every catalogued chain, built deterministically —
+/// once per [`CertificateEra`]. The classical catalog is built eagerly
+/// (every campaign uses it); the hybrid and post-quantum catalogs — whose
+/// certificates carry multi-kilobyte ML-DSA keys and signatures — are built
+/// on first use, so era-unaware campaigns pay nothing for the axis.
 #[derive(Debug)]
 pub struct Ecosystem {
+    seed: u64,
     chains: Vec<ParentChain>,
+    hybrid: OnceLock<Vec<ParentChain>>,
+    post_quantum: OnceLock<Vec<ParentChain>>,
     ocsp_host: String,
 }
 
 impl Ecosystem {
     /// Build the ecosystem from a seed.
     pub fn new(seed: u64) -> Self {
-        let mut rng = SimRng::new(seed ^ 0xEC05_75E3);
-        let b = Builder { rng: &mut rng };
-        let chains = ChainId::ALL.iter().map(|&id| b.build_chain(id)).collect();
         Ecosystem {
-            chains,
+            seed,
+            chains: Self::catalog(seed, CertificateEra::Classical),
+            hybrid: OnceLock::new(),
+            post_quantum: OnceLock::new(),
             ocsp_host: "o.example-ca.test".to_string(),
         }
     }
 
-    /// Look up a parent chain.
+    /// Build one era's catalog — a pure function of `(seed, era)`, so the
+    /// lazily-built era catalogs are exactly what an eager build would have
+    /// produced.
+    fn catalog(seed: u64, era: CertificateEra) -> Vec<ParentChain> {
+        let mut rng = SimRng::new(seed ^ 0xEC05_75E3);
+        let b = Builder { rng: &mut rng, era };
+        ChainId::ALL.iter().map(|&id| b.build_chain(id)).collect()
+    }
+
+    /// Look up a parent chain (classical era).
     pub fn chain(&self, id: ChainId) -> &ParentChain {
-        self.chains
+        self.chain_era(id, CertificateEra::Classical)
+    }
+
+    /// Look up a parent chain in one era's catalog.
+    pub fn chain_era(&self, id: ChainId, era: CertificateEra) -> &ParentChain {
+        self.chains_era(era)
             .iter()
             .find(|c| c.id == id)
             .expect("all catalogued chains are built")
     }
 
-    /// All chains.
+    /// All chains (classical era).
     pub fn chains(&self) -> &[ParentChain] {
         &self.chains
     }
 
-    /// Issue a leaf under `chain_id` and return the full served chain.
+    /// All chains of one era (hybrid / post-quantum catalogs are built on
+    /// first request).
+    pub fn chains_era(&self, era: CertificateEra) -> &[ParentChain] {
+        match era {
+            CertificateEra::Classical => &self.chains,
+            CertificateEra::Hybrid => self
+                .hybrid
+                .get_or_init(|| Self::catalog(self.seed, CertificateEra::Hybrid)),
+            CertificateEra::PostQuantum => self
+                .post_quantum
+                .get_or_init(|| Self::catalog(self.seed, CertificateEra::PostQuantum)),
+        }
+    }
+
+    /// Issue a leaf under `chain_id` and return the full served chain
+    /// (classical era — byte-for-byte the pre-era pipeline).
     pub fn issue(&self, chain_id: ChainId, params: &LeafParams) -> CertificateChain {
-        let parent = self.chain(chain_id);
+        self.issue_era(chain_id, CertificateEra::Classical, params)
+    }
+
+    /// Issue a leaf under `chain_id` in one era: identical name, SANs,
+    /// seeds and extensions, with the leaf key mapped through
+    /// [`CertificateEra::key`] and the era catalog's parent chain above it.
+    pub fn issue_era(
+        &self,
+        chain_id: ChainId,
+        era: CertificateEra,
+        params: &LeafParams,
+    ) -> CertificateChain {
+        let parent = self.chain_era(chain_id, era);
         let mut sans = Vec::with_capacity(2 + params.extra_sans.len());
         sans.push(params.common_name.clone());
         if !params.common_name.starts_with("*.") {
@@ -181,7 +238,7 @@ impl Ecosystem {
         let leaf = CertificateBuilder::new(
             parent.issuer_dn.clone(),
             DistinguishedName::cn(&params.common_name),
-            SubjectPublicKeyInfo::new(params.key, params.seed),
+            SubjectPublicKeyInfo::new(era.key(params.key), params.seed),
             parent.leaf_sig,
         )
         .validity(Validity::days(Time::date(2022, 7, 1), 90))
@@ -222,6 +279,10 @@ fn chain_seed(id: ChainId) -> u64 {
 struct Builder<'a> {
     #[allow(dead_code)]
     rng: &'a mut SimRng,
+    /// The era this builder's catalog belongs to: every key and signature
+    /// is mapped through it ([`CertificateEra::Classical`] is the
+    /// identity, so the classical catalog stays byte-for-byte).
+    era: CertificateEra,
 }
 
 impl Builder<'_> {
@@ -234,16 +295,20 @@ impl Builder<'_> {
         seed: u64,
         extra: Vec<Extension>,
     ) -> Certificate {
-        let mut builder =
-            CertificateBuilder::new(issuer, subject, SubjectPublicKeyInfo::new(key, seed), sig)
-                .validity(Validity::days(Time::date(2020, 9, 4), 365 * 5))
-                .extension(Extension::BasicConstraints {
-                    ca: true,
-                    path_len: Some(0),
-                })
-                .extension(Extension::KeyUsage(KeyUsageFlags::ca()))
-                .extension(Extension::SubjectKeyId { seed })
-                .extension(Extension::AuthorityKeyId { seed: seed ^ 0xA17 });
+        let mut builder = CertificateBuilder::new(
+            issuer,
+            subject,
+            SubjectPublicKeyInfo::new(self.era.key(key), seed),
+            self.era.signature(sig),
+        )
+        .validity(Validity::days(Time::date(2020, 9, 4), 365 * 5))
+        .extension(Extension::BasicConstraints {
+            ca: true,
+            path_len: Some(0),
+        })
+        .extension(Extension::KeyUsage(KeyUsageFlags::ca()))
+        .extension(Extension::SubjectKeyId { seed })
+        .extension(Extension::AuthorityKeyId { seed: seed ^ 0xA17 });
         for e in extra {
             builder = builder.extension(e);
         }
@@ -629,7 +694,8 @@ impl Builder<'_> {
         ParentChain {
             id,
             issuer_dn,
-            leaf_sig,
+            // The issuing CA signs leaves with its era-mapped algorithm.
+            leaf_sig: self.era.signature(leaf_sig),
             intermediates,
         }
     }
@@ -732,6 +798,77 @@ mod tests {
         let ec = eco.issue(ChainId::LeR3Short, &leaf_params(KeyAlgorithm::EcdsaP256));
         let rsa = eco.issue(ChainId::LeR3Short, &leaf_params(KeyAlgorithm::Rsa2048));
         assert!(rsa.leaf.der_len() > ec.leaf.der_len() + 180);
+    }
+
+    #[test]
+    fn era_catalogs_multiply_chain_sizes() {
+        let eco = eco();
+        for id in ChainId::ALL {
+            let classical = eco
+                .chain_era(id, CertificateEra::Classical)
+                .parent_der_len();
+            let pq = eco
+                .chain_era(id, CertificateEra::PostQuantum)
+                .parent_der_len();
+            let hybrid = eco.chain_era(id, CertificateEra::Hybrid).parent_der_len();
+            // Chou & Cao: ML-DSA chains are several times the classical
+            // size; hybrids carry both components and are bigger still.
+            assert!(
+                pq > 2 * classical,
+                "{id:?}: pq {pq} vs classical {classical}"
+            );
+            assert!(hybrid > pq, "{id:?}: hybrid {hybrid} vs pq {pq}");
+        }
+    }
+
+    #[test]
+    fn classical_era_is_byte_for_byte_the_default_catalog() {
+        let eco = eco();
+        for id in ChainId::ALL {
+            let via_default = eco.issue(id, &leaf_params(KeyAlgorithm::EcdsaP256));
+            let via_era = eco.issue_era(
+                id,
+                CertificateEra::Classical,
+                &leaf_params(KeyAlgorithm::EcdsaP256),
+            );
+            assert_eq!(
+                via_default.concatenated_der(),
+                via_era.concatenated_der(),
+                "{id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn era_issued_chains_stay_ordered_with_pq_leaves() {
+        let eco = eco();
+        for era in [CertificateEra::Hybrid, CertificateEra::PostQuantum] {
+            for id in [ChainId::LeR3Short, ChainId::Gts1C3, ChainId::EnterpriseHuge] {
+                let chain = eco.issue_era(id, era, &leaf_params(KeyAlgorithm::EcdsaP256));
+                assert!(chain.correctly_ordered(), "{era}: {id:?}");
+                assert!(chain.leaf.tbs.spki.algorithm.is_post_quantum(), "{era}");
+                // The leaf and every intermediate carry era signatures.
+                for cert in chain.certs() {
+                    assert!(cert.signature_alg.is_post_quantum(), "{era}: {id:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn era_catalogs_are_deterministic() {
+        let a = Ecosystem::new(7);
+        let b = Ecosystem::new(7);
+        for era in CertificateEra::ALL {
+            for id in ChainId::ALL {
+                let x = a.chain_era(id, era);
+                let y = b.chain_era(id, era);
+                assert_eq!(x.parent_der_len(), y.parent_der_len(), "{era}: {id:?}");
+                for (cx, cy) in x.intermediates.iter().zip(&y.intermediates) {
+                    assert_eq!(cx.der(), cy.der(), "{era}: {id:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,10 +21,12 @@
 
 pub mod dns;
 pub mod ecosystem;
+pub mod era;
 pub mod world;
 
 pub use dns::DnsOutcome;
 pub use ecosystem::{ChainId, Ecosystem, LeafParams};
+pub use era::CertificateEra;
 pub use world::{
     DomainRecord, HttpsDeployment, PopulationModel, Provider, QuicDeployment, World, WorldConfig,
 };

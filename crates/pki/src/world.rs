@@ -18,6 +18,7 @@ use quicert_x509::{CertificateChain, KeyAlgorithm};
 
 use crate::dns::{self, DnsOutcome, DnsRates};
 use crate::ecosystem::{ChainId, Ecosystem, LeafParams};
+use crate::era::CertificateEra;
 
 /// Who operates a QUIC service (steers behaviour profile and addressing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -289,9 +290,22 @@ impl World {
 
     /// Materialise the certificate chain a domain serves over HTTPS.
     pub fn https_chain(&self, record: &DomainRecord) -> Option<CertificateChain> {
+        self.https_chain_era(record, CertificateEra::Classical)
+    }
+
+    /// [`World::https_chain`] in one [`CertificateEra`]: the same
+    /// deployment (ranks, providers, chain topology, SANs, seeds) with
+    /// every key and signature swapped to the era's algorithms. The
+    /// classical era reproduces [`World::https_chain`] byte-for-byte.
+    pub fn https_chain_era(
+        &self,
+        record: &DomainRecord,
+        era: CertificateEra,
+    ) -> Option<CertificateChain> {
         let https = record.https.as_ref()?;
-        Some(self.ecosystem.issue(
+        Some(self.ecosystem.issue_era(
             https.chain_id,
+            era,
             &Self::leaf_params(record, https.chain_id, https.leaf_key, https.extra_sans),
         ))
     }
@@ -299,12 +313,21 @@ impl World {
     /// Materialise the certificate chain a domain serves over QUIC (same as
     /// HTTPS unless the cert was rotated between scans, §3.2).
     pub fn quic_chain(&self, record: &DomainRecord) -> Option<CertificateChain> {
+        self.quic_chain_era(record, CertificateEra::Classical)
+    }
+
+    /// [`World::quic_chain`] in one [`CertificateEra`].
+    pub fn quic_chain_era(
+        &self,
+        record: &DomainRecord,
+        era: CertificateEra,
+    ) -> Option<CertificateChain> {
         let quic = record.quic.as_ref()?;
         let https = record.https.as_ref()?;
         let seed_shift = if quic.rotated_cert { 0x5EED_0001 } else { 0 };
         let mut params = Self::leaf_params(record, quic.chain_id, quic.leaf_key, https.extra_sans);
         params.seed ^= seed_shift;
-        Some(self.ecosystem.issue(quic.chain_id, &params))
+        Some(self.ecosystem.issue_era(quic.chain_id, era, &params))
     }
 
     fn leaf_params(
@@ -700,6 +723,44 @@ mod tests {
         let https_chain = world.https_chain(record).unwrap();
         if !record.quic.as_ref().unwrap().rotated_cert {
             assert_eq!(chain.leaf.der(), https_chain.leaf.der());
+        }
+    }
+
+    #[test]
+    fn era_chains_share_the_population_and_swap_the_algorithms() {
+        let world = small_world();
+        let record = world.quic_services().next().expect("some QUIC service");
+        let classical = world.quic_chain(record).unwrap();
+        let classical_era = world
+            .quic_chain_era(record, CertificateEra::Classical)
+            .unwrap();
+        // The classical era is the identity — byte-for-byte.
+        assert_eq!(
+            classical.concatenated_der(),
+            classical_era.concatenated_der()
+        );
+        for era in [CertificateEra::Hybrid, CertificateEra::PostQuantum] {
+            let chain = world.quic_chain_era(record, era).unwrap();
+            // Same population: identical subject, depth and SAN bytes.
+            assert_eq!(
+                chain.leaf.tbs.subject.common_name(),
+                Some(record.name.as_str()),
+                "{era}"
+            );
+            assert_eq!(chain.depth(), classical.depth(), "{era}");
+            assert_eq!(chain.leaf.san_count(), classical.leaf.san_count());
+            // Swapped algorithms: much bigger wire footprint.
+            assert!(chain.leaf.tbs.spki.algorithm.is_post_quantum(), "{era}");
+            assert!(
+                chain.total_der_len() > 2 * classical.total_der_len(),
+                "{era}: {} vs {}",
+                chain.total_der_len(),
+                classical.total_der_len()
+            );
+            let https = world.https_chain_era(record, era).unwrap();
+            if !record.quic.as_ref().unwrap().rotated_cert {
+                assert_eq!(chain.leaf.der(), https.leaf.der(), "{era}");
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 
 use quicert_netsim::{LinkModel, NetworkProfile, SimDuration, Wire};
 use quicert_pki::world::BehaviorKind;
-use quicert_pki::{DomainRecord, World};
+use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_quic::{ServerBehavior, ServerConfig};
 use quicert_x509::CertificateChain;
 
@@ -30,6 +30,19 @@ pub fn server_config_for(
     record: &DomainRecord,
     chain: CertificateChain,
 ) -> ServerConfig {
+    server_config_for_era(world, record, chain, CertificateEra::Classical)
+}
+
+/// [`server_config_for`] in one [`CertificateEra`]: the passed chain is
+/// expected to come from the same era, and the leaf key (which sizes
+/// CertificateVerify) is mapped through [`CertificateEra::key`]. The
+/// classical era reproduces [`server_config_for`] byte-for-byte.
+pub fn server_config_for_era(
+    world: &World,
+    record: &DomainRecord,
+    chain: CertificateChain,
+    era: CertificateEra,
+) -> ServerConfig {
     let quic = record
         .quic
         .as_ref()
@@ -52,7 +65,7 @@ pub fn server_config_for(
     ServerConfig {
         behavior,
         chain,
-        leaf_key: quic.leaf_key,
+        leaf_key: era.key(quic.leaf_key),
         compression_support: quic.compression_support.clone(),
         resumption: None,
         seed: record.seed,

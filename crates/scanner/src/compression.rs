@@ -2,7 +2,7 @@
 //! synthetic compression study of §4.2.
 
 use quicert_compress::{compress_with, Algorithm};
-use quicert_pki::{DomainRecord, World};
+use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_tls::{ServerFlight, ServerFlightParams};
 
 /// Per-service compression probe result for one algorithm.
@@ -171,10 +171,25 @@ pub fn study_records(
     records: &[&DomainRecord],
     algorithm: Algorithm,
 ) -> Vec<SyntheticCompression> {
+    study_records_era(world, records, algorithm, CertificateEra::Classical)
+}
+
+/// [`study_records`] in one [`CertificateEra`]: the same sampled chains
+/// with era-swapped keys and signatures. The brotli profile's Fig-9-style
+/// certificate dictionary was assembled from *classical* DER fragments, so
+/// the achieved ratio degrades on ML-DSA material — the keys and signatures
+/// that dominate PQC chains are incompressible random bytes the dictionary
+/// has never seen.
+pub fn study_records_era(
+    world: &World,
+    records: &[&DomainRecord],
+    algorithm: Algorithm,
+    era: CertificateEra,
+) -> Vec<SyntheticCompression> {
     records
         .iter()
         .filter_map(|record| {
-            let chain = world.https_chain(record)?;
+            let chain = world.https_chain_era(record, era)?;
             let der = chain.concatenated_der();
             let compressed = compress_with(algorithm, &der);
             Some(SyntheticCompression {
@@ -229,6 +244,42 @@ mod tests {
                     s.mean_ratio
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dictionary_compression_degrades_on_pq_chains() {
+        let world = world();
+        let sampled = study_sample(&world, 40);
+        let classical = study_records_era(
+            &world,
+            &sampled,
+            Algorithm::Brotli,
+            CertificateEra::Classical,
+        );
+        let ratios = |rows: &[SyntheticCompression]| {
+            quicert_analysis::mean(&rows.iter().map(|r| r.ratio()).collect::<Vec<_>>())
+        };
+        for era in [CertificateEra::Hybrid, CertificateEra::PostQuantum] {
+            let pq = study_records_era(&world, &sampled, Algorithm::Brotli, era);
+            assert_eq!(pq.len(), classical.len());
+            // PQC chains are dominated by incompressible ML-DSA material,
+            // so the achieved ratio collapses toward 1.0.
+            assert!(
+                ratios(&pq) > ratios(&classical) + 0.15,
+                "{era}: {} vs {}",
+                ratios(&pq),
+                ratios(&classical)
+            );
+            // And their compressed sizes routinely stay over the 3x budget
+            // the classical study squeezes under.
+            let limit = 3 * 1357;
+            let over = pq.iter().filter(|r| r.compressed > limit).count();
+            assert!(
+                over * 2 > pq.len(),
+                "{era}: only {over}/{} over the limit",
+                pq.len()
+            );
         }
     }
 

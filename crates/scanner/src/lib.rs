@@ -22,6 +22,6 @@ pub mod quicreach;
 pub mod telescope_scan;
 pub mod zmap;
 
-pub use behavior::{server_config_for, wire_for};
+pub use behavior::{server_config_for, server_config_for_era, wire_for};
 pub use https_scan::{ChainSummary, HttpsObservation, HttpsScanReport};
 pub use quicreach::{QuicReachResult, ScanSummary, WarmScanResult};

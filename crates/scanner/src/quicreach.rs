@@ -15,14 +15,14 @@
 //! between entry points.
 
 use quicert_netsim::{NetworkProfile, UDP_IPV4_OVERHEAD};
-use quicert_pki::{DomainRecord, World};
+use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_quic::handshake::{
     HandshakeClass, HandshakeOutcome, HandshakeProbe, ResumptionOutcome, ResumptionProbe,
 };
 use quicert_quic::{run_handshake, run_handshake_batch, run_resumption_batch, ClientConfig};
 use quicert_session::{ResumptionHost, ResumptionPolicy, TicketConfig, TicketIssuer};
 
-use crate::behavior::{server_config_for, wire_for_profile};
+use crate::behavior::{server_config_for_era, wire_for_profile};
 
 /// The Initial sizes the paper sweeps: 1200 to 1472 bytes in steps of 10
 /// (the upper bound is dictated by a 1500-byte MTU).
@@ -156,15 +156,21 @@ impl ScanSummary {
 }
 
 /// Build the [`HandshakeProbe`] for one service at one Initial size under a
-/// network profile; shared by the batched and per-probe scan paths.
+/// network profile and [`CertificateEra`]; shared by the batched and
+/// per-probe scan paths. The era swaps the served chain and the leaf key —
+/// the scanner client is untouched, so the probe parameters only differ on
+/// the server side, exactly as a re-scan of a migrated PKI would.
 fn probe_for(
     world: &World,
     record: &DomainRecord,
     initial_size: usize,
     profile: NetworkProfile,
+    era: CertificateEra,
 ) -> HandshakeProbe {
-    let chain = world.quic_chain(record).expect("QUIC services have chains");
-    let server = server_config_for(world, record, chain);
+    let chain = world
+        .quic_chain_era(record, era)
+        .expect("QUIC services have chains");
+    let server = server_config_for_era(world, record, chain, era);
     // quicreach's stack offers no certificate compression (§3.2).
     let client = ClientConfig::scanner(
         initial_size,
@@ -186,10 +192,11 @@ fn probes_for(
     records: &[&DomainRecord],
     initial_size: usize,
     profile: NetworkProfile,
+    era: CertificateEra,
 ) -> Vec<HandshakeProbe> {
     records
         .iter()
-        .map(|record| probe_for(world, record, initial_size, profile))
+        .map(|record| probe_for(world, record, initial_size, profile, era))
         .collect()
 }
 
@@ -215,7 +222,13 @@ pub fn scan_service_profiled(
     initial_size: usize,
     profile: NetworkProfile,
 ) -> QuicReachResult {
-    let probe = probe_for(world, record, initial_size, profile);
+    let probe = probe_for(
+        world,
+        record,
+        initial_size,
+        profile,
+        CertificateEra::Classical,
+    );
     let mut wire = probe.wire;
     let out = run_handshake(probe.client, probe.server, &mut wire, probe.seed);
     QuicReachResult::from_outcome(record.rank, &out)
@@ -251,7 +264,28 @@ pub fn scan_records_profiled(
     initial_size: usize,
     profile: NetworkProfile,
 ) -> Vec<QuicReachResult> {
-    let outcomes = run_handshake_batch(probes_for(world, records, initial_size, profile));
+    scan_records_era(
+        world,
+        records,
+        initial_size,
+        profile,
+        CertificateEra::Classical,
+    )
+}
+
+/// [`scan_records_profiled`] in one [`CertificateEra`]: the same scan
+/// against the era-swapped population. The classical era reproduces
+/// [`scan_records_profiled`] byte-for-byte; the hybrid and post-quantum
+/// eras serve multi-kilobyte flights that must fragment across more CRYPTO
+/// frames and Handshake packets under the same 3× amplification limiter.
+pub fn scan_records_era(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    era: CertificateEra,
+) -> Vec<QuicReachResult> {
+    let outcomes = run_handshake_batch(probes_for(world, records, initial_size, profile, era));
     collate(records, &outcomes)
 }
 
@@ -267,13 +301,19 @@ pub fn scan_records_per_probe(
     initial_size: usize,
     profile: NetworkProfile,
 ) -> Vec<QuicReachResult> {
-    let outcomes: Vec<HandshakeOutcome> = probes_for(world, records, initial_size, profile)
-        .into_iter()
-        .map(|probe| {
-            let mut wire = probe.wire;
-            run_handshake(probe.client, probe.server, &mut wire, probe.seed)
-        })
-        .collect();
+    let outcomes: Vec<HandshakeOutcome> = probes_for(
+        world,
+        records,
+        initial_size,
+        profile,
+        CertificateEra::Classical,
+    )
+    .into_iter()
+    .map(|probe| {
+        let mut wire = probe.wire;
+        run_handshake(probe.client, probe.server, &mut wire, probe.seed)
+    })
+    .collect();
     collate(records, &outcomes)
 }
 
@@ -370,8 +410,30 @@ pub fn warm_scan_records(
     profile: NetworkProfile,
     policy: ResumptionPolicy,
 ) -> Vec<WarmScanResult> {
+    warm_scan_records_era(
+        world,
+        records,
+        initial_size,
+        profile,
+        policy,
+        CertificateEra::Classical,
+    )
+}
+
+/// [`warm_scan_records`] in one [`CertificateEra`]: cold visits pay the
+/// era's (much larger) chain, warm visits resume certificate-free — the
+/// resumed flight is era-independent, which is exactly what makes
+/// resumption the strongest PQC mitigation.
+pub fn warm_scan_records_era(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    policy: ResumptionPolicy,
+    era: CertificateEra,
+) -> Vec<WarmScanResult> {
     let warm_now_secs = warm_visit_secs(policy);
-    let probes: Vec<ResumptionProbe> = probes_for(world, records, initial_size, profile)
+    let probes: Vec<ResumptionProbe> = probes_for(world, records, initial_size, profile, era)
         .into_iter()
         .zip(records)
         .map(|(mut probe, record)| {
@@ -668,6 +730,107 @@ mod tests {
                 })
                 .collect();
             assert_eq!(whole, pieces, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn classical_era_scan_is_byte_for_byte_the_plain_scan() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(80).collect();
+        let plain = scan_records_profiled(&world, &records, 1362, NetworkProfile::Ideal);
+        let era = scan_records_era(
+            &world,
+            &records,
+            1362,
+            NetworkProfile::Ideal,
+            CertificateEra::Classical,
+        );
+        assert_eq!(plain, era);
+    }
+
+    #[test]
+    fn pq_eras_shift_one_rtt_to_multi_rtt() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(150).collect();
+        let classical = summarize(
+            1362,
+            &scan_records_era(
+                &world,
+                &records,
+                1362,
+                NetworkProfile::Ideal,
+                CertificateEra::Classical,
+            ),
+        );
+        for era in [CertificateEra::Hybrid, CertificateEra::PostQuantum] {
+            let summary = summarize(
+                1362,
+                &scan_records_era(&world, &records, 1362, NetworkProfile::Ideal, era),
+            );
+            // Nothing becomes unreachable — the chain travels at the
+            // Handshake level, which the MTU failure of §4.1 never sees.
+            assert_eq!(summary.unreachable, classical.unreachable, "{era}");
+            // But 4–15 kB of extra certificate bytes push 1-RTT and
+            // amplification-class completions into multi-RTT territory.
+            assert!(
+                summary.multi_rtt > classical.multi_rtt,
+                "{era}: multi {} vs classical {}",
+                summary.multi_rtt,
+                classical.multi_rtt
+            );
+            assert!(summary.one_rtt <= classical.one_rtt, "{era}");
+        }
+    }
+
+    #[test]
+    fn pq_era_scans_are_shard_invariant() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(60).collect();
+        let whole = scan_records_era(
+            &world,
+            &records,
+            1362,
+            NetworkProfile::Lossy,
+            CertificateEra::PostQuantum,
+        );
+        for chunk in [1usize, 7, 25] {
+            let pieces: Vec<QuicReachResult> = records
+                .chunks(chunk)
+                .flat_map(|shard| {
+                    scan_records_era(
+                        &world,
+                        shard,
+                        1362,
+                        NetworkProfile::Lossy,
+                        CertificateEra::PostQuantum,
+                    )
+                })
+                .collect();
+            assert_eq!(whole, pieces, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn pq_warm_scans_still_resume_certificate_free() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(40).collect();
+        let results = warm_scan_records_era(
+            &world,
+            &records,
+            1362,
+            NetworkProfile::Ideal,
+            ResumptionPolicy::WarmAfterFirstVisit,
+            CertificateEra::PostQuantum,
+        );
+        for r in &results {
+            if r.cold.class == HandshakeClass::Unreachable {
+                continue;
+            }
+            assert!(r.resumed, "rank {}", r.rank);
+            assert_eq!(r.warm_cert_bytes, 0, "rank {}", r.rank);
+            assert!(!r.warm_exceeds_limit, "rank {}", r.rank);
+            // The cold visit paid the post-quantum chain in full.
+            assert!(r.cold_cert_bytes > 4_000, "rank {}", r.rank);
         }
     }
 

@@ -416,7 +416,9 @@ pub fn compressed_certificate_message(chain: &CertificateChain, algorithm: Algor
 }
 
 /// Encode CertificateVerify. The signature size follows the leaf key
-/// algorithm (RSA-PSS for RSA keys, ECDSA otherwise).
+/// algorithm (RSA-PSS for RSA keys, ECDSA otherwise; ML-DSA sizes per
+/// draft-ietf-tls-mldsa, hybrids concatenate both component signatures per
+/// the hybrid-signature drafts with private-use code points).
 pub fn certificate_verify(leaf_key: quicert_x509::KeyAlgorithm, seed: u64) -> Vec<u8> {
     use quicert_x509::KeyAlgorithm::*;
     let (alg_id, sig_len): (u16, usize) = match leaf_key {
@@ -424,6 +426,11 @@ pub fn certificate_verify(leaf_key: quicert_x509::KeyAlgorithm, seed: u64) -> Ve
         Rsa4096 => (0x0805, 512),  // rsa_pss_rsae_sha384
         EcdsaP256 => (0x0403, 71), // ecdsa_secp256r1_sha256 (typical DER size)
         EcdsaP384 => (0x0503, 103),
+        MlDsa44 => (0x0904, quicert_x509::alg::ML_DSA_44_SIG_LEN), // mldsa44
+        MlDsa65 => (0x0905, quicert_x509::alg::ML_DSA_65_SIG_LEN), // mldsa65
+        // Private-use code points: concatenated ML-DSA ‖ ECDSA signatures.
+        HybridP256MlDsa44 => (0xFE44, quicert_x509::alg::ML_DSA_44_SIG_LEN + 71),
+        HybridP384MlDsa65 => (0xFE65, quicert_x509::alg::ML_DSA_65_SIG_LEN + 103),
     };
     let mut sig = vec![0u8; sig_len];
     fill(seed ^ 0x6376_6679, &mut sig);
@@ -539,6 +546,20 @@ mod tests {
         let rsa = certificate_verify(KeyAlgorithm::Rsa2048, 1);
         assert_eq!(ecdsa.len(), 4 + 2 + 2 + 71);
         assert_eq!(rsa.len(), 4 + 2 + 2 + 256);
+        // ML-DSA CertificateVerify dwarfs every classical variant (FIPS 204
+        // signature sizes), and the hybrid adds the ECDSA component on top.
+        let mldsa = certificate_verify(KeyAlgorithm::MlDsa44, 1);
+        assert_eq!(mldsa.len(), 4 + 2 + 2 + 2420);
+        let hybrid = certificate_verify(KeyAlgorithm::HybridP256MlDsa44, 1);
+        assert_eq!(hybrid.len(), 4 + 2 + 2 + 2420 + 71);
+        assert_eq!(
+            certificate_verify(KeyAlgorithm::MlDsa65, 1).len(),
+            4 + 2 + 2 + 3309
+        );
+        assert_eq!(
+            certificate_verify(KeyAlgorithm::HybridP384MlDsa65, 1).len(),
+            4 + 2 + 2 + 3309 + 103
+        );
     }
 
     #[test]

@@ -10,6 +10,15 @@ use crate::der;
 use crate::fill_deterministic;
 use crate::oid;
 
+/// ML-DSA-44 public-key size in bytes (FIPS 204, Table 2).
+pub const ML_DSA_44_PK_LEN: usize = 1312;
+/// ML-DSA-44 signature size in bytes.
+pub const ML_DSA_44_SIG_LEN: usize = 2420;
+/// ML-DSA-65 public-key size in bytes.
+pub const ML_DSA_65_PK_LEN: usize = 1952;
+/// ML-DSA-65 signature size in bytes.
+pub const ML_DSA_65_SIG_LEN: usize = 3309;
+
 /// Public-key algorithm and key length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KeyAlgorithm {
@@ -21,15 +30,46 @@ pub enum KeyAlgorithm {
     EcdsaP256,
     /// ECDSA on P-384 (secp384r1).
     EcdsaP384,
+    /// ML-DSA-44 (FIPS 204; 1312-byte public key, 2420-byte signature).
+    MlDsa44,
+    /// ML-DSA-65 (FIPS 204; 1952-byte public key, 3309-byte signature).
+    MlDsa65,
+    /// Composite hybrid ECDSA P-256 + ML-DSA-44
+    /// (draft-ietf-lamps-pq-composite-sigs).
+    HybridP256MlDsa44,
+    /// Composite hybrid ECDSA P-384 + ML-DSA-65.
+    HybridP384MlDsa65,
 }
 
 impl KeyAlgorithm {
-    /// All supported algorithms, in Table 2 column order.
+    /// The classical algorithms, in Table 2 column order. (The paper's 2022
+    /// scan saw no post-quantum keys; those live in
+    /// [`KeyAlgorithm::POST_QUANTUM`].)
     pub const ALL: [KeyAlgorithm; 4] = [
         KeyAlgorithm::Rsa2048,
         KeyAlgorithm::Rsa4096,
         KeyAlgorithm::EcdsaP256,
         KeyAlgorithm::EcdsaP384,
+    ];
+
+    /// The post-quantum and hybrid algorithms of the certificate-era axis.
+    pub const POST_QUANTUM: [KeyAlgorithm; 4] = [
+        KeyAlgorithm::MlDsa44,
+        KeyAlgorithm::MlDsa65,
+        KeyAlgorithm::HybridP256MlDsa44,
+        KeyAlgorithm::HybridP384MlDsa65,
+    ];
+
+    /// Every supported algorithm, classical first.
+    pub const ALL_ERAS: [KeyAlgorithm; 8] = [
+        KeyAlgorithm::Rsa2048,
+        KeyAlgorithm::Rsa4096,
+        KeyAlgorithm::EcdsaP256,
+        KeyAlgorithm::EcdsaP384,
+        KeyAlgorithm::MlDsa44,
+        KeyAlgorithm::MlDsa65,
+        KeyAlgorithm::HybridP256MlDsa44,
+        KeyAlgorithm::HybridP384MlDsa65,
     ];
 
     /// Human-readable label matching the paper's tables.
@@ -39,6 +79,10 @@ impl KeyAlgorithm {
             KeyAlgorithm::Rsa4096 => "RSA-4096",
             KeyAlgorithm::EcdsaP256 => "ECDSA-256",
             KeyAlgorithm::EcdsaP384 => "ECDSA-384",
+            KeyAlgorithm::MlDsa44 => "ML-DSA-44",
+            KeyAlgorithm::MlDsa65 => "ML-DSA-65",
+            KeyAlgorithm::HybridP256MlDsa44 => "ECDSA-256+ML-DSA-44",
+            KeyAlgorithm::HybridP384MlDsa65 => "ECDSA-384+ML-DSA-65",
         }
     }
 
@@ -47,13 +91,39 @@ impl KeyAlgorithm {
         matches!(self, KeyAlgorithm::Rsa2048 | KeyAlgorithm::Rsa4096)
     }
 
-    /// The modulus / field size in bytes.
+    /// Whether this key contains a post-quantum component (pure ML-DSA or a
+    /// classical+ML-DSA hybrid).
+    pub fn is_post_quantum(self) -> bool {
+        matches!(
+            self,
+            KeyAlgorithm::MlDsa44
+                | KeyAlgorithm::MlDsa65
+                | KeyAlgorithm::HybridP256MlDsa44
+                | KeyAlgorithm::HybridP384MlDsa65
+        )
+    }
+
+    /// Whether this is a classical+post-quantum hybrid.
+    pub fn is_hybrid(self) -> bool {
+        matches!(
+            self,
+            KeyAlgorithm::HybridP256MlDsa44 | KeyAlgorithm::HybridP384MlDsa65
+        )
+    }
+
+    /// Raw public-key material size in bytes (modulus, field element, or
+    /// ML-DSA public key; hybrids count both components).
     pub fn key_bytes(self) -> usize {
         match self {
             KeyAlgorithm::Rsa2048 => 256,
             KeyAlgorithm::Rsa4096 => 512,
             KeyAlgorithm::EcdsaP256 => 32,
             KeyAlgorithm::EcdsaP384 => 48,
+            KeyAlgorithm::MlDsa44 => ML_DSA_44_PK_LEN,
+            KeyAlgorithm::MlDsa65 => ML_DSA_65_PK_LEN,
+            // Uncompressed EC point (1 + 2·coord) plus the ML-DSA key.
+            KeyAlgorithm::HybridP256MlDsa44 => 65 + ML_DSA_44_PK_LEN,
+            KeyAlgorithm::HybridP384MlDsa65 => 97 + ML_DSA_65_PK_LEN,
         }
     }
 
@@ -64,6 +134,10 @@ impl KeyAlgorithm {
             KeyAlgorithm::Rsa4096 => SignatureAlgorithm::Sha384WithRsa4096,
             KeyAlgorithm::EcdsaP256 => SignatureAlgorithm::EcdsaSha256,
             KeyAlgorithm::EcdsaP384 => SignatureAlgorithm::EcdsaSha384,
+            KeyAlgorithm::MlDsa44 => SignatureAlgorithm::MlDsa44,
+            KeyAlgorithm::MlDsa65 => SignatureAlgorithm::MlDsa65,
+            KeyAlgorithm::HybridP256MlDsa44 => SignatureAlgorithm::CompositeP256MlDsa44,
+            KeyAlgorithm::HybridP384MlDsa65 => SignatureAlgorithm::CompositeP384MlDsa65,
         }
     }
 }
@@ -80,6 +154,15 @@ pub enum SignatureAlgorithm {
     EcdsaSha256,
     /// ecdsa-with-SHA384 (DER-encoded r/s pair, ~102 bytes).
     EcdsaSha384,
+    /// id-ml-dsa-44 (raw 2420-byte signature, FIPS 204).
+    MlDsa44,
+    /// id-ml-dsa-65 (raw 3309-byte signature).
+    MlDsa65,
+    /// Composite ML-DSA-44 + ECDSA-P256 (SEQUENCE of two BIT STRINGs,
+    /// draft-ietf-lamps-pq-composite-sigs).
+    CompositeP256MlDsa44,
+    /// Composite ML-DSA-65 + ECDSA-P384.
+    CompositeP384MlDsa65,
 }
 
 impl SignatureAlgorithm {
@@ -96,6 +179,16 @@ impl SignatureAlgorithm {
             // ECDSA identifiers have absent parameters.
             SignatureAlgorithm::EcdsaSha256 => der::sequence(&[oid::ECDSA_WITH_SHA256.encode()]),
             SignatureAlgorithm::EcdsaSha384 => der::sequence(&[oid::ECDSA_WITH_SHA384.encode()]),
+            // ML-DSA and composite identifiers also have absent parameters
+            // (draft-ietf-lamps-dilithium-certificates §4).
+            SignatureAlgorithm::MlDsa44 => der::sequence(&[oid::ML_DSA_44.encode()]),
+            SignatureAlgorithm::MlDsa65 => der::sequence(&[oid::ML_DSA_65.encode()]),
+            SignatureAlgorithm::CompositeP256MlDsa44 => {
+                der::sequence(&[oid::COMPOSITE_MLDSA44_ECDSA_P256.encode()])
+            }
+            SignatureAlgorithm::CompositeP384MlDsa65 => {
+                der::sequence(&[oid::COMPOSITE_MLDSA65_ECDSA_P384.encode()])
+            }
         }
     }
 
@@ -107,7 +200,32 @@ impl SignatureAlgorithm {
             SignatureAlgorithm::Sha384WithRsa4096 => deterministic_bytes(seed, 512),
             SignatureAlgorithm::EcdsaSha256 => ecdsa_sig_value(seed, 32),
             SignatureAlgorithm::EcdsaSha384 => ecdsa_sig_value(seed, 48),
+            // ML-DSA signatures are raw byte strings of fixed size; no
+            // high-bit adjustment applies.
+            SignatureAlgorithm::MlDsa44 => ml_dsa_sig_value(seed, ML_DSA_44_SIG_LEN),
+            SignatureAlgorithm::MlDsa65 => ml_dsa_sig_value(seed, ML_DSA_65_SIG_LEN),
+            // CompositeSignatureValue ::= SEQUENCE { BIT STRING, BIT STRING }
+            // (ML-DSA first, then the classical component).
+            SignatureAlgorithm::CompositeP256MlDsa44 => composite_sig_value(
+                ml_dsa_sig_value(seed ^ 0x4D4C, ML_DSA_44_SIG_LEN),
+                ecdsa_sig_value(seed, 32),
+            ),
+            SignatureAlgorithm::CompositeP384MlDsa65 => composite_sig_value(
+                ml_dsa_sig_value(seed ^ 0x4D4C, ML_DSA_65_SIG_LEN),
+                ecdsa_sig_value(seed, 48),
+            ),
         }
+    }
+
+    /// Whether this signature contains a post-quantum component.
+    pub fn is_post_quantum(self) -> bool {
+        matches!(
+            self,
+            SignatureAlgorithm::MlDsa44
+                | SignatureAlgorithm::MlDsa65
+                | SignatureAlgorithm::CompositeP256MlDsa44
+                | SignatureAlgorithm::CompositeP384MlDsa65
+        )
     }
 
     /// Human-readable label.
@@ -117,6 +235,10 @@ impl SignatureAlgorithm {
             SignatureAlgorithm::Sha384WithRsa4096 => "sha384WithRSAEncryption",
             SignatureAlgorithm::EcdsaSha256 => "ecdsa-with-SHA256",
             SignatureAlgorithm::EcdsaSha384 => "ecdsa-with-SHA384",
+            SignatureAlgorithm::MlDsa44 => "id-ml-dsa-44",
+            SignatureAlgorithm::MlDsa65 => "id-ml-dsa-65",
+            SignatureAlgorithm::CompositeP256MlDsa44 => "MLDSA44-ECDSA-P256-SHA256",
+            SignatureAlgorithm::CompositeP384MlDsa65 => "MLDSA65-ECDSA-P384-SHA384",
         }
     }
 }
@@ -131,6 +253,19 @@ fn deterministic_bytes(seed: u64, n: usize) -> Vec<u8> {
         *first |= 0x40;
     }
     v
+}
+
+/// An ML-DSA signature value: a raw byte string of the FIPS 204 size.
+fn ml_dsa_sig_value(seed: u64, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    fill_deterministic(seed ^ 0x4D4C_4453_4121, &mut v);
+    v
+}
+
+/// A composite signature value (draft-ietf-lamps-pq-composite-sigs):
+/// SEQUENCE { mldsa BIT STRING, classical BIT STRING }.
+fn composite_sig_value(mldsa: Vec<u8>, classical: Vec<u8>) -> Vec<u8> {
+    der::sequence(&[der::bit_string(&mldsa, 0), der::bit_string(&classical, 0)])
 }
 
 /// An ECDSA signature value: SEQUENCE { r INTEGER, s INTEGER }. The high bit
@@ -191,6 +326,44 @@ impl SubjectPublicKeyInfo {
                 let key_bits = der::bit_string(&point, 0);
                 der::sequence(&[alg, key_bits])
             }
+            KeyAlgorithm::MlDsa44 | KeyAlgorithm::MlDsa65 => {
+                // ML-DSA SPKI: AlgorithmIdentifier with absent parameters,
+                // subjectPublicKey = the raw FIPS 204 public key.
+                let alg_oid = match self.algorithm {
+                    KeyAlgorithm::MlDsa44 => oid::ML_DSA_44.encode(),
+                    _ => oid::ML_DSA_65.encode(),
+                };
+                let alg = der::sequence(&[alg_oid]);
+                let mut pk = vec![0u8; self.algorithm.key_bytes()];
+                fill_deterministic(self.seed, &mut pk);
+                der::sequence(&[alg, der::bit_string(&pk, 0)])
+            }
+            KeyAlgorithm::HybridP256MlDsa44 | KeyAlgorithm::HybridP384MlDsa65 => {
+                // CompositeSignaturePublicKey ::= SEQUENCE { BIT STRING,
+                // BIT STRING } (ML-DSA key first, then the EC point),
+                // wrapped in the SPKI subjectPublicKey BIT STRING.
+                let (alg_oid, mldsa_len, coord) = match self.algorithm {
+                    KeyAlgorithm::HybridP256MlDsa44 => (
+                        oid::COMPOSITE_MLDSA44_ECDSA_P256.encode(),
+                        ML_DSA_44_PK_LEN,
+                        32,
+                    ),
+                    _ => (
+                        oid::COMPOSITE_MLDSA65_ECDSA_P384.encode(),
+                        ML_DSA_65_PK_LEN,
+                        48,
+                    ),
+                };
+                let alg = der::sequence(&[alg_oid]);
+                let mut mldsa_pk = vec![0u8; mldsa_len];
+                fill_deterministic(self.seed ^ 0x004D_4C4B_4559, &mut mldsa_pk);
+                let mut point = vec![0u8; 1 + 2 * coord];
+                fill_deterministic(self.seed, &mut point);
+                point[0] = 0x04;
+                let composite =
+                    der::sequence(&[der::bit_string(&mldsa_pk, 0), der::bit_string(&point, 0)]);
+                der::sequence(&[alg, der::bit_string(&composite, 0)])
+            }
         }
     }
 
@@ -228,12 +401,94 @@ mod tests {
 
     #[test]
     fn spki_is_wellformed_der() {
-        for alg in KeyAlgorithm::ALL {
+        for alg in KeyAlgorithm::ALL_ERAS {
             let spki = SubjectPublicKeyInfo::new(alg, 99).encode();
             let parsed = parse_one(&spki).unwrap();
             let children = parsed.children().unwrap();
             assert_eq!(children.len(), 2, "{alg:?}: AlgId + BIT STRING");
             assert_eq!(children[1].tag, 0x03);
+        }
+    }
+
+    #[test]
+    fn ml_dsa_spki_carries_the_fips_204_key_sizes() {
+        // The subjectPublicKey BIT STRING holds exactly the raw key (plus
+        // the unused-bits prefix octet).
+        for (alg, pk_len) in [
+            (KeyAlgorithm::MlDsa44, ML_DSA_44_PK_LEN),
+            (KeyAlgorithm::MlDsa65, ML_DSA_65_PK_LEN),
+        ] {
+            let spki = SubjectPublicKeyInfo::new(alg, 5).encode();
+            let children = parse_one(&spki).unwrap().children().unwrap();
+            assert_eq!(children[1].content.len(), 1 + pk_len, "{alg:?}");
+        }
+        // Composite SPKIs nest a SEQUENCE of two BIT STRINGs.
+        for (alg, mldsa_len, point_len) in [
+            (KeyAlgorithm::HybridP256MlDsa44, ML_DSA_44_PK_LEN, 65),
+            (KeyAlgorithm::HybridP384MlDsa65, ML_DSA_65_PK_LEN, 97),
+        ] {
+            let spki = SubjectPublicKeyInfo::new(alg, 5).encode();
+            let children = parse_one(&spki).unwrap().children().unwrap();
+            let inner = parse_one(&children[1].content[1..]).unwrap();
+            let parts = inner.children().unwrap();
+            assert_eq!(parts.len(), 2, "{alg:?}");
+            assert_eq!(parts[0].content.len(), 1 + mldsa_len, "{alg:?}");
+            assert_eq!(parts[1].content.len(), 1 + point_len, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn ml_dsa_signature_sizes_match_fips_204() {
+        assert_eq!(
+            SignatureAlgorithm::MlDsa44.placeholder_signature(5).len(),
+            ML_DSA_44_SIG_LEN
+        );
+        assert_eq!(
+            SignatureAlgorithm::MlDsa65.placeholder_signature(5).len(),
+            ML_DSA_65_SIG_LEN
+        );
+        // The composite signature wraps both components in DER framing, so
+        // it is slightly larger than the sum of the raw signatures.
+        let composite = SignatureAlgorithm::CompositeP256MlDsa44
+            .placeholder_signature(5)
+            .len();
+        assert!(composite > ML_DSA_44_SIG_LEN + 70, "{composite}");
+        assert!(composite < ML_DSA_44_SIG_LEN + 70 + 24, "{composite}");
+        let parts = parse_one(&SignatureAlgorithm::CompositeP384MlDsa65.placeholder_signature(6))
+            .unwrap()
+            .children()
+            .unwrap();
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.tag == 0x03));
+    }
+
+    #[test]
+    fn pq_spki_sizes_dwarf_classical_ones() {
+        // The crux of the era axis: the SPKI alone is an order of magnitude
+        // bigger than the ECDSA keys that dominate today's QUIC population.
+        let p256 = SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, 1).encoded_len();
+        let mldsa44 = SubjectPublicKeyInfo::new(KeyAlgorithm::MlDsa44, 1).encoded_len();
+        let hybrid = SubjectPublicKeyInfo::new(KeyAlgorithm::HybridP256MlDsa44, 1).encoded_len();
+        assert!(mldsa44 > 10 * p256, "{mldsa44} vs {p256}");
+        assert!(hybrid > mldsa44, "{hybrid} vs {mldsa44}");
+    }
+
+    #[test]
+    fn pq_flags_and_labels() {
+        assert!(KeyAlgorithm::MlDsa44.is_post_quantum());
+        assert!(KeyAlgorithm::HybridP384MlDsa65.is_post_quantum());
+        assert!(KeyAlgorithm::HybridP256MlDsa44.is_hybrid());
+        assert!(!KeyAlgorithm::MlDsa65.is_hybrid());
+        assert!(!KeyAlgorithm::EcdsaP256.is_post_quantum());
+        assert!(SignatureAlgorithm::MlDsa44.is_post_quantum());
+        assert!(!SignatureAlgorithm::EcdsaSha256.is_post_quantum());
+        assert_eq!(KeyAlgorithm::MlDsa65.label(), "ML-DSA-65");
+        assert_eq!(
+            KeyAlgorithm::HybridP256MlDsa44.label(),
+            "ECDSA-256+ML-DSA-44"
+        );
+        for alg in KeyAlgorithm::POST_QUANTUM {
+            assert!(alg.signature_algorithm().is_post_quantum(), "{alg:?}");
         }
     }
 

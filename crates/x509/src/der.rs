@@ -269,6 +269,16 @@ impl<'a> DerReader<'a> {
         for _ in 0..n {
             len = (len << 8) | self.read_byte()? as usize;
         }
+        // DER demands the minimal length form: a long form may not encode a
+        // value the short form (or a shorter long form) could carry.
+        let minimal = if n == 1 {
+            0x80
+        } else {
+            1usize << (8 * (n - 1))
+        };
+        if len < minimal {
+            return Err(DerError::BadLength);
+        }
         Ok(len)
     }
 
@@ -380,6 +390,24 @@ mod tests {
         let seq = sequence(&[integer_u64(5)]);
         let err = parse_one(&seq[..seq.len() - 1]).unwrap_err();
         assert_eq!(err, DerError::Truncated);
+    }
+
+    #[test]
+    fn reader_rejects_overlong_length_forms() {
+        // 5 encoded in the one-byte long form: short form required.
+        assert_eq!(
+            parse_one(&[0x04, 0x81, 0x05, 1, 2, 3, 4, 5]).unwrap_err(),
+            DerError::BadLength
+        );
+        // 5 encoded in the two-byte long form with a leading zero octet.
+        assert_eq!(
+            parse_one(&[0x04, 0x82, 0x00, 0x05, 1, 2, 3, 4, 5]).unwrap_err(),
+            DerError::BadLength
+        );
+        // The minimal encodings still parse.
+        assert!(parse_one(&octet_string(&[0u8; 5])).is_ok());
+        assert!(parse_one(&octet_string(&[0u8; 200])).is_ok());
+        assert!(parse_one(&octet_string(&[0u8; 300])).is_ok());
     }
 
     #[test]

@@ -47,6 +47,19 @@ pub const ECDSA_WITH_SHA256: Oid = Oid(&[1, 2, 840, 10045, 4, 3, 2]);
 /// ecdsa-with-SHA384 (1.2.840.10045.4.3.3)
 pub const ECDSA_WITH_SHA384: Oid = Oid(&[1, 2, 840, 10045, 4, 3, 3]);
 
+// --- Post-quantum signature algorithms (FIPS 204 / LAMPS drafts) ---------
+
+/// id-ml-dsa-44 (2.16.840.1.101.3.4.3.17), NIST CSOR arc.
+pub const ML_DSA_44: Oid = Oid(&[2, 16, 840, 1, 101, 3, 4, 3, 17]);
+/// id-ml-dsa-65 (2.16.840.1.101.3.4.3.18).
+pub const ML_DSA_65: Oid = Oid(&[2, 16, 840, 1, 101, 3, 4, 3, 18]);
+/// Composite ML-DSA-44 + ECDSA-P256-SHA256 (2.16.840.1.114027.80.8.1.4,
+/// draft-ietf-lamps-pq-composite-sigs; code point not yet final).
+pub const COMPOSITE_MLDSA44_ECDSA_P256: Oid = Oid(&[2, 16, 840, 1, 114027, 80, 8, 1, 4]);
+/// Composite ML-DSA-65 + ECDSA-P384-SHA384 (2.16.840.1.114027.80.8.1.10,
+/// draft-ietf-lamps-pq-composite-sigs; code point not yet final).
+pub const COMPOSITE_MLDSA65_ECDSA_P384: Oid = Oid(&[2, 16, 840, 1, 114027, 80, 8, 1, 10]);
+
 // --- Distinguished-name attribute types --------------------------------
 
 /// id-at-commonName (2.5.4.3)
@@ -127,6 +140,10 @@ mod tests {
             &SECP384R1,
             &ECDSA_WITH_SHA256,
             &ECDSA_WITH_SHA384,
+            &ML_DSA_44,
+            &ML_DSA_65,
+            &COMPOSITE_MLDSA44_ECDSA_P256,
+            &COMPOSITE_MLDSA65_ECDSA_P384,
             &AT_COMMON_NAME,
             &AT_COUNTRY,
             &AT_ORGANIZATION,

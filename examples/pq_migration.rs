@@ -1,0 +1,58 @@
+//! PQ migration: re-run the paper's headline measurements against a world
+//! whose PKI has moved to hybrid (ECDSA+ML-DSA) and pure ML-DSA chains.
+//!
+//! ```sh
+//! cargo run --release --example pq_migration
+//! ```
+
+use quicert::core::experiments::pq;
+use quicert::core::{Campaign, CampaignConfig};
+use quicert::pki::CertificateEra;
+use quicert::quic::handshake::HandshakeClass;
+use quicert::scanner::quicreach;
+
+fn main() {
+    let campaign = Campaign::new(CampaignConfig::small().with_domains(4_000));
+    let world = campaign.world();
+    println!(
+        "world: {} domains, {} QUIC services — same population in every era,\n\
+         only the keys and signatures change (ML-DSA-44/65 per FIPS 204)\n",
+        world.domains().len(),
+        world.quic_services().count(),
+    );
+
+    // Headline: class shares per era at the default Initial size.
+    let initial = campaign.config().default_initial;
+    println!("handshake classes at Initial = {initial} bytes:");
+    for era in CertificateEra::ALL {
+        let results = campaign.quicreach_era(era, quicert::netsim::NetworkProfile::Ideal, initial);
+        let summary = quicreach::summarize(initial, &results);
+        println!(
+            "  {:<13} 1-RTT {:>5.2}%   multi-RTT {:>5.1}%   amplification {:>5.1}%",
+            era.name(),
+            summary.share_of_reachable(HandshakeClass::OneRtt),
+            summary.share_of_reachable(HandshakeClass::MultiRtt),
+            summary.share_of_reachable(HandshakeClass::Amplification),
+        );
+    }
+
+    println!();
+    println!(
+        "{}",
+        pq::render_one_rtt_survivors(&pq::one_rtt_survivors(&campaign))
+    );
+    println!("{}", pq::render_era_matrix(&pq::era_matrix(&campaign)));
+    println!(
+        "{}",
+        pq::render_compression_degradation(&pq::compression_degradation(&campaign, 20))
+    );
+
+    println!(
+        "take-away: the certificate bytes the paper identified as the QUIC\n\
+         bottleneck multiply under PQC — the rare 1-RTT population all but\n\
+         vanishes, every compliant deployment pays extra round trips, and\n\
+         RFC 8879 compression no longer squeezes chains under the 3x budget.\n\
+         Session resumption (see examples/resumption.rs) is era-independent\n\
+         and remains the strongest mitigation."
+    );
+}

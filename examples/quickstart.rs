@@ -54,6 +54,7 @@ fn main() {
         guidance_mitigation: false,
         network_profiles: false,
         resumption: true,
+        pq_eras: false,
     };
     let skipped = options.skipped();
     if skipped.is_empty() {

@@ -29,7 +29,8 @@
 //! * [`quic`] — QUIC v1 handshake engine with real-world server behaviours
 //! * [`session`] — TLS session tickets, STEK rotation, the client cache
 //!   and the resumption-policy scenario axis
-//! * [`pki`] — the CA ecosystem and ranked world generator
+//! * [`pki`] — the CA ecosystem, ranked world generator, and the
+//!   post-quantum `CertificateEra` scenario axis
 //! * [`scanner`] — quicreach / QScanner / telescope / ZMap counterparts
 //! * [`analysis`] — CDFs, statistics, table rendering
 //! * [`core`] — campaign orchestration: the `ScanEngine` artifact store

@@ -99,6 +99,7 @@ fn full_report_runs_end_to_end() {
             guidance_mitigation: false,
             network_profiles: true,
             resumption: true,
+            pq_eras: true,
         },
     );
     assert!(

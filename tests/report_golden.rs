@@ -1,0 +1,106 @@
+//! Golden-report regression: render the full campaign report (every
+//! section on) for one pinned configuration and compare it byte-for-byte
+//! against a checked-in snapshot.
+//!
+//! Per-section unit tests catch broken sections; only a whole-report
+//! snapshot catches *silent drift* — a reordered section, a changed label,
+//! a float formatted differently, an artifact quietly recomputed under new
+//! parameters. The engine guarantees worker-count invariance, so the
+//! snapshot is stable on any machine.
+//!
+//! To (re)generate the snapshot after an intentional report change:
+//!
+//! ```sh
+//! QUICERT_BLESS=1 cargo test --test report_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use quicert::core::{full_report, Campaign, CampaignConfig, ReportOptions};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The pinned campaign: small world, fixed seed, pinned worker count (the
+/// artifacts are worker-invariant; pinning just removes one variable), and
+/// every report section enabled at snapshot-friendly sizes.
+fn pinned_report() -> String {
+    let campaign = Campaign::new(
+        CampaignConfig::small()
+            .with_domains(700)
+            .with_seed(0x601D)
+            .with_workers(2),
+    );
+    full_report(
+        &campaign,
+        ReportOptions {
+            telescope_per_provider: 2,
+            fig11_reps: 1,
+            compression_stride: 30,
+            full_sweep: true,
+            guidance_mitigation: true,
+            network_profiles: true,
+            resumption: true,
+            pq_eras: true,
+        },
+    )
+}
+
+#[test]
+fn report_matches_golden_snapshot() {
+    let golden_path = golden_dir().join("report.txt");
+    let got = pinned_report();
+
+    if std::env::var_os("QUICERT_BLESS").is_some_and(|v| v != "0") {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&golden_path, &got).expect("write golden snapshot");
+        eprintln!("blessed {} ({} bytes)", golden_path.display(), got.len());
+        return;
+    }
+
+    let want = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run `QUICERT_BLESS=1 cargo test \
+             --test report_golden` to generate it",
+            golden_path.display()
+        )
+    });
+
+    if got != want {
+        // Persist the actual output so CI can upload it as an artifact and
+        // a human can diff it against the snapshot.
+        let actual_path = golden_dir().join("report.actual.txt");
+        let _ = fs::write(&actual_path, &got);
+        let first_diff = got
+            .lines()
+            .zip(want.lines())
+            .enumerate()
+            .find(|(_, (g, w))| g != w);
+        match first_diff {
+            Some((line, (g, w))) => panic!(
+                "report drifted from the golden snapshot at line {}:\n  golden: {w}\n  actual: {g}\n\
+                 full output written to {}; if the change is intentional, re-bless \
+                 with QUICERT_BLESS=1",
+                line + 1,
+                actual_path.display()
+            ),
+            None => panic!(
+                "report drifted from the golden snapshot (lengths {} vs {}); \
+                 full output written to {}; if the change is intentional, re-bless \
+                 with QUICERT_BLESS=1",
+                got.len(),
+                want.len(),
+                actual_path.display()
+            ),
+        }
+    }
+}
+
+#[test]
+fn pinned_report_is_deterministic_across_renders() {
+    // The snapshot comparison above only helps if the render itself is a
+    // pure function of the configuration.
+    assert_eq!(pinned_report(), pinned_report());
+}
