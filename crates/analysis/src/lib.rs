@@ -5,11 +5,18 @@
 //! quantiles and confidence intervals (Fig 11), grouped share tables
 //! (Figs 12/13, Tables 1/2), and plain-text rendering for the `repro`
 //! harness.
+//!
+//! For million-record scans the [`merge`] module provides the streaming
+//! counterparts: a [`Merge`] monoid trait plus bounded-memory summaries
+//! ([`StreamSummary`], [`HistogramSketch`]) that replace whole-sample
+//! [`Cdf`]s on the at-scale paths.
 
 pub mod cdf;
+pub mod merge;
 pub mod render;
 pub mod stats;
 
 pub use cdf::Cdf;
+pub use merge::{HistogramSketch, Merge, StreamSummary};
 pub use render::{render_bar_table, render_table, Table};
 pub use stats::{mean, mean_ci95, median, percentile, std_dev, Summary};

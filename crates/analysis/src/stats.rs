@@ -29,12 +29,14 @@ pub fn mean_ci95(values: &[f64]) -> (f64, f64) {
     (m, half)
 }
 
-/// The `p`-th percentile (0..=100) using linear interpolation.
+/// The `p`-th percentile (0..=100) using linear interpolation. NaN samples
+/// are dropped (like [`crate::Cdf::new`]); an all-NaN or empty input
+/// reports 0.0 rather than panicking in the sort.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let clamped = p.clamp(0.0, 100.0) / 100.0;
     let idx = clamped * (sorted.len() - 1) as f64;
@@ -112,8 +114,34 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(std_dev(&[]), 0.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(median(&[]), 0.0);
         let (m, ci) = mean_ci95(&[]);
         assert_eq!((m, ci), (0.0, 0.0));
+        let s = Summary::of(&[]);
+        assert_eq!(
+            (s.min, s.median, s.max, s.mean, s.count),
+            (0.0, 0.0, 0.0, 0.0, 0)
+        );
+    }
+
+    #[test]
+    fn single_sample_inputs_are_defined() {
+        // n < 2: the CI half-width must be exactly 0, never NaN.
+        let (m, ci) = mean_ci95(&[7.5]);
+        assert_eq!((m, ci), (7.5, 0.0));
+        assert_eq!(std_dev(&[7.5]), 0.0);
+        assert_eq!(percentile(&[7.5], 0.0), 7.5);
+        assert_eq!(percentile(&[7.5], 100.0), 7.5);
+        let s = Summary::of(&[7.5]);
+        assert_eq!((s.min, s.median, s.max, s.count), (7.5, 7.5, 7.5, 1));
+    }
+
+    #[test]
+    fn percentile_drops_nans_instead_of_panicking() {
+        assert_eq!(percentile(&[f64::NAN, 1.0, 3.0], 100.0), 3.0);
+        assert_eq!(median(&[f64::NAN, 2.0]), 2.0);
+        // All-NaN input degrades to the empty-input contract.
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property tests for the streaming sketch algebra: the [`Merge`] monoid
+//! laws (identity, commutativity, associativity — bit-for-bit on the
+//! integer-valued metrics the scanners stream), and the histogram sketch's
+//! one-bin-width quantile error bound against the exact [`Cdf`].
+
+use proptest::prelude::*;
+
+use quicert_analysis::{Cdf, HistogramSketch, Merge, StreamSummary};
+
+/// Build a summary from integer-valued samples (what the scanners stream:
+/// byte counts, round trips, chain depths).
+fn summary_of(samples: &[u64]) -> StreamSummary {
+    StreamSummary::of(samples.iter().map(|&x| x as f64))
+}
+
+fn sketch_of(samples: &[u64]) -> HistogramSketch {
+    let mut h = HistogramSketch::new(0.0, 4_096.0, 64);
+    for &x in samples {
+        h.push(x as f64);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stream_summary_merge_laws(
+        xs in proptest::collection::vec(0u64..5_000, 0..40),
+        ys in proptest::collection::vec(0u64..5_000, 0..40),
+        zs in proptest::collection::vec(0u64..5_000, 0..40),
+    ) {
+        let (a, b, c) = (summary_of(&xs), summary_of(&ys), summary_of(&zs));
+
+        // Identity on both sides.
+        let mut left = StreamSummary::identity();
+        left.merge(&a);
+        prop_assert_eq!(left, a);
+        let mut right = a;
+        right.merge(&StreamSummary::identity());
+        prop_assert_eq!(right, a);
+
+        // Commutativity.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+
+        // Associativity.
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+
+        // And the merged summary equals the whole-sample summary.
+        let whole: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(ab_c, summary_of(&whole));
+    }
+
+    #[test]
+    fn histogram_sketch_merge_laws(
+        xs in proptest::collection::vec(0u64..6_000, 0..40),
+        ys in proptest::collection::vec(0u64..6_000, 0..40),
+        zs in proptest::collection::vec(0u64..6_000, 0..40),
+    ) {
+        let (a, b, c) = (sketch_of(&xs), sketch_of(&ys), sketch_of(&zs));
+
+        let mut left = HistogramSketch::identity();
+        left.merge(&a);
+        prop_assert_eq!(&left, &a);
+        let mut right = a.clone();
+        right.merge(&HistogramSketch::identity());
+        prop_assert_eq!(&right, &a);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let whole: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&ab_c, &sketch_of(&whole));
+    }
+
+    #[test]
+    fn sketch_quantiles_track_the_exact_cdf_within_one_bin(
+        samples in proptest::collection::vec(0u64..4_000, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let sketch = sketch_of(&samples);
+        let cdf = Cdf::new(samples.iter().map(|&x| x as f64).collect());
+        let exact = cdf.quantile(q);
+        let est = sketch.quantile(q);
+        prop_assert!(
+            (est - exact).abs() <= sketch.bin_width(),
+            "q={}: sketch {} vs exact {} (bin width {})",
+            q, est, exact, sketch.bin_width()
+        );
+        // The endpoints are exact, not just bounded.
+        prop_assert_eq!(sketch.quantile(0.0), cdf.quantile(0.0));
+        prop_assert_eq!(sketch.quantile(1.0), cdf.quantile(1.0));
+    }
+
+    #[test]
+    fn summary_chunking_is_invariant(
+        samples in proptest::collection::vec(0u64..100_000, 0..300),
+        chunk in 1usize..64,
+    ) {
+        let whole = summary_of(&samples);
+        let chunked = StreamSummary::merge_all(samples.chunks(chunk).map(summary_of));
+        prop_assert_eq!(whole, chunked, "chunk size {}", chunk);
+    }
+}

@@ -8,9 +8,17 @@
 //! ```
 //!
 //! The third argument is the scan worker count (0 = one per core, 1 =
-//! serial). The report is bit-for-bit identical at any setting.
+//! serial); when absent, a `QUICERT_WORKERS` environment override is
+//! honored (same semantics), so at-scale runs are tunable without code or
+//! command-line edits. The report is bit-for-bit identical at any setting.
 
 use quicert_core::{full_report, Campaign, CampaignConfig, ReportOptions};
+
+/// The `QUICERT_WORKERS` override (`0` = one worker per core), when set
+/// and parseable.
+fn env_workers() -> Option<usize> {
+    std::env::var("QUICERT_WORKERS").ok()?.trim().parse().ok()
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -19,7 +27,11 @@ fn main() {
         .next()
         .and_then(|a| a.parse().ok())
         .unwrap_or(0xC04E_2022);
-    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let workers: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .or_else(env_workers)
+        .unwrap_or(0);
 
     eprintln!(
         "generating world: {domains} domains, seed {seed:#x}, workers {workers} (0 = auto) ..."
@@ -29,6 +41,11 @@ fn main() {
             .with_domains(domains)
             .with_seed(seed)
             .with_workers(workers),
+    );
+    eprintln!(
+        "scanning with {} worker thread(s), streaming chunk {} ...",
+        campaign.engine().workers(),
+        campaign.engine().stream_chunk()
     );
 
     let options = ReportOptions {
@@ -40,6 +57,10 @@ fn main() {
         network_profiles: true,
         resumption: true,
         pq_eras: true,
+        population_scale: true,
+        // The paper-scale ladder: 10k / 100k / 1M domains streamed in
+        // bounded memory.
+        scale_sizes: quicert_core::experiments::scale::PAPER_SCALE_SIZES,
     };
     let report = full_report(&campaign, options);
     println!("{report}");

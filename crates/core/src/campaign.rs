@@ -42,6 +42,12 @@ pub struct CampaignConfig {
     /// campaigns byte-for-byte; the report's era section additionally scans
     /// explicit eras regardless of this setting.
     pub era: CertificateEra,
+    /// Population chunk size for the streaming (`stream_*`) scan path;
+    /// `0` resolves to [`crate::engine::DEFAULT_STREAM_CHUNK`]. Streaming
+    /// results are bit-for-bit identical at any setting — the knob only
+    /// trades peak memory (`chunk × workers` records) against batching
+    /// overhead.
+    pub stream_chunk: usize,
 }
 
 impl CampaignConfig {
@@ -57,6 +63,7 @@ impl CampaignConfig {
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
             era: CertificateEra::Classical,
+            stream_chunk: 0,
         }
     }
 
@@ -69,6 +76,7 @@ impl CampaignConfig {
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
             era: CertificateEra::Classical,
+            stream_chunk: 0,
         }
     }
 
@@ -107,6 +115,12 @@ impl CampaignConfig {
         self.era = era;
         self
     }
+
+    /// Override the streaming chunk size (`0` = the engine default).
+    pub fn with_stream_chunk(mut self, chunk_size: usize) -> Self {
+        self.stream_chunk = chunk_size;
+        self
+    }
 }
 
 impl Default for CampaignConfig {
@@ -127,6 +141,7 @@ impl Campaign {
     pub fn new(config: CampaignConfig) -> Campaign {
         let world = World::generate(config.world.clone());
         let engine = ScanEngine::new(world, config.default_initial, config.workers)
+            .with_stream_chunk(config.stream_chunk)
             .with_profile(config.profile)
             .with_resumption(config.resumption)
             .with_era(config.era);
@@ -274,6 +289,18 @@ impl Campaign {
     pub fn qscanner(&self) -> Arc<(Vec<QuicCertObservation>, ConsistencyReport)> {
         self.engine.qscanner()
     }
+
+    /// The streaming quicreach summary at the default Initial size —
+    /// bit-for-bit the summary of [`Campaign::quicreach_default`], folded
+    /// in bounded memory without materializing per-record results.
+    pub fn stream_quicreach_default(&self) -> Arc<quicert_scanner::QuicReachShard> {
+        self.engine.stream_quicreach(self.config.default_initial)
+    }
+
+    /// The streaming §3.1 funnel and chain-size summary.
+    pub fn stream_https_scan(&self) -> Arc<quicert_scanner::HttpsScanShard> {
+        self.engine.stream_https_scan()
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +343,27 @@ mod tests {
     fn rank_group_width_scales() {
         let c = Campaign::new(CampaignConfig::small().with_domains(5_000));
         assert_eq!(c.rank_group_width(), 500);
+    }
+
+    #[test]
+    fn campaign_streaming_accessors_match_the_materialized_artifacts() {
+        use quicert_scanner::https_scan::HttpsScanShard;
+        use quicert_scanner::quicreach::QuicReachShard;
+
+        let campaign = Campaign::new(CampaignConfig::small().with_seed(5).with_domains(1_000));
+        let streamed = campaign.stream_quicreach_default();
+        assert_eq!(
+            *streamed,
+            QuicReachShard::from_results(
+                campaign.config().default_initial,
+                &campaign.quicreach_default()
+            )
+        );
+        assert!(Arc::ptr_eq(&streamed, &campaign.stream_quicreach_default()));
+        assert_eq!(
+            *campaign.stream_https_scan(),
+            HttpsScanShard::from_report(&campaign.https_scan())
+        );
     }
 
     #[test]

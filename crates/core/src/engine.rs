@@ -26,18 +26,29 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use quicert_analysis::Merge;
 use quicert_compress::Algorithm;
 use quicert_netsim::{Ipv4Net, NetworkProfile};
-use quicert_pki::{CertificateEra, DomainRecord, World};
-use quicert_scanner::compression::{self, AlgorithmSupport, SyntheticCompression};
-use quicert_scanner::https_scan::{self, HttpsScanReport};
+use quicert_pki::{CertificateEra, DomainRecord, World, WorldConfig};
+use quicert_scanner::compression::{
+    self, AlgorithmSupport, CompressionShard, SyntheticCompression,
+};
+use quicert_scanner::https_scan::{self, HttpsScanReport, HttpsScanShard};
 use quicert_scanner::qscanner::{self, ConsistencyReport, QuicCertObservation};
-use quicert_scanner::quicreach::{self, QuicReachResult, ScanSummary, WarmScanResult};
+use quicert_scanner::quicreach::{
+    self, QuicReachResult, QuicReachShard, ScanSummary, WarmScanResult,
+};
 use quicert_scanner::telescope_scan::{self, BackscatterSession};
 use quicert_scanner::zmap::{self, ZmapResult};
 use quicert_session::ResumptionPolicy;
+
+/// Default population chunk size for the streaming scan path: large enough
+/// to amortise `SimNet` batching, small enough that chunk × workers stays
+/// a few megabytes of records.
+pub const DEFAULT_STREAM_CHUNK: usize = 1024;
 
 /// One lazily-computed artifact family, keyed by scan parameters.
 ///
@@ -98,12 +109,76 @@ where
     shards.into_iter().flatten().collect()
 }
 
+/// Pump a world's population through `workers` scoped threads as
+/// rank-ordered chunks of `chunk_size` records, folding each chunk with
+/// `fold` and merging the per-worker shard summaries.
+///
+/// This is the bounded-memory counterpart of [`run_sharded`]: at no point
+/// does more than `workers` chunks of records (plus one summary per
+/// worker) exist in memory, so a million-record population streams through
+/// a few megabytes. The result is **bit-for-bit independent of both the
+/// worker count and the chunk size** because (a) per-record RNG forking
+/// makes every chunk's fold chunk-size invariant, and (b) shard summaries
+/// are exactly commutative monoids under [`Merge`], so the order workers
+/// happen to pick chunks in cannot shift a single bit.
+pub fn stream_sharded<S, F>(world: &World, chunk_size: usize, workers: usize, fold: F) -> S
+where
+    S: Merge + Send,
+    F: Fn(&[&DomainRecord]) -> S + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 {
+        let mut acc = S::identity();
+        for chunk in world.stream_domains(chunk_size) {
+            let refs: Vec<&DomainRecord> = chunk.iter().collect();
+            acc.merge(&fold(&refs));
+        }
+        return acc;
+    }
+    // Chunks are rank-addressable (`World::domain_chunk` only reads the
+    // config), so workers claim disjoint rank ranges off an atomic cursor
+    // and derive their own records — no lock, and population generation
+    // parallelises along with the probing.
+    let chunk_size = chunk_size.max(1);
+    let total = world.config.domains;
+    let cursor = AtomicUsize::new(1);
+    let cursor = &cursor;
+    let fold = &fold;
+    let mut shards: Vec<S> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = S::identity();
+                    loop {
+                        let first = cursor.fetch_add(chunk_size, Ordering::Relaxed);
+                        if first > total {
+                            break;
+                        }
+                        let chunk = world.domain_chunk(first, chunk_size);
+                        let refs: Vec<&DomainRecord> = chunk.iter().collect();
+                        local.merge(&fold(&refs));
+                    }
+                    local
+                })
+            })
+            .collect();
+        shards.extend(
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("stream worker panicked")),
+        );
+    });
+    S::merge_all(shards)
+}
+
 /// The campaign's scan executor and artifact store.
 #[derive(Debug)]
 pub struct ScanEngine {
     world: World,
     default_initial: usize,
     workers: usize,
+    stream_chunk: usize,
     profile: NetworkProfile,
     resumption: ResumptionPolicy,
     era: CertificateEra,
@@ -120,6 +195,11 @@ pub struct ScanEngine {
     telescope: ArtifactCache<usize, Vec<BackscatterSession>>,
     zmap: ArtifactCache<(bool, u64), Vec<ZmapResult>>,
     qscanner: ArtifactCache<(), (Vec<QuicCertObservation>, ConsistencyReport)>,
+    // Streaming-path caches hold *summaries*, never per-record vectors, so
+    // a cached million-record scan costs a few kilobytes.
+    stream_quicreach: ArtifactCache<(CertificateEra, NetworkProfile, usize), QuicReachShard>,
+    stream_https: ArtifactCache<(), HttpsScanShard>,
+    stream_compression: ArtifactCache<(), CompressionShard>,
 }
 
 impl ScanEngine {
@@ -137,6 +217,7 @@ impl ScanEngine {
             world,
             default_initial,
             workers,
+            stream_chunk: DEFAULT_STREAM_CHUNK,
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
             era: CertificateEra::Classical,
@@ -150,7 +231,30 @@ impl ScanEngine {
             telescope: ArtifactCache::new(),
             zmap: ArtifactCache::new(),
             qscanner: ArtifactCache::new(),
+            stream_quicreach: ArtifactCache::new(),
+            stream_https: ArtifactCache::new(),
+            stream_compression: ArtifactCache::new(),
         }
+    }
+
+    /// An engine over a never-materialised [`World::streaming`] population:
+    /// the at-scale constructor. Only the `stream_*` scan families make
+    /// sense on such an engine — materialized artifact requests see an
+    /// empty population.
+    pub fn streaming(config: WorldConfig, default_initial: usize, workers: usize) -> ScanEngine {
+        ScanEngine::new(World::streaming(config), default_initial, workers)
+    }
+
+    /// Set the population chunk size the streaming scan path pumps
+    /// (`0` resolves to [`DEFAULT_STREAM_CHUNK`]). Results are bit-for-bit
+    /// identical at any setting; peak memory is `chunk × workers` records.
+    pub fn with_stream_chunk(mut self, chunk_size: usize) -> ScanEngine {
+        self.stream_chunk = if chunk_size == 0 {
+            DEFAULT_STREAM_CHUNK
+        } else {
+            chunk_size
+        };
+        self
     }
 
     /// Set the engine's default [`NetworkProfile`]: the link-condition
@@ -413,6 +517,70 @@ impl ScanEngine {
     fn pop_prefix(&self) -> Ipv4Net {
         zmap::default_pop_prefix()
     }
+
+    // ------------------------------------------------------ streaming --
+
+    /// The streaming chunk size.
+    pub fn stream_chunk(&self) -> usize {
+        self.stream_chunk
+    }
+
+    /// The streaming quicreach scan at one Initial size under the engine's
+    /// default era and profile: the whole population is pumped through the
+    /// sharded workers in bounded memory and folded into one
+    /// [`QuicReachShard`]. No `Vec` of per-record results is ever built on
+    /// this path — the cache stores the summary itself.
+    pub fn stream_quicreach(&self, initial_size: usize) -> Arc<QuicReachShard> {
+        self.stream_quicreach_era(self.era, self.profile, initial_size)
+    }
+
+    /// [`ScanEngine::stream_quicreach`] under an explicit
+    /// [`CertificateEra`] and [`NetworkProfile`] — cached per `(era,
+    /// profile, size)`, the same axes as the materialized quicreach cache.
+    /// On a populated world the streamed summary is bit-for-bit
+    /// [`QuicReachShard::from_results`] of the materialized artifact, at
+    /// any worker count and chunk size.
+    pub fn stream_quicreach_era(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        initial_size: usize,
+    ) -> Arc<QuicReachShard> {
+        self.stream_quicreach
+            .get_or_compute((era, profile, initial_size), || {
+                let mut shard =
+                    stream_sharded(&self.world, self.stream_chunk, self.workers, |chunk| {
+                        quicreach::fold_records(&self.world, chunk, initial_size, profile, era)
+                    });
+                // An all-identity merge (empty population) never saw the
+                // scan's Initial size; stamp it so the bar is labelled.
+                shard.classes.initial_size = initial_size;
+                shard
+            })
+    }
+
+    /// The streaming §3.1 HTTPS scan: funnel counters and chain-size
+    /// sketches folded over the population in bounded memory. On a
+    /// populated world it is bit-for-bit
+    /// [`HttpsScanShard::from_report`] of [`ScanEngine::https_scan`].
+    pub fn stream_https_scan(&self) -> Arc<HttpsScanShard> {
+        self.stream_https.get_or_compute((), || {
+            stream_sharded(&self.world, self.stream_chunk, self.workers, |chunk| {
+                https_scan::fold_records(&self.world, chunk)
+            })
+        })
+    }
+
+    /// The streaming compression-support scan (Table 1 at scale): counts
+    /// and exact byte totals per RFC 8879 algorithm, folded in bounded
+    /// memory.
+    pub fn stream_compression_support(&self) -> Arc<CompressionShard> {
+        self.stream_compression.get_or_compute((), || {
+            stream_sharded(&self.world, self.stream_chunk, self.workers, |chunk| {
+                compression::fold_records(&self.world, chunk)
+            })
+        })
+    }
 }
 
 #[cfg(test)]
@@ -669,6 +837,100 @@ mod tests {
         // artifact computed afterwards is built fresh and ticket-free.
         let cold = engine.quicreach(1362);
         assert!(!cold.is_empty());
+    }
+
+    #[test]
+    fn streaming_summaries_match_the_materialized_artifacts() {
+        let engine = engine(2);
+        // quicreach: the streamed shard equals the fold of the cached
+        // materialized artifact, bit for bit.
+        let streamed = engine.stream_quicreach(1362);
+        let materialized = QuicReachShard::from_results(1362, &engine.quicreach(1362));
+        assert_eq!(*streamed, materialized);
+        // https: funnel counters and chain sketches match the report.
+        let shard = engine.stream_https_scan();
+        let report = engine.https_scan();
+        assert_eq!(*shard, HttpsScanShard::from_report(&report));
+        // compression: streamed counts match the materialized probe rows.
+        let records: Vec<&DomainRecord> = engine.world().quic_services().collect();
+        let probes = compression::probe_records(engine.world(), &records);
+        assert_eq!(
+            *engine.stream_compression_support(),
+            CompressionShard::from_probes(&probes)
+        );
+    }
+
+    #[test]
+    fn streaming_engine_never_materializes_the_population() {
+        let world = World::generate(WorldConfig {
+            domains: 1_200,
+            seed: 0xD37E,
+            ..WorldConfig::default()
+        });
+        let materialized = ScanEngine::new(world, 1362, 2);
+        let reference = materialized.stream_quicreach(1362);
+
+        // The streaming engine's world holds zero records before, during
+        // and after the scan — the population only ever exists as chunks.
+        let config = WorldConfig {
+            domains: 1_200,
+            seed: 0xD37E,
+            ..WorldConfig::default()
+        };
+        let engine = ScanEngine::streaming(config, 1362, 2).with_stream_chunk(128);
+        assert!(engine.world().domains().is_empty());
+        let streamed = engine.stream_quicreach(1362);
+        assert!(engine.world().domains().is_empty());
+        assert_eq!(*streamed, *reference);
+        assert!(streamed.total() > 0);
+        // The https stream works on the shell too.
+        let funnel = engine.stream_https_scan();
+        assert!(engine.world().domains().is_empty());
+        assert_eq!(funnel.total, 1_200);
+    }
+
+    #[test]
+    fn streaming_artifacts_are_cached_summaries() {
+        let engine = engine(2);
+        assert!(Arc::ptr_eq(
+            &engine.stream_quicreach(1362),
+            &engine.stream_quicreach(1362)
+        ));
+        assert!(Arc::ptr_eq(
+            &engine.stream_https_scan(),
+            &engine.stream_https_scan()
+        ));
+        assert!(Arc::ptr_eq(
+            &engine.stream_compression_support(),
+            &engine.stream_compression_support()
+        ));
+        // Distinct axes are distinct summaries; the default-axis request
+        // shares the explicit classical/ideal entry.
+        assert!(Arc::ptr_eq(
+            &engine.stream_quicreach(1362),
+            &engine.stream_quicreach_era(CertificateEra::Classical, NetworkProfile::Ideal, 1362)
+        ));
+        assert!(!Arc::ptr_eq(
+            &engine.stream_quicreach(1362),
+            &engine.stream_quicreach(1250)
+        ));
+    }
+
+    #[test]
+    fn empty_population_streams_to_empty_summaries() {
+        let engine = ScanEngine::streaming(
+            WorldConfig {
+                domains: 0,
+                seed: 1,
+                ..WorldConfig::default()
+            },
+            1362,
+            2,
+        );
+        let reach = engine.stream_quicreach(1362);
+        assert_eq!(reach.total(), 0);
+        assert_eq!(reach.classes.initial_size, 1362);
+        assert_eq!(engine.stream_https_scan().total, 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | [`compression`] | Table 1 and the §4.2 compression study |
 //! | [`resumption`] | the §5 session-resumption mitigation, cold vs warm |
 //! | [`pq`] | the post-quantum certificate-era axis (beyond the paper) |
+//! | [`scale`] | the population-scale ladder on the streaming scan path |
 
 pub mod amplification;
 pub mod certs;
@@ -17,3 +18,4 @@ pub mod guidance;
 pub mod handshakes;
 pub mod pq;
 pub mod resumption;
+pub mod scale;

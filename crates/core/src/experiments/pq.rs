@@ -251,7 +251,7 @@ pub struct EraCompression {
     /// default Initial, percent.
     pub under_limit_pct: f64,
     /// Mean [`quicert_compress::dict::coverage`] over the first
-    /// [`COVERAGE_SAMPLE`] sampled chains: the share of chain bytes the
+    /// `COVERAGE_SAMPLE` sampled chains: the share of chain bytes the
     /// brotli profile's classical certificate dictionary has n-grams for.
     /// This is *why* the ratio degrades — ML-DSA keys and signatures are
     /// material the dictionary has never seen.

@@ -2,7 +2,9 @@
 
 use quicert_compress::Algorithm;
 
-use crate::experiments::{amplification, certs, compression, guidance, handshakes, pq, resumption};
+use crate::experiments::{
+    amplification, certs, compression, guidance, handshakes, pq, resumption, scale,
+};
 use crate::Campaign;
 
 /// Tunables for the full report (how much work the expensive experiments
@@ -32,6 +34,14 @@ pub struct ReportOptions {
     /// QUIC population once per `(era, profile)` cell and compresses the
     /// sampled chain population once per era).
     pub pq_eras: bool,
+    /// Include the population-scale section: the headline measurements
+    /// recomputed at growing population sizes through the streaming
+    /// (bounded-memory) scan path.
+    pub population_scale: bool,
+    /// The population ladder for the scale section; `0` entries derive
+    /// from the campaign's world size as `[n/2, n, 5n]`. The `repro`
+    /// harness passes [`scale::PAPER_SCALE_SIZES`] (10k/100k/1M) here.
+    pub scale_sizes: [usize; 3],
 }
 
 impl Default for ReportOptions {
@@ -45,6 +55,8 @@ impl Default for ReportOptions {
             network_profiles: true,
             resumption: true,
             pq_eras: true,
+            population_scale: true,
+            scale_sizes: [0, 0, 0],
         }
     }
 }
@@ -56,7 +68,7 @@ type ToggledSection = (fn(&ReportOptions) -> bool, &'static str);
 /// them. [`ReportOptions::skipped`] derives from this table, so the
 /// skipped-section list always follows the report's canonical section order
 /// no matter how the toggles are declared or queried.
-const TOGGLED_SECTIONS: [ToggledSection; 5] = [
+const TOGGLED_SECTIONS: [ToggledSection; 6] = [
     (|o| o.full_sweep, "Fig 3 full Initial-size sweep"),
     (
         |o| o.guidance_mitigation,
@@ -65,6 +77,7 @@ const TOGGLED_SECTIONS: [ToggledSection; 5] = [
     (|o| o.network_profiles, "network-profile scenario matrix"),
     (|o| o.resumption, "session-resumption section"),
     (|o| o.pq_eras, "post-quantum certificate-era section"),
+    (|o| o.population_scale, "population-scale streaming section"),
 ];
 
 impl ReportOptions {
@@ -209,6 +222,16 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
         ));
     }
 
+    // At scale: the headline measurements at growing population sizes,
+    // streamed through the bounded-memory scan path (summaries only).
+    if options.population_scale {
+        out.push('\n');
+        let sizes = scale::resolve_sizes(options.scale_sizes, world.config.domains);
+        out.push_str(&scale::render_population_scale(&scale::population_scale(
+            campaign, &sizes,
+        )));
+    }
+
     out
 }
 
@@ -231,6 +254,8 @@ mod tests {
                 network_profiles: true,
                 resumption: true,
                 pq_eras: true,
+                population_scale: true,
+                scale_sizes: [0, 0, 0],
             },
         );
         for needle in [
@@ -265,6 +290,7 @@ mod tests {
             "1-RTT survivorship",
             "brotli dictionary performance",
             "post-quantum",
+            "Population scale",
         ] {
             assert!(report.contains(needle), "missing section {needle}");
         }
@@ -281,10 +307,11 @@ mod tests {
             network_profiles: false,
             resumption: false,
             pq_eras: false,
+            population_scale: false,
             ..ReportOptions::default()
         };
         let skipped = partial.skipped();
-        assert_eq!(skipped.len(), 5);
+        assert_eq!(skipped.len(), 6);
         assert!(skipped.iter().any(|s| s.contains("resumption")));
 
         // A report with everything off renders none of the toggled
@@ -302,6 +329,7 @@ mod tests {
         assert!(!report.contains("Resumption matrix"));
         assert!(!report.contains("Network-profile matrix"));
         assert!(!report.contains("Certificate-era matrix"));
+        assert!(!report.contains("Population scale"));
         assert!(report.contains("§3.1 funnel"));
     }
 
@@ -315,6 +343,7 @@ mod tests {
             network_profiles: false,
             resumption: false,
             pq_eras: false,
+            population_scale: false,
             ..ReportOptions::default()
         };
         assert_eq!(
@@ -325,6 +354,7 @@ mod tests {
                 "network-profile scenario matrix",
                 "session-resumption section",
                 "post-quantum certificate-era section",
+                "population-scale streaming section",
             ]
         );
 

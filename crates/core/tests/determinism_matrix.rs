@@ -6,6 +6,8 @@
 use quicert_core::ScanEngine;
 use quicert_netsim::NetworkProfile;
 use quicert_pki::{CertificateEra, World, WorldConfig};
+use quicert_scanner::https_scan::HttpsScanShard;
+use quicert_scanner::quicreach::QuicReachShard;
 use quicert_session::ResumptionPolicy;
 
 const INITIAL: usize = 1362;
@@ -53,6 +55,71 @@ fn warm_scan_grid_is_worker_invariant() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// The streaming path across the worker × chunk grid: every `stream_*`
+/// summary must be bit-for-bit identical at workers {1, 2, 8} and chunk
+/// sizes {1, 64, 4096}, and identical to the summary derived from the
+/// materialized artifacts of the same (paper-scale-model) world.
+#[test]
+fn streaming_grid_is_worker_and_chunk_invariant() {
+    let config = WorldConfig {
+        domains: 1_500,
+        seed: 0x9121,
+        ..WorldConfig::default()
+    };
+    // The materialized reference: per-record artifacts, folded afterwards.
+    let materialized = ScanEngine::new(World::generate(config.clone()), INITIAL, 2);
+    let reach_ref = QuicReachShard::from_results(INITIAL, &materialized.quicreach(INITIAL));
+    let https_ref = HttpsScanShard::from_report(&materialized.https_scan());
+    assert!(reach_ref.total() > 0, "world has QUIC services");
+
+    for workers in [1usize, 2, 8] {
+        for chunk in [1usize, 64, 4096] {
+            let engine =
+                ScanEngine::streaming(config.clone(), INITIAL, workers).with_stream_chunk(chunk);
+            assert_eq!(
+                *engine.stream_quicreach(INITIAL),
+                reach_ref,
+                "stream_quicreach diverged at workers={workers} chunk={chunk}"
+            );
+            assert_eq!(
+                *engine.stream_https_scan(),
+                https_ref,
+                "stream_https_scan diverged at workers={workers} chunk={chunk}"
+            );
+        }
+    }
+}
+
+/// The streaming path stays invariant on the non-default scenario axes
+/// too (one spot-check cell per axis to keep the grid affordable: the
+/// full per-axis grids are covered by the materialized tests above plus
+/// the streaming-equals-materialized equivalence).
+#[test]
+fn streaming_scenario_axes_are_worker_and_chunk_invariant() {
+    let config = WorldConfig {
+        domains: 320,
+        seed: 0x9121,
+        ..WorldConfig::default()
+    };
+    let reference = ScanEngine::streaming(config.clone(), INITIAL, 1).with_stream_chunk(64);
+    for (era, profile) in [
+        (CertificateEra::PostQuantum, NetworkProfile::Ideal),
+        (CertificateEra::Classical, NetworkProfile::Lossy),
+        (CertificateEra::Hybrid, NetworkProfile::Tunneled),
+    ] {
+        let want = reference.stream_quicreach_era(era, profile, INITIAL);
+        for (workers, chunk) in [(2usize, 1usize), (8, 4096)] {
+            let engine =
+                ScanEngine::streaming(config.clone(), INITIAL, workers).with_stream_chunk(chunk);
+            assert_eq!(
+                *engine.stream_quicreach_era(era, profile, INITIAL),
+                *want,
+                "stream {era}/{profile} diverged at workers={workers} chunk={chunk}"
+            );
         }
     }
 }

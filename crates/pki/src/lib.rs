@@ -28,5 +28,6 @@ pub use dns::DnsOutcome;
 pub use ecosystem::{ChainId, Ecosystem, LeafParams};
 pub use era::CertificateEra;
 pub use world::{
-    DomainRecord, HttpsDeployment, PopulationModel, Provider, QuicDeployment, World, WorldConfig,
+    DomainChunks, DomainRecord, HttpsDeployment, PopulationModel, Provider, QuicDeployment, World,
+    WorldConfig,
 };

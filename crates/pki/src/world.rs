@@ -237,6 +237,7 @@ pub struct World {
     /// The CA ecosystem.
     pub ecosystem: Ecosystem,
     domains: Vec<DomainRecord>,
+    materialized: bool,
 }
 
 const TLDS: [(&str, f64); 8] = [
@@ -268,10 +269,78 @@ impl World {
             config,
             ecosystem,
             domains,
+            materialized: true,
         }
     }
 
-    /// All domain records in rank order.
+    /// A world whose population is never materialised: the ecosystem and
+    /// configuration are built as usual, but [`World::domains`] stays empty
+    /// and records are derived on demand through
+    /// [`World::stream_domains`]. This is the at-scale entry point — a
+    /// million-domain config costs the same to construct as a ten-domain
+    /// one. Chain materialisation ([`World::quic_chain_era`] etc.) works
+    /// unchanged, since it only reads the ecosystem and the record itself.
+    pub fn streaming(config: WorldConfig) -> World {
+        World {
+            ecosystem: Ecosystem::new(config.seed),
+            config,
+            domains: Vec::new(),
+            materialized: false,
+        }
+    }
+
+    /// Whether the population is held in memory ([`World::generate`]) or
+    /// derived on demand ([`World::streaming`]).
+    pub fn populated(&self) -> bool {
+        self.materialized
+    }
+
+    /// Derive one domain record by rank (1-based) straight from the
+    /// configuration — exactly the record [`World::generate`] would store
+    /// at `rank`, whether or not this world materialised its population.
+    pub fn domain_at(&self, rank: usize) -> DomainRecord {
+        debug_assert!(rank >= 1 && rank <= self.config.domains);
+        Self::generate_domain(&self.config, &SimRng::new(self.config.seed), rank)
+    }
+
+    /// Derive the chunk of up to `chunk_size` records starting at
+    /// `first_rank` (1-based), clipped to the population; empty when
+    /// `first_rank` is past the end. This is the rank-addressable unit of
+    /// [`World::stream_domains`] — because it only reads the
+    /// configuration, concurrent workers can derive disjoint chunks
+    /// without any shared state.
+    pub fn domain_chunk(&self, first_rank: usize, chunk_size: usize) -> Vec<DomainRecord> {
+        let total = self.config.domains;
+        if first_rank > total || first_rank == 0 || chunk_size == 0 {
+            return Vec::new();
+        }
+        let end = first_rank.saturating_add(chunk_size - 1).min(total);
+        let root = SimRng::new(self.config.seed);
+        (first_rank..=end)
+            .map(|rank| Self::generate_domain(&self.config, &root, rank))
+            .collect()
+    }
+
+    /// Stream the population as rank-ordered chunks of `chunk_size`
+    /// records (the last chunk may be shorter) without ever holding more
+    /// than one chunk in memory.
+    ///
+    /// Every record is derived per rank from a forked RNG stream — the
+    /// same per-record derivation [`World::generate`] runs — so the
+    /// concatenation of all chunks is identical to a materialised
+    /// [`World::domains`] at **any** chunk size, and small worlds stay
+    /// byte-for-byte what they were before streaming existed (pinned by a
+    /// chunk-size-invariance proptest).
+    pub fn stream_domains(&self, chunk_size: usize) -> DomainChunks<'_> {
+        DomainChunks {
+            world: self,
+            chunk_size: chunk_size.max(1),
+            next_rank: 1,
+        }
+    }
+
+    /// All domain records in rank order (empty for a [`World::streaming`]
+    /// world — use [`World::stream_domains`] there).
     pub fn domains(&self) -> &[DomainRecord] {
         &self.domains
     }
@@ -659,6 +728,28 @@ impl World {
     }
 }
 
+/// Rank-ordered chunks of a world's population, derived on demand (see
+/// [`World::stream_domains`]). Memory held at any instant is one chunk.
+#[derive(Debug)]
+pub struct DomainChunks<'a> {
+    world: &'a World,
+    chunk_size: usize,
+    next_rank: usize,
+}
+
+impl Iterator for DomainChunks<'_> {
+    type Item = Vec<DomainRecord>;
+
+    fn next(&mut self) -> Option<Vec<DomainRecord>> {
+        if self.next_rank > self.world.config.domains {
+            return None;
+        }
+        let chunk = self.world.domain_chunk(self.next_rank, self.chunk_size);
+        self.next_rank = self.next_rank.saturating_add(self.chunk_size);
+        Some(chunk)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,6 +772,55 @@ mod tests {
             assert_eq!(x.seed, y.seed);
             assert_eq!(x.has_quic(), y.has_quic());
         }
+    }
+
+    #[test]
+    fn streamed_chunks_reproduce_the_materialised_population() {
+        let world = small_world();
+        for chunk_size in [1usize, 64, 4096, usize::MAX] {
+            let streamed: Vec<DomainRecord> = world.stream_domains(chunk_size).flatten().collect();
+            assert_eq!(streamed.len(), world.domains().len(), "chunk {chunk_size}");
+            for (s, m) in streamed.iter().zip(world.domains()) {
+                assert_eq!(s.rank, m.rank);
+                assert_eq!(s.name, m.name);
+                assert_eq!(s.seed, m.seed);
+                assert_eq!(s.has_quic(), m.has_quic());
+                assert_eq!(s.has_https(), m.has_https());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_world_never_materialises_but_derives_identically() {
+        let config = WorldConfig {
+            domains: 2_000,
+            seed: 9,
+            ..WorldConfig::default()
+        };
+        let lazy = World::streaming(config.clone());
+        assert!(!lazy.populated());
+        assert!(lazy.domains().is_empty());
+        let eager = World::generate(config);
+        assert!(eager.populated());
+        // Chunks derived from the shell equal the materialised records,
+        // and chains materialise per record exactly as on the eager world.
+        let mut streamed = 0usize;
+        for chunk in lazy.stream_domains(512) {
+            for record in &chunk {
+                let eager_record = &eager.domains()[record.rank - 1];
+                assert_eq!(record.seed, eager_record.seed);
+                assert_eq!(record.name, eager_record.name);
+                if record.has_quic() && record.rank <= 200 {
+                    let a = lazy.quic_chain(record).unwrap();
+                    let b = eager.quic_chain(eager_record).unwrap();
+                    assert_eq!(a.concatenated_der(), b.concatenated_der());
+                }
+                streamed += 1;
+            }
+        }
+        assert_eq!(streamed, 2_000);
+        // Point derivation agrees too.
+        assert_eq!(lazy.domain_at(1_234).name, eager.domains()[1_233].name);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Certificate-compression probing (the quiche fork of §3.2) and the
 //! synthetic compression study of §4.2.
 
+use quicert_analysis::Merge;
 use quicert_compress::{compress_with, Algorithm};
 use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_tls::{ServerFlight, ServerFlightParams};
@@ -17,6 +18,11 @@ pub struct CompressionProbe {
     /// Achieved ratio (compressed/uncompressed certificate message) when
     /// supported.
     pub ratio: Option<f64>,
+    /// Certificate-message bytes on the wire when supported — the exact
+    /// integer numerator/denominator behind `ratio`, which is what the
+    /// streaming collator accumulates (integer sums merge exactly; float
+    /// ratio sums do not).
+    pub message_bytes: Option<(usize, usize)>,
 }
 
 /// Aggregate support/ratio per algorithm (Table 1 columns).
@@ -43,21 +49,23 @@ impl AlgorithmSupport {
 pub fn probe(world: &World, record: &DomainRecord, algorithm: Algorithm) -> CompressionProbe {
     let quic = record.quic.as_ref().expect("QUIC service");
     let supported = quic.compression_support.contains(&algorithm);
-    let ratio = supported.then(|| {
+    let flight = supported.then(|| {
         let chain = world.quic_chain(record).expect("chain");
-        let flight = ServerFlight::build(&ServerFlightParams {
+        ServerFlight::build(&ServerFlightParams {
             chain,
             leaf_key: quic.leaf_key,
             compression: Some(algorithm),
             seed: record.seed,
-        });
-        flight.compression_ratio()
+        })
     });
     CompressionProbe {
         rank: record.rank,
         algorithm,
         supported,
-        ratio,
+        ratio: flight.as_ref().map(|f| f.compression_ratio()),
+        message_bytes: flight
+            .as_ref()
+            .map(|f| (f.certificate_message_len, f.uncompressed_certificate_len)),
     }
 }
 
@@ -107,6 +115,123 @@ pub fn collate(probes: &[[CompressionProbe; 3]]) -> Vec<AlgorithmSupport> {
             }
         })
         .collect()
+}
+
+// -------------------------------------------------------- streaming fold --
+
+/// Streaming per-algorithm support column: counts plus exact byte totals.
+///
+/// The materialized [`AlgorithmSupport`] reports a mean of per-service
+/// float ratios; float sums are not bit-associative, so the streaming
+/// column accumulates the integer byte totals instead and reports the
+/// aggregate ratio `Σcompressed / Σuncompressed` — deterministic under any
+/// chunking or worker order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgorithmStreamColumn {
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Services that negotiated it.
+    pub supported: u64,
+    /// Services probed.
+    pub total: u64,
+    /// Certificate-message bytes on the wire across supporting services.
+    pub compressed_bytes: u64,
+    /// Uncompressed certificate-message bytes across supporting services.
+    pub uncompressed_bytes: u64,
+}
+
+impl AlgorithmStreamColumn {
+    /// Support share in percent.
+    pub fn share(&self) -> f64 {
+        self.supported as f64 / self.total.max(1) as f64 * 100.0
+    }
+
+    /// Aggregate achieved ratio (1.0 when nothing was compressed).
+    pub fn aggregate_ratio(&self) -> f64 {
+        if self.uncompressed_bytes == 0 {
+            return 1.0;
+        }
+        self.compressed_bytes as f64 / self.uncompressed_bytes as f64
+    }
+}
+
+/// The mergeable summary one population chunk folds into on the streaming
+/// compression path: one [`AlgorithmStreamColumn`] per RFC 8879 algorithm
+/// plus the all-three count of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressionShard {
+    /// Per-algorithm columns in [`Algorithm::ALL`] order.
+    pub algorithms: [AlgorithmStreamColumn; 3],
+    /// Services supporting all three algorithms.
+    pub all_three: u64,
+}
+
+impl CompressionShard {
+    /// Derive the summary from materialized probe rows — the reference the
+    /// streaming path must match bit-for-bit.
+    pub fn from_probes(probes: &[[CompressionProbe; 3]]) -> CompressionShard {
+        let mut shard = CompressionShard::identity();
+        for row in probes {
+            shard.push(row);
+        }
+        shard
+    }
+
+    /// Fold one service's probe row in.
+    pub fn push(&mut self, row: &[CompressionProbe; 3]) {
+        for (column, probe) in self.algorithms.iter_mut().zip(row) {
+            debug_assert_eq!(column.algorithm, probe.algorithm);
+            column.total += 1;
+            if probe.supported {
+                column.supported += 1;
+                if let Some((compressed, uncompressed)) = probe.message_bytes {
+                    column.compressed_bytes += compressed as u64;
+                    column.uncompressed_bytes += uncompressed as u64;
+                }
+            }
+        }
+        if row.iter().all(|p| p.supported) {
+            self.all_three += 1;
+        }
+    }
+}
+
+impl Merge for CompressionShard {
+    fn identity() -> Self {
+        CompressionShard {
+            algorithms: Algorithm::ALL.map(|algorithm| AlgorithmStreamColumn {
+                algorithm,
+                supported: 0,
+                total: 0,
+                compressed_bytes: 0,
+                uncompressed_bytes: 0,
+            }),
+            all_three: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (a, b) in self.algorithms.iter_mut().zip(&other.algorithms) {
+            assert_eq!(a.algorithm, b.algorithm, "misordered compression shards");
+            a.supported += b.supported;
+            a.total += b.total;
+            a.compressed_bytes += b.compressed_bytes;
+            a.uncompressed_bytes += b.uncompressed_bytes;
+        }
+        self.all_three += other.all_three;
+    }
+}
+
+/// Fold one population chunk into a [`CompressionShard`] without retaining
+/// probe rows beyond the chunk. Probing goes through the same
+/// [`probe_records`] helper the materialized path uses.
+pub fn fold_records(world: &World, records: &[&DomainRecord]) -> CompressionShard {
+    let services: Vec<&DomainRecord> = records
+        .iter()
+        .copied()
+        .filter(|record| record.has_quic())
+        .collect();
+    CompressionShard::from_probes(&probe_records(world, &services))
 }
 
 /// Number of services supporting *all three* algorithms (the 0.05% Meta

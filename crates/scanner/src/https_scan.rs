@@ -1,6 +1,7 @@
 //! HTTPS certificate collection (§3.1): resolve, connect, follow
 //! redirects, collect and summarise TLS chains.
 
+use quicert_analysis::{HistogramSketch, Merge, StreamSummary};
 use quicert_pki::{ChainId, DnsOutcome, DomainRecord, World};
 use quicert_x509::{CertificateChain, FieldSizes, KeyAlgorithm};
 
@@ -143,6 +144,165 @@ pub fn collate(
         report.observations.push(obs);
     }
     report
+}
+
+// -------------------------------------------------------- streaming fold --
+
+/// Bucket layout for the chain-size sketches: 64-byte buckets over
+/// `[0, 32 KiB)`, comfortably covering every classical chain the ecosystem
+/// issues (larger chains land in the overflow bucket and report exact
+/// min/max). 64 bytes is the quantile error bound.
+pub fn chain_size_sketch() -> HistogramSketch {
+    HistogramSketch::new(0.0, 32_768.0, 512)
+}
+
+/// The mergeable summary one population chunk folds into on the streaming
+/// HTTPS path: the §3.1 funnel counters plus bounded-memory chain-size
+/// statistics. Replaces the per-domain observation list at scale — a
+/// million-domain scan holds one of these per worker instead of ~800k
+/// [`HttpsObservation`]s.
+///
+/// All counters are integers and the sketches bucket integer byte counts,
+/// so [`Merge`] is exactly associative/commutative and the streamed
+/// summary is bit-for-bit the one derived from a materialized report (see
+/// [`HttpsScanShard::from_report`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpsScanShard {
+    /// Names attempted.
+    pub total: u64,
+    /// Names that resolved (got any DNS answer).
+    pub resolved: u64,
+    /// SERVFAIL count.
+    pub servfail: u64,
+    /// NXDOMAIN count.
+    pub nxdomain: u64,
+    /// Timeout/REFUSED count.
+    pub timeout_refused: u64,
+    /// Names with an A record.
+    pub a_records: u64,
+    /// Names along redirect paths.
+    pub names_seen: u64,
+    /// TLS-reachable domains (certificate collected).
+    pub tls_reachable: u64,
+    /// Domains that also run QUIC.
+    pub quic_services: u64,
+    /// Total chain DER bytes, all TLS-reachable domains (Fig 2b/6 at
+    /// scale).
+    pub chain_der: HistogramSketch,
+    /// Total chain DER bytes, QUIC services only (the small-chain half of
+    /// Fig 6).
+    pub quic_chain_der: HistogramSketch,
+    /// Chain depth (certificates per chain).
+    pub chain_depth: StreamSummary,
+}
+
+impl HttpsScanShard {
+    /// Fold one domain's funnel contribution and (when TLS-reachable) its
+    /// chain summary in.
+    pub fn push(&mut self, record: &DomainRecord, observation: Option<&HttpsObservation>) {
+        self.total += 1;
+        match record.dns {
+            DnsOutcome::ServFail => self.servfail += 1,
+            DnsOutcome::NxDomain => self.nxdomain += 1,
+            DnsOutcome::Timeout | DnsOutcome::Refused => self.timeout_refused += 1,
+            _ => self.resolved += 1,
+        }
+        if record.dns.address().is_some() {
+            self.a_records += 1;
+        }
+        if let Some(obs) = observation {
+            self.names_seen += 1 + obs.redirect_hops as u64;
+            self.fold_observation(obs);
+        }
+    }
+
+    /// Fold one TLS-reachable observation's chain statistics in — the
+    /// single accumulation path shared by [`HttpsScanShard::push`] and
+    /// [`HttpsScanShard::from_report`], so the streamed summary and the
+    /// materialized reference can never learn different metrics.
+    fn fold_observation(&mut self, obs: &HttpsObservation) {
+        self.tls_reachable += 1;
+        let der = obs.summary.total_der as f64;
+        self.chain_der.push(der);
+        if obs.is_quic {
+            self.quic_services += 1;
+            self.quic_chain_der.push(der);
+        }
+        self.chain_depth.push(obs.summary.depth as f64);
+    }
+
+    /// Derive the summary from a materialized [`HttpsScanReport`] — the
+    /// reference the streaming path must match bit-for-bit.
+    pub fn from_report(report: &HttpsScanReport) -> HttpsScanShard {
+        let mut shard = HttpsScanShard::seeded();
+        shard.total = report.total as u64;
+        shard.resolved = report.resolved as u64;
+        shard.servfail = report.servfail as u64;
+        shard.nxdomain = report.nxdomain as u64;
+        shard.timeout_refused = report.timeout_refused as u64;
+        shard.a_records = report.a_records as u64;
+        shard.names_seen = report.names_seen as u64;
+        for obs in &report.observations {
+            shard.fold_observation(obs);
+        }
+        shard
+    }
+
+    /// An empty shard with the canonical sketch layout (unlike
+    /// [`Merge::identity`], whose sketches are layout-free).
+    pub fn seeded() -> HttpsScanShard {
+        HttpsScanShard {
+            chain_der: chain_size_sketch(),
+            quic_chain_der: chain_size_sketch(),
+            ..HttpsScanShard::identity()
+        }
+    }
+}
+
+impl Merge for HttpsScanShard {
+    fn identity() -> Self {
+        HttpsScanShard {
+            total: 0,
+            resolved: 0,
+            servfail: 0,
+            nxdomain: 0,
+            timeout_refused: 0,
+            a_records: 0,
+            names_seen: 0,
+            tls_reachable: 0,
+            quic_services: 0,
+            chain_der: HistogramSketch::identity(),
+            quic_chain_der: HistogramSketch::identity(),
+            chain_depth: StreamSummary::identity(),
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.total += other.total;
+        self.resolved += other.resolved;
+        self.servfail += other.servfail;
+        self.nxdomain += other.nxdomain;
+        self.timeout_refused += other.timeout_refused;
+        self.a_records += other.a_records;
+        self.names_seen += other.names_seen;
+        self.tls_reachable += other.tls_reachable;
+        self.quic_services += other.quic_services;
+        self.chain_der.merge(&other.chain_der);
+        self.quic_chain_der.merge(&other.quic_chain_der);
+        self.chain_depth.merge(&other.chain_depth);
+    }
+}
+
+/// Fold one population chunk into an [`HttpsScanShard`] without retaining
+/// observations beyond the chunk. Observation goes through the same
+/// [`observe`] helper the materialized path uses, so the streamed funnel
+/// and chain statistics can never diverge from a serial [`scan`].
+pub fn fold_records(world: &World, records: &[&DomainRecord]) -> HttpsScanShard {
+    let mut shard = HttpsScanShard::seeded();
+    for record in records {
+        shard.push(record, observe(world, record).as_ref());
+    }
+    shard
 }
 
 /// Collect the certificate chain of one domain, if it is TLS-reachable.

@@ -23,5 +23,6 @@ pub mod telescope_scan;
 pub mod zmap;
 
 pub use behavior::{server_config_for, server_config_for_era, wire_for};
-pub use https_scan::{ChainSummary, HttpsObservation, HttpsScanReport};
-pub use quicreach::{QuicReachResult, ScanSummary, WarmScanResult};
+pub use compression::CompressionShard;
+pub use https_scan::{ChainSummary, HttpsObservation, HttpsScanReport, HttpsScanShard};
+pub use quicreach::{QuicReachResult, QuicReachShard, ScanSummary, WarmScanResult};

@@ -14,6 +14,7 @@
 //! probe parameters and the outcome→result mapping can never diverge
 //! between entry points.
 
+use quicert_analysis::{Merge, StreamSummary};
 use quicert_netsim::{NetworkProfile, UDP_IPV4_OVERHEAD};
 use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_quic::handshake::{
@@ -153,6 +154,144 @@ impl ScanSummary {
         }
         self.count(class) as f64 / total as f64 * 100.0
     }
+}
+
+impl Merge for ScanSummary {
+    /// The identity carries `initial_size` 0 and adopts the other
+    /// operand's size on merge; merging bars from different Initial sizes
+    /// is a logic error.
+    fn identity() -> Self {
+        ScanSummary::default()
+    }
+
+    fn merge(&mut self, other: &Self) {
+        if other.total() == 0 && other.initial_size == 0 {
+            return;
+        }
+        if self.total() == 0 && self.initial_size == 0 {
+            *self = *other;
+            return;
+        }
+        assert_eq!(
+            self.initial_size, other.initial_size,
+            "merging ScanSummary bars from different Initial sizes"
+        );
+        self.one_rtt += other.one_rtt;
+        self.retry += other.retry;
+        self.multi_rtt += other.multi_rtt;
+        self.amplification += other.amplification;
+        self.unreachable += other.unreachable;
+    }
+}
+
+// -------------------------------------------------------- streaming fold --
+
+/// The mergeable summary one population chunk folds into on the streaming
+/// quicreach path: class counts plus bounded-memory statistics over the
+/// integer-valued wire metrics. Replaces the per-record
+/// `Vec<QuicReachResult>` at scale — a million-record scan holds one of
+/// these per worker instead of a million results.
+///
+/// All accumulated metrics are integer-valued (counts, bytes, round
+/// trips), so [`Merge`] is exactly associative and commutative and the
+/// streamed summary is bit-for-bit the one derived from a materialized
+/// scan (see [`QuicReachShard::from_results`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuicReachShard {
+    /// Handshake-class counts (one Fig 3 bar).
+    pub classes: ScanSummary,
+    /// Total server wire bytes per probed service.
+    pub wire_received: StreamSummary,
+    /// TLS payload bytes per probed service.
+    pub tls_received: StreamSummary,
+    /// Round trips per **reachable** service.
+    pub rtts: StreamSummary,
+    /// Datagrams dropped by the path's fault injectors.
+    pub fault_drops: u64,
+    /// Datagrams corrupted by the path's fault injectors.
+    pub fault_corruptions: u64,
+}
+
+impl QuicReachShard {
+    /// Fold one classified result in. Private because only
+    /// [`QuicReachShard::from_results`] (which stamps the bar's Initial
+    /// size first) can produce a shard that merges with engine summaries.
+    fn push(&mut self, result: &QuicReachResult) {
+        self.classes.add(result.class);
+        self.wire_received.push(result.wire_received as f64);
+        self.tls_received.push(result.tls_received as f64);
+        if result.class != HandshakeClass::Unreachable {
+            self.rtts.push(result.rtt_count as f64);
+        }
+        self.fault_drops += result.fault_drops;
+        self.fault_corruptions += result.fault_corruptions;
+    }
+
+    /// Derive the summary from materialized per-record results — the
+    /// reference the streaming path must match bit-for-bit.
+    pub fn from_results(initial_size: usize, results: &[QuicReachResult]) -> QuicReachShard {
+        let mut shard = QuicReachShard::identity();
+        shard.classes.initial_size = initial_size;
+        for result in results {
+            shard.push(result);
+        }
+        shard
+    }
+
+    /// Services probed (reachable plus unreachable).
+    pub fn total(&self) -> usize {
+        self.classes.total()
+    }
+}
+
+impl Merge for QuicReachShard {
+    fn identity() -> Self {
+        QuicReachShard {
+            classes: ScanSummary::identity(),
+            wire_received: StreamSummary::identity(),
+            tls_received: StreamSummary::identity(),
+            rtts: StreamSummary::identity(),
+            fault_drops: 0,
+            fault_corruptions: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.classes.merge(&other.classes);
+        self.wire_received.merge(&other.wire_received);
+        self.tls_received.merge(&other.tls_received);
+        self.rtts.merge(&other.rtts);
+        self.fault_drops += other.fault_drops;
+        self.fault_corruptions += other.fault_corruptions;
+    }
+}
+
+/// Fold one **population** chunk (QUIC and non-QUIC records alike) into a
+/// [`QuicReachShard`] without retaining per-record results beyond the
+/// chunk.
+///
+/// The QUIC services of the chunk are probed through the same
+/// `probes_for`/`collate` pair every materialized entry point uses —
+/// batched as sessions of one `SimNet` — and immediately folded. Because
+/// probe outcomes are chunk-size invariant (per-record RNG forking) and
+/// the shard summary merges exactly, pumping any chunking of the
+/// population through this fold and merging the shards reproduces
+/// [`QuicReachShard::from_results`] over a full materialized scan
+/// bit-for-bit.
+pub fn fold_records(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    era: CertificateEra,
+) -> QuicReachShard {
+    let services: Vec<&DomainRecord> = records
+        .iter()
+        .copied()
+        .filter(|record| record.has_quic())
+        .collect();
+    let results = scan_records_era(world, &services, initial_size, profile, era);
+    QuicReachShard::from_results(initial_size, &results)
 }
 
 /// Build the [`HandshakeProbe`] for one service at one Initial size under a

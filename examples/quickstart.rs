@@ -55,6 +55,8 @@ fn main() {
         network_profiles: false,
         resumption: true,
         pq_eras: false,
+        population_scale: false,
+        scale_sizes: [0, 0, 0],
     };
     let skipped = options.skipped();
     if skipped.is_empty() {

@@ -100,6 +100,8 @@ fn full_report_runs_end_to_end() {
             network_profiles: true,
             resumption: true,
             pq_eras: true,
+            population_scale: true,
+            scale_sizes: [0, 0, 0],
         },
     );
     assert!(

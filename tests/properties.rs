@@ -144,6 +144,47 @@ fn deterministic_worlds_are_identical() {
     }
 }
 
+mod streaming_world_properties {
+    use proptest::prelude::*;
+    use quicert::pki::{World, WorldConfig};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // World::stream_domains is chunk-size invariant: any chunking of a
+        // random-size world concatenates to exactly the materialised
+        // population, so the streaming scan path sees the same records a
+        // generated world holds, at every chunk size.
+        #[test]
+        fn stream_domains_is_chunk_size_invariant(
+            domains in 1usize..600,
+            chunk in 1usize..256,
+            seed in any::<u64>(),
+        ) {
+            let config = WorldConfig {
+                domains,
+                seed,
+                ..WorldConfig::default()
+            };
+            let eager = World::generate(config.clone());
+            let lazy = World::streaming(config);
+            let mut seen = 0usize;
+            for chunk_records in lazy.stream_domains(chunk) {
+                prop_assert!(chunk_records.len() <= chunk);
+                for record in &chunk_records {
+                    let reference = &eager.domains()[seen];
+                    prop_assert_eq!(record.rank, reference.rank);
+                    prop_assert_eq!(&record.name, &reference.name);
+                    prop_assert_eq!(record.seed, reference.seed);
+                    prop_assert_eq!(record.has_quic(), reference.has_quic());
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, domains);
+        }
+    }
+}
+
 mod simnet_properties {
     use proptest::prelude::*;
     use quicert::netsim::{

@@ -44,6 +44,8 @@ fn pinned_report() -> String {
             network_profiles: true,
             resumption: true,
             pq_eras: true,
+            population_scale: true,
+            scale_sizes: [0, 0, 0],
         },
     )
 }
