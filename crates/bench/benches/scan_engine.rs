@@ -1,6 +1,7 @@
-//! Scan-engine throughput: the end-to-end quicreach scan at 1 / 2 / auto
-//! workers, the batched (`SimNet`) vs per-probe exchange paths, and the
-//! warm (resumption) scan path.
+//! Scan-engine throughput: the end-to-end quicreach scan at 1 / 2 / 4 / 8
+//! workers, the batched (`SimNet`) vs per-probe exchange paths, the warm
+//! (resumption) scan path, and the streaming pump at the paper's million
+//! (and a ten-million stress row).
 //!
 //! Unlike the figure benches this harness also *persists* its measurements:
 //! it writes a `BENCH_scan.json` to the workspace root so future changes
@@ -18,7 +19,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use quicert_core::ScanEngine;
+use quicert_core::engine::host_parallelism;
+use quicert_core::{PumpStats, ScanEngine};
 use quicert_netsim::NetworkProfile;
 use quicert_pki::{CertificateEra, DomainRecord, World, WorldConfig};
 use quicert_scanner::quicreach;
@@ -49,6 +51,15 @@ fn stream_population() -> usize {
         20_000
     } else {
         1_000_000
+    }
+}
+
+/// Population for the ten-million stress row (smoke-scaled in CI).
+fn stream_population_10m() -> usize {
+    if smoke() {
+        50_000
+    } else {
+        10_000_000
     }
 }
 
@@ -105,6 +116,102 @@ fn bench_engine(domains: usize, samples: usize, workers: usize) -> EngineRow {
         resolved_workers,
         seconds,
     }
+}
+
+struct StreamRow {
+    population: usize,
+    workers: usize,
+    seconds: f64,
+    probed: usize,
+    reachable: usize,
+    pump: PumpStats,
+}
+
+/// One streamed scan of a never-materialized population at one requested
+/// worker count, with the pump's own counters captured.
+fn bench_stream(label: &str, population: usize, workers: usize) -> StreamRow {
+    let config = WorldConfig {
+        domains: population,
+        seed: SEED,
+        ..WorldConfig::default()
+    };
+    let engine = ScanEngine::streaming(config, INITIAL, workers);
+    // One timed pass only: at a million-plus records the run *is* the
+    // statistics (smoke mode keeps the same shape).
+    let start = Instant::now();
+    let shard = engine.stream_quicreach(INITIAL);
+    let seconds = start.elapsed().as_secs_f64();
+    black_box(shard.total());
+    let pump = engine.pump_stats().unwrap_or_default();
+    eprintln!(
+        "{label:<10} streamed   {seconds:>10.4} s  ({population} domains, {} probed, \
+         {} reachable, {} workers of {} requested, {} chunks)",
+        shard.total(),
+        shard.classes.reachable(),
+        pump.effective_workers,
+        pump.requested_workers,
+        pump.total_chunks()
+    );
+    StreamRow {
+        population,
+        workers,
+        seconds,
+        probed: shard.total(),
+        reachable: shard.classes.reachable(),
+        pump,
+    }
+}
+
+/// Serialize one streamed row (plus its pump counters) as a JSON object.
+fn stream_row_json(row: &StreamRow, speedup_vs_1w: f64, indent: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{indent}{{\n"));
+    s.push_str(&format!("{indent}  \"workers\": {},\n", row.workers));
+    s.push_str(&format!(
+        "{indent}  \"effective_workers\": {},\n",
+        row.pump.effective_workers
+    ));
+    s.push_str(&format!("{indent}  \"population\": {},\n", row.population));
+    s.push_str(&format!("{indent}  \"probed\": {},\n", row.probed));
+    s.push_str(&format!("{indent}  \"reachable\": {},\n", row.reachable));
+    s.push_str(&format!("{indent}  \"seconds\": {:.6},\n", row.seconds));
+    s.push_str(&format!(
+        "{indent}  \"speedup_vs_1w\": {speedup_vs_1w:.3},\n"
+    ));
+    s.push_str(&format!("{indent}  \"pump\": {{\n"));
+    s.push_str(&format!(
+        "{indent}    \"chunks\": {},\n",
+        row.pump.total_chunks()
+    ));
+    s.push_str(&format!(
+        "{indent}    \"records\": {},\n",
+        row.pump.total_records()
+    ));
+    s.push_str(&format!(
+        "{indent}    \"fold_seconds_total\": {:.6},\n",
+        row.pump.total_fold_seconds()
+    ));
+    s.push_str(&format!(
+        "{indent}    \"fold_seconds_max\": {:.6},\n",
+        row.pump.max_fold_seconds()
+    ));
+    s.push_str(&format!("{indent}    \"per_worker\": [\n"));
+    for (i, w) in row.pump.workers.iter().enumerate() {
+        let comma = if i + 1 < row.pump.workers.len() {
+            ","
+        } else {
+            ""
+        };
+        s.push_str(&format!(
+            "{indent}      {{\"chunks_claimed\": {}, \"records_folded\": {}, \
+             \"fold_seconds\": {:.6}}}{comma}\n",
+            w.chunks_claimed, w.records_folded, w.fold_seconds
+        ));
+    }
+    s.push_str(&format!("{indent}    ]\n"));
+    s.push_str(&format!("{indent}  }}\n"));
+    s.push_str(&format!("{indent}}}"));
+    s
 }
 
 fn main() {
@@ -171,15 +278,22 @@ fn main() {
         pq / batched
     );
 
-    // The engine end to end at 1 / 2 / auto workers.
-    let engine_rows: Vec<EngineRow> = [1usize, 2, 0]
+    // The engine end to end at 1 / 2 / 4 / 8 workers, each row with its
+    // speedup over the 1-worker row. The engine caps spawned threads at
+    // the host's cores, so oversubscribed rows report the serial (or
+    // core-bound) time instead of regressing below it.
+    let engine_rows: Vec<EngineRow> = [1usize, 2, 4, 8]
         .into_iter()
         .map(|workers| bench_engine(domains, samples, workers))
         .collect();
+    let engine_w1 = engine_rows[0].seconds;
     for row in &engine_rows {
         eprintln!(
-            "engine     workers={} (resolved {})  {:>10.4} s",
-            row.workers, row.resolved_workers, row.seconds
+            "engine     workers={} (resolved {})  {:>10.4} s  ({:.2}x vs 1w)",
+            row.workers,
+            row.resolved_workers,
+            row.seconds,
+            engine_w1 / row.seconds
         );
     }
 
@@ -187,38 +301,15 @@ fn main() {
     // through ScanEngine::stream_quicreach in bounded memory (one chunk
     // per worker plus the mergeable summaries). World generation is part
     // of the timed region by design — at scale the population exists only
-    // as chunks derived inside the scan.
+    // as chunks derived inside the scan. Measured at 1 and 8 requested
+    // workers so the artifact carries the parallel speedup on multi-core
+    // hosts (single-core hosts cap both rows to one pump thread).
     let stream_domains = stream_population();
-    let stream_config = WorldConfig {
-        domains: stream_domains,
-        seed: SEED,
-        ..WorldConfig::default()
-    };
-    let mut stream_probed = 0usize;
-    let mut stream_reachable = 0usize;
-    let mut stream_chunk = 0usize;
-    let mut stream_workers = 0usize;
-    let stream_seconds = {
-        let mut run = || {
-            let engine = ScanEngine::streaming(stream_config.clone(), INITIAL, 0);
-            stream_chunk = engine.stream_chunk();
-            stream_workers = engine.workers();
-            let shard = engine.stream_quicreach(INITIAL);
-            stream_probed = shard.total();
-            stream_reachable = shard.classes.reachable();
-            black_box(shard.total());
-        };
-        // One timed pass only: at a million records the run *is* the
-        // statistics (smoke mode keeps the same shape).
-        let start = Instant::now();
-        run();
-        start.elapsed().as_secs_f64()
-    };
-    eprintln!(
-        "scan_1m    streamed   {stream_seconds:>10.4} s  ({stream_domains} domains, \
-         {stream_probed} probed, {stream_reachable} reachable, chunk {stream_chunk}, \
-         {stream_workers} workers)"
-    );
+    let scan_1m_rows: Vec<StreamRow> = [1usize, 8]
+        .into_iter()
+        .map(|workers| bench_stream("scan_1m", stream_domains, workers))
+        .collect();
+    let scan_10m_rows: Vec<StreamRow> = vec![bench_stream("scan_10m", stream_population_10m(), 8)];
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -226,6 +317,8 @@ fn main() {
     json.push_str(&format!("  \"quic_services\": {},\n", records.len()));
     json.push_str(&format!("  \"initial_size\": {INITIAL},\n"));
     json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"host_cpus\": {},\n", host_parallelism()));
+    json.push_str(&format!("  \"smoke\": {},\n", smoke()));
     json.push_str("  \"scan_paths\": {\n");
     json.push_str(&format!("    \"batched_seconds\": {batched:.6},\n"));
     json.push_str(&format!("    \"per_probe_seconds\": {per_probe:.6}\n"));
@@ -245,21 +338,48 @@ fn main() {
         CertificateEra::PostQuantum.name()
     ));
     json.push_str("  },\n");
+    let scan_1m_w1 = scan_1m_rows[0].seconds;
     json.push_str("  \"scan_1m\": {\n");
     json.push_str(&format!("    \"population\": {stream_domains},\n"));
-    json.push_str(&format!("    \"probed\": {stream_probed},\n"));
-    json.push_str(&format!("    \"reachable\": {stream_reachable},\n"));
-    json.push_str(&format!("    \"chunk_size\": {stream_chunk},\n"));
-    json.push_str(&format!("    \"workers\": {stream_workers},\n"));
-    json.push_str(&format!("    \"smoke\": {},\n", smoke()));
-    json.push_str(&format!("    \"seconds\": {stream_seconds:.6}\n"));
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in scan_1m_rows.iter().enumerate() {
+        let comma = if i + 1 < scan_1m_rows.len() { "," } else { "" };
+        json.push_str(&stream_row_json(row, scan_1m_w1 / row.seconds, "      "));
+        json.push_str(comma);
+        json.push('\n');
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"scan_10m\": {\n");
+    json.push_str(&format!(
+        "    \"population\": {},\n",
+        scan_10m_rows[0].population
+    ));
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in scan_10m_rows.iter().enumerate() {
+        let comma = if i + 1 < scan_10m_rows.len() { "," } else { "" };
+        // The 10m section has no 1-worker row of its own; speedup is
+        // relative to itself (1.0) unless more rows are added later.
+        json.push_str(&stream_row_json(
+            row,
+            scan_10m_rows[0].seconds / row.seconds,
+            "      ",
+        ));
+        json.push_str(comma);
+        json.push('\n');
+    }
+    json.push_str("    ]\n");
     json.push_str("  },\n");
     json.push_str("  \"engine_end_to_end\": [\n");
     for (i, row) in engine_rows.iter().enumerate() {
         let comma = if i + 1 < engine_rows.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"workers\": {}, \"resolved_workers\": {}, \"seconds\": {:.6}}}{comma}\n",
-            row.workers, row.resolved_workers, row.seconds
+            "    {{\"workers\": {}, \"resolved_workers\": {}, \"seconds\": {:.6}, \
+             \"speedup_vs_1w\": {:.3}}}{comma}\n",
+            row.workers,
+            row.resolved_workers,
+            row.seconds,
+            engine_w1 / row.seconds
         ));
     }
     json.push_str("  ]\n}\n");

@@ -42,10 +42,13 @@ fn main() {
             .with_seed(seed)
             .with_workers(workers),
     );
+    let chunk = match campaign.engine().stream_chunk() {
+        Some(size) => size.to_string(),
+        None => "adaptive".to_string(),
+    };
     eprintln!(
-        "scanning with {} worker thread(s), streaming chunk {} ...",
+        "scanning with {} worker thread(s), streaming chunk {chunk} ...",
         campaign.engine().workers(),
-        campaign.engine().stream_chunk()
     );
 
     let options = ReportOptions {
@@ -64,4 +67,28 @@ fn main() {
     };
     let report = full_report(&campaign, options);
     println!("{report}");
+
+    // Pump observability: stream the campaign's own population once (the
+    // ladder rows above used throwaway engines) and report what the pump
+    // workers did. Stats go to stderr so stdout stays the golden report.
+    campaign
+        .engine()
+        .stream_quicreach(campaign.config().default_initial);
+    if let Some(stats) = campaign.engine().pump_stats() {
+        eprintln!(
+            "stream pump: {} worker(s) of {} requested, {} chunks, {} records, {:.3}s busy (max worker {:.3}s)",
+            stats.effective_workers,
+            stats.requested_workers,
+            stats.total_chunks(),
+            stats.total_records(),
+            stats.total_fold_seconds(),
+            stats.max_fold_seconds(),
+        );
+        for (i, w) in stats.workers.iter().enumerate() {
+            eprintln!(
+                "  worker {i}: {} chunks, {} records, {:.3}s",
+                w.chunks_claimed, w.records_folded, w.fold_seconds
+            );
+        }
+    }
 }

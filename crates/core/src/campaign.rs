@@ -43,9 +43,10 @@ pub struct CampaignConfig {
     /// explicit eras regardless of this setting.
     pub era: CertificateEra,
     /// Population chunk size for the streaming (`stream_*`) scan path;
-    /// `0` resolves to [`crate::engine::DEFAULT_STREAM_CHUNK`]. Streaming
-    /// results are bit-for-bit identical at any setting — the knob only
-    /// trades peak memory (`chunk × workers` records) against batching
+    /// `0` (the default) lets the pump claim adaptively — large chunks
+    /// that taper near the population's tail. Streaming results are
+    /// bit-for-bit identical at any setting — the knob only trades peak
+    /// memory (one chunk of records per worker) against claiming
     /// overhead.
     pub stream_chunk: usize,
 }

@@ -19,5 +19,5 @@ pub mod experiments;
 pub mod report;
 
 pub use campaign::{Campaign, CampaignConfig};
-pub use engine::ScanEngine;
+pub use engine::{PumpStats, ScanEngine, WorkerPumpStats};
 pub use report::{full_report, ReportOptions};

@@ -3,11 +3,14 @@
 //! scenario grid, so no future axis can silently break the engine's
 //! determinism guarantee the way a single-cell spot check could miss.
 
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
 use quicert_core::ScanEngine;
 use quicert_netsim::NetworkProfile;
 use quicert_pki::{CertificateEra, World, WorldConfig};
 use quicert_scanner::https_scan::HttpsScanShard;
-use quicert_scanner::quicreach::QuicReachShard;
+use quicert_scanner::quicreach::{self, ProbeScratch, QuicReachShard};
 use quicert_session::ResumptionPolicy;
 
 const INITIAL: usize = 1362;
@@ -60,9 +63,10 @@ fn warm_scan_grid_is_worker_invariant() {
 }
 
 /// The streaming path across the worker × chunk grid: every `stream_*`
-/// summary must be bit-for-bit identical at workers {1, 2, 8} and chunk
-/// sizes {1, 64, 4096}, and identical to the summary derived from the
-/// materialized artifacts of the same (paper-scale-model) world.
+/// summary must be bit-for-bit identical at workers {1, 2, 8, 16} and
+/// chunk sizes {1, 64, 4096} plus the adaptive default (chunk 0), and
+/// identical to the summary derived from the materialized artifacts of
+/// the same (paper-scale-model) world.
 #[test]
 fn streaming_grid_is_worker_and_chunk_invariant() {
     let config = WorldConfig {
@@ -76,8 +80,10 @@ fn streaming_grid_is_worker_and_chunk_invariant() {
     let https_ref = HttpsScanShard::from_report(&materialized.https_scan());
     assert!(reach_ref.total() > 0, "world has QUIC services");
 
-    for workers in [1usize, 2, 8] {
-        for chunk in [1usize, 64, 4096] {
+    for workers in [1usize, 2, 8, 16] {
+        // Chunk 0 is the adaptive default: claims sized off the remaining
+        // population rather than a fixed count.
+        for chunk in [0usize, 1, 64, 4096] {
             let engine =
                 ScanEngine::streaming(config.clone(), INITIAL, workers).with_stream_chunk(chunk);
             assert_eq!(
@@ -112,13 +118,77 @@ fn streaming_scenario_axes_are_worker_and_chunk_invariant() {
         (CertificateEra::Hybrid, NetworkProfile::Tunneled),
     ] {
         let want = reference.stream_quicreach_era(era, profile, INITIAL);
-        for (workers, chunk) in [(2usize, 1usize), (8, 4096)] {
+        for (workers, chunk) in [(2usize, 1usize), (8, 4096), (16, 0)] {
             let engine =
                 ScanEngine::streaming(config.clone(), INITIAL, workers).with_stream_chunk(chunk);
             assert_eq!(
                 *engine.stream_quicreach_era(era, profile, INITIAL),
                 *want,
                 "stream {era}/{profile} diverged at workers={workers} chunk={chunk}"
+            );
+        }
+    }
+}
+
+/// One shared world for the scratch-reuse property: generation is the
+/// expensive part and the property only needs its records.
+fn prop_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        World::generate(WorldConfig {
+            domains: 240,
+            seed: 0x9121,
+            ..WorldConfig::default()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // A pump worker folds many chunks through one reused `ProbeScratch`.
+    // Whatever partition, scenario, and Initial size a case draws, every
+    // chunk folded through the shared (dirty) scratch must equal the same
+    // chunk folded through a fresh one — reuse may never leak probes,
+    // outcomes, or ranks from an earlier chunk into a later shard.
+    #[test]
+    fn probe_scratch_reuse_never_leaks_state(
+        chunk_sizes in proptest::collection::vec(1usize..60, 1..7),
+        start in 1usize..120,
+        era_idx in 0usize..CertificateEra::ALL.len(),
+        profile_idx in 0usize..NetworkProfile::ALL.len(),
+        initial in 1200usize..1473,
+    ) {
+        let world = prop_world();
+        let era = CertificateEra::ALL[era_idx];
+        let profile = NetworkProfile::ALL[profile_idx];
+        let mut shared = ProbeScratch::new();
+        let mut first_rank = start;
+        for chunk_size in chunk_sizes {
+            let records = world.domain_chunk(first_rank, chunk_size);
+            first_rank += chunk_size;
+            if records.is_empty() {
+                break;
+            }
+            let reused =
+                quicreach::fold_records_scratch(world, &records, initial, profile, era, &mut shared);
+            let fresh = quicreach::fold_records_scratch(
+                world,
+                &records,
+                initial,
+                profile,
+                era,
+                &mut ProbeScratch::new(),
+            );
+            prop_assert_eq!(
+                reused,
+                fresh,
+                "reused scratch diverged on chunk [{}, +{}) {}/{} initial {}",
+                first_rank - chunk_size,
+                chunk_size,
+                era,
+                profile,
+                initial
             );
         }
     }

@@ -108,12 +108,34 @@ impl SimRng {
     ///
     /// Returns `None` when all weights are zero or the slice is empty.
     pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
-        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        self.weighted_index_by(weights.len(), |i| weights[i])
+    }
+
+    /// [`SimRng::weighted_index`] over computed weights: chooses an index in
+    /// `0..len` according to the non-negative weights produced by `weight`,
+    /// without materialising a weight slice.
+    ///
+    /// Draw-for-draw identical to `weighted_index` over the same weights
+    /// (same summation order, same single `f64` consumed), so hot paths can
+    /// switch to it without perturbing any seeded stream.
+    pub fn weighted_index_by(
+        &mut self,
+        len: usize,
+        weight: impl Fn(usize) -> f64,
+    ) -> Option<usize> {
+        let mut total = 0.0f64;
+        for i in 0..len {
+            let w = weight(i);
+            if w > 0.0 {
+                total += w;
+            }
+        }
         if total <= 0.0 {
             return None;
         }
         let mut target = self.f64() * total;
-        for (i, &w) in weights.iter().enumerate() {
+        for i in 0..len {
+            let w = weight(i);
             if w <= 0.0 {
                 continue;
             }
@@ -123,7 +145,7 @@ impl SimRng {
             target -= w;
         }
         // Floating-point slack: fall back to the last positive weight.
-        weights.iter().rposition(|w| *w > 0.0)
+        (0..len).rev().find(|&i| weight(i) > 0.0)
     }
 
     /// Pick a uniformly random element of a non-empty slice.
@@ -265,6 +287,23 @@ mod tests {
         assert!((ratio - 3.0).abs() < 0.3, "ratio was {ratio}");
         assert_eq!(rng.weighted_index(&[]), None);
         assert_eq!(rng.weighted_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn weighted_index_by_matches_slice_version() {
+        let weights = [0.0, 2.5, 0.75, 0.0, 4.0, 1e-9];
+        let mut a = SimRng::new(99);
+        let mut b = SimRng::new(99);
+        for _ in 0..10_000 {
+            assert_eq!(
+                a.weighted_index(&weights),
+                b.weighted_index_by(weights.len(), |i| weights[i])
+            );
+        }
+        // Both consumed exactly the same number of draws.
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(b.weighted_index_by(0, |_| 1.0), None);
+        assert_eq!(b.weighted_index_by(3, |_| 0.0), None);
     }
 
     #[test]

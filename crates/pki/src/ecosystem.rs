@@ -6,7 +6,7 @@
 //! same topology, names, seeds and validity but era-mapped keys and
 //! signatures (ML-DSA-44/65 and ECDSA+ML-DSA composites).
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::era::CertificateEra;
 use quicert_netsim::SimRng;
@@ -133,8 +133,10 @@ pub struct ParentChain {
     pub issuer_dn: DistinguishedName,
     /// The issuing CA's signature algorithm over leaves.
     pub leaf_sig: SignatureAlgorithm,
-    /// Intermediate certificates, leaf-issuer first.
-    pub intermediates: Vec<Certificate>,
+    /// Intermediate certificates, leaf-issuer first. Shared: every leaf
+    /// issued under this chain points at the same allocation, so issuing a
+    /// million leaves never re-copies the cached intermediate DER.
+    pub intermediates: Arc<Vec<Certificate>>,
 }
 
 impl ParentChain {
@@ -155,18 +157,23 @@ pub struct Ecosystem {
     chains: Vec<ParentChain>,
     hybrid: OnceLock<Vec<ParentChain>>,
     post_quantum: OnceLock<Vec<ParentChain>>,
-    ocsp_host: String,
+    /// Precomputed AIA URLs (`issue_era` stamps them into every leaf; a
+    /// million-record scan must not re-`format!` them per record).
+    aia_ocsp_url: String,
+    aia_ca_issuers_url: String,
 }
 
 impl Ecosystem {
     /// Build the ecosystem from a seed.
     pub fn new(seed: u64) -> Self {
+        let ocsp_host = "o.example-ca.test";
         Ecosystem {
             seed,
             chains: Self::catalog(seed, CertificateEra::Classical),
             hybrid: OnceLock::new(),
             post_quantum: OnceLock::new(),
-            ocsp_host: "o.example-ca.test".to_string(),
+            aia_ocsp_url: format!("http://{ocsp_host}"),
+            aia_ca_issuers_url: format!("http://c.{ocsp_host}/issuer.der"),
         }
     }
 
@@ -255,8 +262,8 @@ impl Ecosystem {
         .extension(Extension::AuthorityKeyId { seed: issuer_seed })
         .extension(Extension::SubjectAltNames(sans))
         .extension(Extension::AuthorityInfoAccess {
-            ocsp: Some(format!("http://{}", self.ocsp_host)),
-            ca_issuers: Some(format!("http://c.{}/issuer.der", self.ocsp_host)),
+            ocsp: Some(self.aia_ocsp_url.clone()),
+            ca_issuers: Some(self.aia_ca_issuers_url.clone()),
         })
         .extension(Extension::CertificatePolicies(vec![
             oid::CP_DOMAIN_VALIDATED,
@@ -267,7 +274,7 @@ impl Ecosystem {
         })
         .build();
 
-        CertificateChain::new(leaf, parent.intermediates.clone())
+        CertificateChain::new_shared(leaf, Arc::clone(&parent.intermediates))
     }
 }
 
@@ -696,7 +703,7 @@ impl Builder<'_> {
             issuer_dn,
             // The issuing CA signs leaves with its era-mapped algorithm.
             leaf_sig: self.era.signature(leaf_sig),
-            intermediates,
+            intermediates: Arc::new(intermediates),
         }
     }
 }
@@ -864,7 +871,7 @@ mod tests {
                 let x = a.chain_era(id, era);
                 let y = b.chain_era(id, era);
                 assert_eq!(x.parent_der_len(), y.parent_der_len(), "{era}: {id:?}");
-                for (cx, cy) in x.intermediates.iter().zip(&y.intermediates) {
+                for (cx, cy) in x.intermediates.iter().zip(y.intermediates.iter()) {
                     assert_eq!(cx.der(), cy.der(), "{era}: {id:?}");
                 }
             }

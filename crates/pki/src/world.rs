@@ -310,15 +310,35 @@ impl World {
     /// configuration, concurrent workers can derive disjoint chunks
     /// without any shared state.
     pub fn domain_chunk(&self, first_rank: usize, chunk_size: usize) -> Vec<DomainRecord> {
+        let mut out = Vec::new();
+        self.domain_chunk_into(first_rank, chunk_size, &mut out);
+        out
+    }
+
+    /// [`World::domain_chunk`] into a caller-owned buffer, clearing it
+    /// first. The streaming pump claims chunks in a tight per-worker loop;
+    /// reusing one buffer per worker keeps record storage (names, DNS,
+    /// deployments) out of the allocator between chunks.
+    pub fn domain_chunk_into(
+        &self,
+        first_rank: usize,
+        chunk_size: usize,
+        out: &mut Vec<DomainRecord>,
+    ) {
+        out.clear();
         let total = self.config.domains;
         if first_rank > total || first_rank == 0 || chunk_size == 0 {
-            return Vec::new();
+            return;
         }
         let end = first_rank.saturating_add(chunk_size - 1).min(total);
+        // One root per chunk: forking per rank off this root is what keeps
+        // records rank-addressable, and building the root once amortises it
+        // over the whole chunk.
         let root = SimRng::new(self.config.seed);
-        (first_rank..=end)
-            .map(|rank| Self::generate_domain(&self.config, &root, rank))
-            .collect()
+        out.reserve(end + 1 - first_rank);
+        for rank in first_rank..=end {
+            out.push(Self::generate_domain(&self.config, &root, rank));
+        }
     }
 
     /// Stream the population as rank-ordered chunks of `chunk_size`
@@ -445,8 +465,10 @@ impl World {
 
         // Name: stem + rank + TLD (weighted).
         let stem = NAME_STEMS[(rng.next_u64() % NAME_STEMS.len() as u64) as usize];
-        let tld_weights: Vec<f64> = TLDS.iter().map(|(_, w)| *w).collect();
-        let tld = TLDS[rng.weighted_index(&tld_weights).unwrap_or(0)].0;
+        let tld = TLDS[rng
+            .weighted_index_by(TLDS.len(), |i| TLDS[i].1)
+            .unwrap_or(0)]
+        .0;
         let name = format!("{stem}{rank}.{tld}");
 
         // DNS funnel (§3.1).
@@ -541,8 +563,10 @@ impl World {
             (ChainId::Gts1D4, 0.5),
             (ChainId::Gts1P5, 0.3),
         ];
-        let weights: Vec<f64> = chains.iter().map(|(_, w)| *w).collect();
-        let chain_id = chains[rng.weighted_index(&weights).unwrap()].0;
+        let chain_id = chains[rng
+            .weighted_index_by(chains.len(), |i| chains[i].1)
+            .unwrap()]
+        .0;
         let leaf_key = match chain_id {
             // ECDSA-only issuers.
             ChainId::LeE1Short | ChainId::LeE1X2Cross | ChainId::CloudflareEcc => {
@@ -561,19 +585,25 @@ impl World {
     fn draw_quic_deployment(config: &WorldConfig, rng: &mut SimRng, rank: usize) -> QuicDeployment {
         let pop = &config.population;
         // Fig 13: the top-100k ranks have a visibly larger 1-RTT share.
-        let mut groups = pop.quic_groups.clone();
-        if rank <= (config.domains / 10).max(1) {
-            for (group, weight) in groups.iter_mut() {
-                if *group == QuicGroup::OneRttSmall {
-                    *weight = pop.top_rank_one_rtt_share;
+        // The adjustment is applied on the fly — cloning the group table per
+        // record was a measurable share of generation cost at 1M domains.
+        let top_rank = rank <= (config.domains / 10).max(1);
+        let group_weight = |i: usize| -> f64 {
+            let (group, weight) = pop.quic_groups[i];
+            if top_rank {
+                if group == QuicGroup::OneRttSmall {
+                    return pop.top_rank_one_rtt_share;
                 }
-                if *group == QuicGroup::CfLeR3 {
-                    *weight -= pop.top_rank_one_rtt_share - 0.75;
+                if group == QuicGroup::CfLeR3 {
+                    return weight - (pop.top_rank_one_rtt_share - 0.75);
                 }
             }
-        }
-        let weights: Vec<f64> = groups.iter().map(|(_, w)| *w).collect();
-        let group = groups[rng.weighted_index(&weights).unwrap()].0;
+            weight
+        };
+        let group = pop.quic_groups[rng
+            .weighted_index_by(pop.quic_groups.len(), group_weight)
+            .unwrap()]
+        .0;
 
         let (provider, behavior, chain_id, leaf_key) = match group {
             QuicGroup::CfLeR3 => (
@@ -636,8 +666,10 @@ impl World {
                     (ChainId::StarfieldG2, 0.2),
                     (ChainId::EnterpriseHuge, 0.6),
                 ];
-                let weights: Vec<f64> = chains.iter().map(|(_, w)| *w).collect();
-                let chain = chains[rng.weighted_index(&weights).unwrap()].0;
+                let chain = chains[rng
+                    .weighted_index_by(chains.len(), |i| chains[i].1)
+                    .unwrap()]
+                .0;
                 let key = if rng.chance(0.08) {
                     KeyAlgorithm::Rsa4096
                 } else {

@@ -268,11 +268,29 @@ pub struct HandshakeProbe {
 /// **bit-for-bit identical** to calling [`run_handshake`] once per probe —
 /// at any batch size. The determinism tests pin this equivalence.
 pub fn run_handshake_batch(probes: Vec<HandshakeProbe>) -> Vec<HandshakeOutcome> {
+    let mut probes = probes;
+    let mut outcomes = Vec::with_capacity(probes.len());
+    run_handshake_batch_into(&mut probes, &mut outcomes);
+    outcomes
+}
+
+/// [`run_handshake_batch`] in allocation-reuse form: drains `probes`
+/// (keeping its capacity for the caller's next chunk) and appends one
+/// outcome per probe to `outcomes`, in probe order.
+///
+/// This is the streaming scan pump's entry point — a worker folds millions
+/// of records through one pair of scratch vectors instead of building and
+/// dropping a fresh `Vec` per chunk. Outcomes are bit-for-bit those of
+/// [`run_handshake_batch`].
+pub fn run_handshake_batch_into(
+    probes: &mut Vec<HandshakeProbe>,
+    outcomes: &mut Vec<HandshakeOutcome>,
+) {
     let mut clients = Vec::with_capacity(probes.len());
     let mut servers = Vec::with_capacity(probes.len());
     let mut wires = Vec::with_capacity(probes.len());
     let mut rngs = Vec::with_capacity(probes.len());
-    for probe in probes {
+    for probe in probes.drain(..) {
         clients.push(ClientConn::new(probe.client));
         servers.push(ServerConn::new(probe.server));
         wires.push(probe.wire);
@@ -280,13 +298,12 @@ pub fn run_handshake_batch(probes: Vec<HandshakeProbe>) -> Vec<HandshakeOutcome>
     }
 
     let parts = drive_sessions(&mut clients, &mut servers, wires, rngs, handshake_limits());
-    parts
-        .into_iter()
-        .zip(clients.iter().zip(&servers))
-        .map(|((outcome, wire), (client, server))| {
+    outcomes.reserve(parts.len());
+    outcomes.extend(parts.into_iter().zip(clients.iter().zip(&servers)).map(
+        |((outcome, wire), (client, server))| {
             extract_handshake_outcome(client, server, &wire, &outcome)
-        })
-        .collect()
+        },
+    ));
 }
 
 /// One probe of a batched cold-then-warm resumption scan: the first visit
@@ -505,7 +522,7 @@ fn extract_spoofed_outcome(
         probe_size,
         total_server_wire: datagrams.iter().map(|d| d.payload_len).sum(),
         datagrams,
-        server_scid: server.scid().0.clone(),
+        server_scid: server.scid().as_bytes().to_vec(),
         flight_transmissions: server.stats().flight_transmissions,
         fault_drops: outcome.fault_drops,
         fault_corruptions: outcome.fault_corruptions,

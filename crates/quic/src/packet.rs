@@ -20,32 +20,49 @@ pub const QUIC_MIN_INITIAL_SIZE: usize = 1200;
 /// QUIC version 1.
 pub const VERSION_1: u32 = 0x0000_0001;
 
-/// A connection ID (0–20 bytes).
+/// A connection ID (0–20 bytes), stored inline.
+///
+/// Every packet carries two of these and the simulation clones packets
+/// freely; inline storage keeps those clones off the heap (a `Vec`-backed
+/// CID cost two allocations per packet at million-probe scale). Unused tail
+/// bytes are always zero, so derived equality/hashing match semantic
+/// equality.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct ConnectionId(pub Vec<u8>);
+pub struct ConnectionId {
+    bytes: [u8; 20],
+    len: u8,
+}
 
 impl ConnectionId {
     /// Construct from a slice.
     pub fn new(bytes: &[u8]) -> Self {
         assert!(bytes.len() <= 20, "connection IDs are at most 20 bytes");
-        ConnectionId(bytes.to_vec())
+        let mut cid = ConnectionId::default();
+        cid.bytes[..bytes.len()].copy_from_slice(bytes);
+        cid.len = bytes.len() as u8;
+        cid
     }
 
     /// Derive a deterministic 8-byte connection ID from a seed.
     pub fn from_seed(seed: u64) -> Self {
         let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC1D1;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        ConnectionId(z.to_be_bytes().to_vec())
+        ConnectionId::new(&z.to_be_bytes())
+    }
+
+    /// The CID bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len as usize
     }
 
     /// Whether the CID is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 }
 
@@ -131,8 +148,17 @@ impl Packet {
     }
 
     /// Encoded size of the packet on the wire.
+    ///
+    /// Computed arithmetically — callers probe sizes in tight loops (datagram
+    /// coalescing, padding, amplification accounting), so this must not
+    /// actually serialise the packet.
     pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+        let overhead = Self::overhead(self.ty, &self.dcid, &self.scid, self.token.len());
+        match self.ty {
+            // Retry carries the token instead of frames.
+            PacketType::Retry => overhead,
+            _ => overhead + self.payload_len(),
+        }
     }
 
     /// Header + framing overhead for a packet of this shape carrying
@@ -175,9 +201,9 @@ impl Packet {
                 out.push(0b1100_0000 | (type_bits << 4) | 0b01);
                 out.extend_from_slice(&VERSION_1.to_be_bytes());
                 out.push(self.dcid.len() as u8);
-                out.extend_from_slice(&self.dcid.0);
+                out.extend_from_slice(self.dcid.as_bytes());
                 out.push(self.scid.len() as u8);
-                out.extend_from_slice(&self.scid.0);
+                out.extend_from_slice(self.scid.as_bytes());
                 if self.ty == PacketType::Initial {
                     varint::write(&mut out, self.token.len() as u64);
                     out.extend_from_slice(&self.token);
@@ -199,15 +225,15 @@ impl Packet {
                 out.push(0b1111_0000);
                 out.extend_from_slice(&VERSION_1.to_be_bytes());
                 out.push(self.dcid.len() as u8);
-                out.extend_from_slice(&self.dcid.0);
+                out.extend_from_slice(self.dcid.as_bytes());
                 out.push(self.scid.len() as u8);
-                out.extend_from_slice(&self.scid.0);
+                out.extend_from_slice(self.scid.as_bytes());
                 out.extend_from_slice(&self.token);
                 out.extend_from_slice(&tag_bytes(0xEE77, self.token.len()));
             }
             PacketType::OneRtt => {
                 out.push(0b0100_0000);
-                out.extend_from_slice(&self.dcid.0);
+                out.extend_from_slice(self.dcid.as_bytes());
                 out.extend_from_slice(&(self.number as u16).to_be_bytes());
                 let mut payload = Vec::with_capacity(self.payload_len());
                 for f in &self.frames {
@@ -452,6 +478,7 @@ mod tests {
             (PacketType::Initial, 0usize),
             (PacketType::Initial, 32),
             (PacketType::Handshake, 0),
+            (PacketType::OneRtt, 0),
         ] {
             let mut pkt = Packet::new(
                 ty,
@@ -464,9 +491,16 @@ mod tests {
                 }],
             );
             pkt.token = vec![0x55; token_len];
-            let predicted = Packet::overhead(ty, &cid(3), &cid(4), token_len) + pkt.payload_len();
-            assert_eq!(pkt.encoded_len(), predicted, "{ty:?} token={token_len}");
+            // The arithmetic length must agree with an actual serialisation.
+            assert_eq!(
+                pkt.encoded_len(),
+                pkt.encode().len(),
+                "{ty:?} token={token_len}"
+            );
         }
+        let mut retry = Packet::new(PacketType::Retry, cid(3), cid(4), 0, Vec::new());
+        retry.token = vec![0x55; 48];
+        assert_eq!(retry.encoded_len(), retry.encode().len());
     }
 
     #[test]

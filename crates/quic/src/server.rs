@@ -313,7 +313,7 @@ impl ServerConn {
         } else {
             let compression = self.negotiate_compression(ch);
             let flight = ServerFlight::build(&ServerFlightParams {
-                chain: self.config.chain.clone(),
+                chain: &self.config.chain,
                 leaf_key: self.config.leaf_key,
                 compression,
                 seed: self.config.seed,

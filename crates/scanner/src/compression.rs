@@ -52,7 +52,7 @@ pub fn probe(world: &World, record: &DomainRecord, algorithm: Algorithm) -> Comp
     let flight = supported.then(|| {
         let chain = world.quic_chain(record).expect("chain");
         ServerFlight::build(&ServerFlightParams {
-            chain,
+            chain: &chain,
             leaf_key: quic.leaf_key,
             compression: Some(algorithm),
             seed: record.seed,
@@ -226,12 +226,25 @@ impl Merge for CompressionShard {
 /// probe rows beyond the chunk. Probing goes through the same
 /// [`probe_records`] helper the materialized path uses.
 pub fn fold_records(world: &World, records: &[&DomainRecord]) -> CompressionShard {
-    let services: Vec<&DomainRecord> = records
-        .iter()
-        .copied()
-        .filter(|record| record.has_quic())
-        .collect();
-    CompressionShard::from_probes(&probe_records(world, &services))
+    fold_iter(world, records.iter().copied())
+}
+
+/// [`fold_records`] over any record iterator: each QUIC service's probe
+/// row is folded straight into the shard, so the streaming pump never
+/// materializes the per-chunk service list or probe-row `Vec` that
+/// [`probe_records`] builds. Row construction is the same
+/// `Algorithm::ALL`-ordered [`probe`] loop, so the shard is bit-for-bit
+/// [`CompressionShard::from_probes`] over the materialized rows.
+pub fn fold_iter<'a>(
+    world: &World,
+    records: impl IntoIterator<Item = &'a DomainRecord>,
+) -> CompressionShard {
+    let mut shard = CompressionShard::identity();
+    for record in records.into_iter().filter(|record| record.has_quic()) {
+        let row = Algorithm::ALL.map(|algorithm| probe(world, record, algorithm));
+        shard.push(&row);
+    }
+    shard
 }
 
 /// Number of services supporting *all three* algorithms (the 0.05% Meta

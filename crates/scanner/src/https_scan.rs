@@ -298,6 +298,16 @@ impl Merge for HttpsScanShard {
 /// [`observe`] helper the materialized path uses, so the streamed funnel
 /// and chain statistics can never diverge from a serial [`scan`].
 pub fn fold_records(world: &World, records: &[&DomainRecord]) -> HttpsScanShard {
+    fold_iter(world, records.iter().copied())
+}
+
+/// [`fold_records`] over any record iterator — the streaming pump hands
+/// workers owned chunks, so this saves building a `Vec<&DomainRecord>`
+/// per chunk on the hot path.
+pub fn fold_iter<'a>(
+    world: &World,
+    records: impl IntoIterator<Item = &'a DomainRecord>,
+) -> HttpsScanShard {
     let mut shard = HttpsScanShard::seeded();
     for record in records {
         shard.push(record, observe(world, record).as_ref());

@@ -14,25 +14,35 @@
 //! probe parameters and the outcome→result mapping can never diverge
 //! between entry points.
 
+use std::sync::OnceLock;
+
 use quicert_analysis::{Merge, StreamSummary};
 use quicert_netsim::{NetworkProfile, UDP_IPV4_OVERHEAD};
 use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_quic::handshake::{
     HandshakeClass, HandshakeOutcome, HandshakeProbe, ResumptionOutcome, ResumptionProbe,
 };
-use quicert_quic::{run_handshake, run_handshake_batch, run_resumption_batch, ClientConfig};
+use quicert_quic::{
+    run_handshake, run_handshake_batch, run_handshake_batch_into, run_resumption_batch,
+    ClientConfig,
+};
 use quicert_session::{ResumptionHost, ResumptionPolicy, TicketConfig, TicketIssuer};
 
 use crate::behavior::{server_config_for_era, wire_for_profile};
 
 /// The Initial sizes the paper sweeps: 1200 to 1472 bytes in steps of 10
-/// (the upper bound is dictated by a 1500-byte MTU).
-pub fn sweep_sizes() -> Vec<usize> {
-    let mut sizes: Vec<usize> = (1200..=1472).step_by(10).collect();
-    if *sizes.last().unwrap() != 1472 {
-        sizes.push(1472);
-    }
-    sizes
+/// (the upper bound is dictated by a 1500-byte MTU). Computed once and
+/// shared — callers on the hot path (the per-size sweep, bench loops) were
+/// previously rebuilding this constant list on every call.
+pub fn sweep_sizes() -> &'static [usize] {
+    static SIZES: OnceLock<Vec<usize>> = OnceLock::new();
+    SIZES.get_or_init(|| {
+        let mut sizes: Vec<usize> = (1200..=1472).step_by(10).collect();
+        if *sizes.last().unwrap() != 1472 {
+            sizes.push(1472);
+        }
+        sizes
+    })
 }
 
 /// Classification result for one service at one Initial size.
@@ -292,6 +302,60 @@ pub fn fold_records(
         .collect();
     let results = scan_records_era(world, &services, initial_size, profile, era);
     QuicReachShard::from_results(initial_size, &results)
+}
+
+/// Reusable per-worker buffers for the streaming quicreach fold.
+///
+/// A pump worker folds thousands of chunks; rebuilding the probe, outcome
+/// and rank vectors for every chunk dominated the allocator profile at a
+/// million records. One scratch per worker keeps the capacities across
+/// chunks — the buffers are cleared (never read) before each fold, so a
+/// reused scratch can never leak one chunk's state into the next (pinned
+/// by the fresh-vs-reused property test).
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    probes: Vec<HandshakeProbe>,
+    outcomes: Vec<HandshakeOutcome>,
+    ranks: Vec<usize>,
+}
+
+impl ProbeScratch {
+    /// An empty scratch; capacities grow to the largest chunk folded.
+    pub fn new() -> ProbeScratch {
+        ProbeScratch::default()
+    }
+}
+
+/// [`fold_records`] in allocation-reuse form: the streaming pump's hot
+/// path. Takes the chunk as a plain record slice (the pump hands workers
+/// owned chunks — no per-chunk `Vec<&DomainRecord>` is ever built) and
+/// routes every probe through the same `probe_for` builder and
+/// outcome→result mapping as the materialized scans, so the folded shard
+/// is bit-for-bit [`fold_records`]'s at any chunk size.
+pub fn fold_records_scratch(
+    world: &World,
+    records: &[DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    era: CertificateEra,
+    scratch: &mut ProbeScratch,
+) -> QuicReachShard {
+    scratch.probes.clear();
+    scratch.outcomes.clear();
+    scratch.ranks.clear();
+    for record in records.iter().filter(|record| record.has_quic()) {
+        scratch
+            .probes
+            .push(probe_for(world, record, initial_size, profile, era));
+        scratch.ranks.push(record.rank);
+    }
+    run_handshake_batch_into(&mut scratch.probes, &mut scratch.outcomes);
+    let mut shard = QuicReachShard::identity();
+    shard.classes.initial_size = initial_size;
+    for (&rank, out) in scratch.ranks.iter().zip(&scratch.outcomes) {
+        shard.push(&QuicReachResult::from_outcome(rank, out));
+    }
+    shard
 }
 
 /// Build the [`HandshakeProbe`] for one service at one Initial size under a
@@ -711,6 +775,45 @@ mod tests {
                 .flat_map(|shard| scan_records(&world, shard, 1250))
                 .collect();
             assert_eq!(whole, pieces, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn scratch_fold_matches_fold_records_and_reuse_is_clean() {
+        let world = world();
+        let owned: Vec<DomainRecord> = world.domains().iter().take(160).cloned().collect();
+        let refs: Vec<&DomainRecord> = owned.iter().collect();
+
+        // One scratch folds several chunks back to back; every result must
+        // equal both a fresh-scratch fold and the Vec-building fold.
+        let mut reused = ProbeScratch::new();
+        for (chunk_refs, chunk) in refs.chunks(50).zip(owned.chunks(50)) {
+            let reference = fold_records(
+                &world,
+                chunk_refs,
+                1362,
+                NetworkProfile::Ideal,
+                CertificateEra::Classical,
+            );
+            let mut fresh = ProbeScratch::new();
+            let from_fresh = fold_records_scratch(
+                &world,
+                chunk,
+                1362,
+                NetworkProfile::Ideal,
+                CertificateEra::Classical,
+                &mut fresh,
+            );
+            let from_reused = fold_records_scratch(
+                &world,
+                chunk,
+                1362,
+                NetworkProfile::Ideal,
+                CertificateEra::Classical,
+                &mut reused,
+            );
+            assert_eq!(reference, from_fresh);
+            assert_eq!(from_fresh, from_reused, "scratch reuse leaked state");
         }
     }
 

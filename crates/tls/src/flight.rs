@@ -12,10 +12,15 @@ use quicert_x509::{CertificateChain, KeyAlgorithm};
 use crate::messages;
 
 /// What the server puts into its first flight.
+///
+/// The chain is borrowed: building a flight is a read-only rendering of the
+/// server's configured chain, and the scanner builds one flight per probed
+/// record — forcing callers to clone the chain here was measurable at the
+/// million-record scale.
 #[derive(Debug, Clone)]
-pub struct ServerFlightParams {
+pub struct ServerFlightParams<'a> {
     /// The certificate chain to present.
-    pub chain: CertificateChain,
+    pub chain: &'a CertificateChain,
     /// The leaf key algorithm (sizes the CertificateVerify signature).
     pub leaf_key: KeyAlgorithm,
     /// Compression algorithm to use for the Certificate message, if the
@@ -60,14 +65,14 @@ impl ServerFlight {
     }
 
     /// Build the flight for the given parameters.
-    pub fn build(params: &ServerFlightParams) -> ServerFlight {
+    pub fn build(params: &ServerFlightParams<'_>) -> ServerFlight {
         let initial_crypto = messages::server_hello(params.seed);
 
-        let plain_cert = messages::certificate_message(&params.chain);
+        let plain_cert = messages::certificate_message(params.chain);
         let uncompressed_certificate_len = plain_cert.len();
         let cert_msg = match params.compression {
             Some(alg) => {
-                let compressed = messages::compressed_certificate_message(&params.chain, alg);
+                let compressed = messages::compressed_certificate_message(params.chain, alg);
                 // RFC 8879 servers fall back to the plain message if
                 // compression would not help.
                 if compressed.len() < plain_cert.len() {
@@ -150,9 +155,9 @@ mod tests {
         CertificateChain::new(leaf, vec![inter])
     }
 
-    fn params(compression: Option<Algorithm>) -> ServerFlightParams {
+    fn params(chain: &CertificateChain, compression: Option<Algorithm>) -> ServerFlightParams<'_> {
         ServerFlightParams {
-            chain: chain(KeyAlgorithm::EcdsaP256),
+            chain,
             leaf_key: KeyAlgorithm::EcdsaP256,
             compression,
             seed: 21,
@@ -161,7 +166,8 @@ mod tests {
 
     #[test]
     fn flight_is_dominated_by_the_chain() {
-        let p = params(None);
+        let c = chain(KeyAlgorithm::EcdsaP256);
+        let p = params(&c, None);
         let flight = ServerFlight::build(&p);
         assert!(flight.handshake_crypto.len() > p.chain.total_der_len());
         assert!(flight.initial_crypto.len() < 150);
@@ -175,9 +181,10 @@ mod tests {
 
     #[test]
     fn compression_shrinks_the_flight() {
-        let plain = ServerFlight::build(&params(None));
+        let c = chain(KeyAlgorithm::EcdsaP256);
+        let plain = ServerFlight::build(&params(&c, None));
         for alg in Algorithm::ALL {
-            let compressed = ServerFlight::build(&params(Some(alg)));
+            let compressed = ServerFlight::build(&params(&c, Some(alg)));
             assert!(
                 compressed.handshake_crypto.len() < plain.handshake_crypto.len(),
                 "{alg} must shrink the flight"
@@ -189,17 +196,19 @@ mod tests {
 
     #[test]
     fn rsa_leaf_grows_certificate_verify() {
-        let mut p = params(None);
-        p.chain = chain(KeyAlgorithm::Rsa2048);
+        let rsa_chain = chain(KeyAlgorithm::Rsa2048);
+        let mut p = params(&rsa_chain, None);
         p.leaf_key = KeyAlgorithm::Rsa2048;
         let rsa = ServerFlight::build(&p);
-        let ecdsa = ServerFlight::build(&params(None));
+        let ecdsa_chain = chain(KeyAlgorithm::EcdsaP256);
+        let ecdsa = ServerFlight::build(&params(&ecdsa_chain, None));
         assert!(rsa.handshake_crypto.len() > ecdsa.handshake_crypto.len() + 180);
     }
 
     #[test]
     fn resumed_flight_carries_no_certificate_bytes() {
-        let cold = ServerFlight::build(&params(None));
+        let c = chain(KeyAlgorithm::EcdsaP256);
+        let cold = ServerFlight::build(&params(&c, None));
         let resumed = ServerFlight::build_resumed(21);
         assert!(resumed.is_resumed());
         assert!(!cold.is_resumed());
@@ -218,8 +227,9 @@ mod tests {
 
     #[test]
     fn deterministic_flights() {
-        let a = ServerFlight::build(&params(Some(Algorithm::Brotli)));
-        let b = ServerFlight::build(&params(Some(Algorithm::Brotli)));
+        let c = chain(KeyAlgorithm::EcdsaP256);
+        let a = ServerFlight::build(&params(&c, Some(Algorithm::Brotli)));
+        let b = ServerFlight::build(&params(&c, Some(Algorithm::Brotli)));
         assert_eq!(a.handshake_crypto, b.handshake_crypto);
         assert_eq!(a.initial_crypto, b.initial_crypto);
     }

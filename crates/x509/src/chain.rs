@@ -5,21 +5,37 @@
 //! in Fig 7(b) row 9). The chain's *wire size* is what collides with the QUIC
 //! anti-amplification limit.
 
+use std::sync::Arc;
+
 use crate::cert::{Certificate, FieldSizes};
 
 /// A server certificate chain, leaf first.
+///
+/// The intermediates are reference-counted: in a realistic population many
+/// leaves hang off the same handful of parent chains, so cloning a chain (the
+/// scanner does this once per probe) must not deep-copy kilobytes of cached
+/// DER. Use [`CertificateChain::new_shared`] to share one parent chain across
+/// many leaves.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CertificateChain {
     /// End-entity certificate.
     pub leaf: Certificate,
     /// Intermediates in the order the server sends them (leaf's issuer
     /// first when correctly ordered). May include a root.
-    pub intermediates: Vec<Certificate>,
+    pub intermediates: Arc<Vec<Certificate>>,
 }
 
 impl CertificateChain {
-    /// Create a chain.
+    /// Create a chain from an owned intermediate list.
     pub fn new(leaf: Certificate, intermediates: Vec<Certificate>) -> Self {
+        CertificateChain {
+            leaf,
+            intermediates: Arc::new(intermediates),
+        }
+    }
+
+    /// Create a chain that shares an already-issued parent chain.
+    pub fn new_shared(leaf: Certificate, intermediates: Arc<Vec<Certificate>>) -> Self {
         CertificateChain {
             leaf,
             intermediates,
@@ -165,7 +181,7 @@ mod tests {
     #[test]
     fn ordering_check_rejects_shuffled_chain() {
         let mut chain = build_chain(true);
-        chain.intermediates.reverse();
+        Arc::make_mut(&mut chain.intermediates).reverse();
         assert!(!chain.correctly_ordered());
     }
 

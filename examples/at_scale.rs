@@ -24,8 +24,8 @@ fn main() {
     println!("== quicert at scale: {POPULATION} domains, streamed ==\n");
 
     // One streaming engine: the world shell costs nothing to build; the
-    // scan pumps 1024-record chunks through the workers and keeps only
-    // the folded summaries.
+    // scan workers claim record chunks off a shared cursor (adaptively
+    // sized by default) and keep only the folded summaries.
     let engine = ScanEngine::streaming(
         WorldConfig {
             domains: POPULATION,
@@ -34,11 +34,14 @@ fn main() {
         INITIAL,
         0, // one worker per core
     );
+    let chunk = match engine.stream_chunk() {
+        Some(size) => size.to_string(),
+        None => "adaptive".to_string(),
+    };
     println!(
-        "memory model: {} workers x {}-record chunks in flight; population \
+        "memory model: {} workers x {chunk}-record chunks in flight; population \
          materialised: {}",
         engine.workers(),
-        engine.stream_chunk(),
         engine.world().populated(),
     );
 

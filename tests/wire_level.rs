@@ -72,7 +72,7 @@ fn client_initial_is_parseable_and_padded() {
     assert!(packets[0].padding_len() > 0, "CH alone is well under 1357");
     assert_eq!(
         extract_scid(&dgram.payload).as_deref(),
-        Some(&client.scid().0[..])
+        Some(client.scid().as_bytes())
     );
 }
 
