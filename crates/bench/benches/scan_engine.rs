@@ -121,6 +121,7 @@ fn bench_engine(domains: usize, samples: usize, workers: usize) -> EngineRow {
 struct StreamRow {
     population: usize,
     workers: usize,
+    memoized: bool,
     seconds: f64,
     probed: usize,
     reachable: usize,
@@ -128,14 +129,17 @@ struct StreamRow {
 }
 
 /// One streamed scan of a never-materialized population at one requested
-/// worker count, with the pump's own counters captured.
-fn bench_stream(label: &str, population: usize, workers: usize) -> StreamRow {
+/// worker count, with the pump's own counters captured. `memoized` toggles
+/// the scenario-class flyweight — the bypassed row is the A/B reference
+/// the memoized rows are guarded against (results are bit-identical
+/// either way; only the clock moves).
+fn bench_stream(label: &str, population: usize, workers: usize, memoized: bool) -> StreamRow {
     let config = WorldConfig {
         domains: population,
         seed: SEED,
         ..WorldConfig::default()
     };
-    let engine = ScanEngine::streaming(config, INITIAL, workers);
+    let engine = ScanEngine::streaming(config, INITIAL, workers).with_memoization(memoized);
     // One timed pass only: at a million-plus records the run *is* the
     // statistics (smoke mode keeps the same shape).
     let start = Instant::now();
@@ -143,18 +147,24 @@ fn bench_stream(label: &str, population: usize, workers: usize) -> StreamRow {
     let seconds = start.elapsed().as_secs_f64();
     black_box(shard.total());
     let pump = engine.pump_stats().unwrap_or_default();
+    let memo_note = if memoized { "memo" } else { "no-memo" };
     eprintln!(
-        "{label:<10} streamed   {seconds:>10.4} s  ({population} domains, {} probed, \
-         {} reachable, {} workers of {} requested, {} chunks)",
+        "{label:<10} {memo_note:<8} {seconds:>10.4} s  ({population} domains, {} probed, \
+         {} reachable, {} workers of {} requested, {} chunks, \
+         memo {} hits / {} misses / {} classes)",
         shard.total(),
         shard.classes.reachable(),
         pump.effective_workers,
         pump.requested_workers,
-        pump.total_chunks()
+        pump.total_chunks(),
+        pump.total_memo_hits(),
+        pump.total_memo_misses(),
+        pump.total_distinct_classes()
     );
     StreamRow {
         population,
         workers,
+        memoized,
         seconds,
         probed: shard.total(),
         reachable: shard.classes.reachable(),
@@ -171,6 +181,7 @@ fn stream_row_json(row: &StreamRow, speedup_vs_1w: f64, indent: &str) -> String 
         "{indent}  \"effective_workers\": {},\n",
         row.pump.effective_workers
     ));
+    s.push_str(&format!("{indent}  \"memoized\": {},\n", row.memoized));
     s.push_str(&format!("{indent}  \"population\": {},\n", row.population));
     s.push_str(&format!("{indent}  \"probed\": {},\n", row.probed));
     s.push_str(&format!("{indent}  \"reachable\": {},\n", row.reachable));
@@ -195,6 +206,18 @@ fn stream_row_json(row: &StreamRow, speedup_vs_1w: f64, indent: &str) -> String 
         "{indent}    \"fold_seconds_max\": {:.6},\n",
         row.pump.max_fold_seconds()
     ));
+    s.push_str(&format!(
+        "{indent}    \"memo_hits\": {},\n",
+        row.pump.total_memo_hits()
+    ));
+    s.push_str(&format!(
+        "{indent}    \"memo_misses\": {},\n",
+        row.pump.total_memo_misses()
+    ));
+    s.push_str(&format!(
+        "{indent}    \"distinct_classes\": {},\n",
+        row.pump.total_distinct_classes()
+    ));
     s.push_str(&format!("{indent}    \"per_worker\": [\n"));
     for (i, w) in row.pump.workers.iter().enumerate() {
         let comma = if i + 1 < row.pump.workers.len() {
@@ -204,8 +227,14 @@ fn stream_row_json(row: &StreamRow, speedup_vs_1w: f64, indent: &str) -> String 
         };
         s.push_str(&format!(
             "{indent}      {{\"chunks_claimed\": {}, \"records_folded\": {}, \
-             \"fold_seconds\": {:.6}}}{comma}\n",
-            w.chunks_claimed, w.records_folded, w.fold_seconds
+             \"fold_seconds\": {:.6}, \"memo_hits\": {}, \"memo_misses\": {}, \
+             \"distinct_classes\": {}}}{comma}\n",
+            w.chunks_claimed,
+            w.records_folded,
+            w.fold_seconds,
+            w.memo_hits,
+            w.memo_misses,
+            w.distinct_classes
         ));
     }
     s.push_str(&format!("{indent}    ]\n"));
@@ -304,12 +333,17 @@ fn main() {
     // as chunks derived inside the scan. Measured at 1 and 8 requested
     // workers so the artifact carries the parallel speedup on multi-core
     // hosts (single-core hosts cap both rows to one pump thread).
+    // Row order: memoized serial (the headline), memo-bypassed serial (the
+    // A/B reference the CI ratio guard reads), memoized at 8 workers.
     let stream_domains = stream_population();
-    let scan_1m_rows: Vec<StreamRow> = [1usize, 8]
+    let scan_1m_rows: Vec<StreamRow> = [(1usize, true), (1, false), (8, true)]
         .into_iter()
-        .map(|workers| bench_stream("scan_1m", stream_domains, workers))
+        .map(|(workers, memoized)| bench_stream("scan_1m", stream_domains, workers, memoized))
         .collect();
-    let scan_10m_rows: Vec<StreamRow> = vec![bench_stream("scan_10m", stream_population_10m(), 8)];
+    let memo_speedup_1w = scan_1m_rows[1].seconds / scan_1m_rows[0].seconds;
+    eprintln!("scan_1m    memo speedup at 1 worker: {memo_speedup_1w:.2}x");
+    let scan_10m_rows: Vec<StreamRow> =
+        vec![bench_stream("scan_10m", stream_population_10m(), 8, true)];
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -341,6 +375,7 @@ fn main() {
     let scan_1m_w1 = scan_1m_rows[0].seconds;
     json.push_str("  \"scan_1m\": {\n");
     json.push_str(&format!("    \"population\": {stream_domains},\n"));
+    json.push_str(&format!("    \"memo_speedup_1w\": {memo_speedup_1w:.3},\n"));
     json.push_str("    \"rows\": [\n");
     for (i, row) in scan_1m_rows.iter().enumerate() {
         let comma = if i + 1 < scan_1m_rows.len() { "," } else { "" };

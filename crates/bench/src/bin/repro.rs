@@ -84,10 +84,21 @@ fn main() {
             stats.total_fold_seconds(),
             stats.max_fold_seconds(),
         );
+        eprintln!(
+            "stream memo: {} hits, {} misses, {} distinct classes across workers",
+            stats.total_memo_hits(),
+            stats.total_memo_misses(),
+            stats.total_distinct_classes(),
+        );
         for (i, w) in stats.workers.iter().enumerate() {
             eprintln!(
-                "  worker {i}: {} chunks, {} records, {:.3}s",
-                w.chunks_claimed, w.records_folded, w.fold_seconds
+                "  worker {i}: {} chunks, {} records, {:.3}s, memo {}/{} ({} classes)",
+                w.chunks_claimed,
+                w.records_folded,
+                w.fold_seconds,
+                w.memo_hits,
+                w.memo_misses,
+                w.distinct_classes
             );
         }
     }

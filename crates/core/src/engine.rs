@@ -154,6 +154,35 @@ pub struct WorkerPumpStats {
     /// Wall-clock seconds spent generating and folding its chunks
     /// (excludes idle time waiting on the scope join).
     pub fold_seconds: f64,
+    /// Probes answered from this worker's scenario-class memo instead of
+    /// simulation (zero when the fold has no memo or bypassed it).
+    pub memo_hits: u64,
+    /// Probes this worker actually simulated while memoizing.
+    pub memo_misses: u64,
+    /// Distinct scenario classes in this worker's memo at the end of the
+    /// run — the size of its flyweight table.
+    pub distinct_classes: u64,
+}
+
+/// Memo-effectiveness counters a pump scratch may expose, harvested into
+/// [`WorkerPumpStats`] when its worker finishes.
+///
+/// Implemented as `(0, 0, 0)` for scratch-less folds (`()`), and by
+/// [`quicreach::ProbeScratch`] for the streaming quicreach fold whose
+/// scenario-class memo these counters describe.
+pub trait ScratchStats {
+    /// `(memo_hits, memo_misses, distinct_classes)` accumulated so far.
+    fn memo_stats(&self) -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
+}
+
+impl ScratchStats for () {}
+
+impl ScratchStats for quicreach::ProbeScratch {
+    fn memo_stats(&self) -> (u64, u64, u64) {
+        quicreach::ProbeScratch::memo_stats(self)
+    }
 }
 
 /// What the streaming pump did on one run: per-worker counters plus the
@@ -196,6 +225,23 @@ impl PumpStats {
             .map(|w| w.fold_seconds)
             .fold(0.0, f64::max)
     }
+
+    /// Memo hits across all workers.
+    pub fn total_memo_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.memo_hits).sum()
+    }
+
+    /// Memo misses (actual simulations under memoization) across workers.
+    pub fn total_memo_misses(&self) -> u64 {
+        self.workers.iter().map(|w| w.memo_misses).sum()
+    }
+
+    /// Distinct scenario classes summed over per-worker memo tables.
+    /// Workers memoize independently, so a class counts once per worker
+    /// that met it — at scale this stays close to `workers × classes`.
+    pub fn total_distinct_classes(&self) -> u64 {
+        self.workers.iter().map(|w| w.distinct_classes).sum()
+    }
 }
 
 /// Pump a world's population through worker threads as rank-ordered record
@@ -237,6 +283,7 @@ pub fn stream_sharded_scratch<S, T, MS, F>(
 ) -> (S, PumpStats)
 where
     S: Merge + Send,
+    T: ScratchStats,
     MS: Fn() -> T + Sync,
     F: Fn(&[DomainRecord], &mut T) -> S + Sync,
 {
@@ -270,6 +317,10 @@ where
                 claim = adaptive_claim(total - done, effective);
             }
         }
+        let (hits, misses, distinct) = scratch.memo_stats();
+        stats.memo_hits = hits;
+        stats.memo_misses = misses;
+        stats.distinct_classes = distinct;
         (local, stats)
     };
 
@@ -325,6 +376,7 @@ pub struct ScanEngine {
     default_initial: usize,
     workers: usize,
     stream_chunk: Option<usize>,
+    memoize: bool,
     profile: NetworkProfile,
     resumption: ResumptionPolicy,
     era: CertificateEra,
@@ -366,6 +418,7 @@ impl ScanEngine {
             default_initial,
             workers,
             stream_chunk: None,
+            memoize: true,
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
             era: CertificateEra::Classical,
@@ -406,6 +459,22 @@ impl ScanEngine {
             Some(chunk_size)
         };
         self
+    }
+
+    /// Enable or disable scenario-class memoization on the streaming scan
+    /// path (on by default). Memoized and unmemoized runs fold bit-for-bit
+    /// identical summaries — the toggle exists for A/B benching and for
+    /// the determinism matrix to prove exactly that; there is no results
+    /// reason to turn it off. Profiles that consume per-record randomness
+    /// bypass the memo on their own either way.
+    pub fn with_memoization(mut self, memoize: bool) -> ScanEngine {
+        self.memoize = memoize;
+        self
+    }
+
+    /// Whether the streaming scan path memoizes scenario classes.
+    pub fn memoization(&self) -> bool {
+        self.memoize
     }
 
     /// Set the engine's default [`NetworkProfile`]: the link-condition
@@ -688,6 +757,7 @@ impl ScanEngine {
     fn pump<S, T, MS, F>(&self, make_scratch: MS, fold: F) -> S
     where
         S: Merge + Send,
+        T: ScratchStats,
         MS: Fn() -> T + Sync,
         F: Fn(&[DomainRecord], &mut T) -> S + Sync,
     {
@@ -725,8 +795,9 @@ impl ScanEngine {
     ) -> Arc<QuicReachShard> {
         self.stream_quicreach
             .get_or_compute((era, profile, initial_size), || {
-                let mut shard: QuicReachShard =
-                    self.pump(quicreach::ProbeScratch::new, |records, scratch| {
+                let mut shard: QuicReachShard = self.pump(
+                    || quicreach::ProbeScratch::with_memo(self.memoize),
+                    |records, scratch| {
                         quicreach::fold_records_scratch(
                             &self.world,
                             records,
@@ -735,7 +806,8 @@ impl ScanEngine {
                             era,
                             scratch,
                         )
-                    });
+                    },
+                );
                 // An all-identity merge (empty population) never saw the
                 // scan's Initial size; stamp it so the bar is labelled.
                 shard.classes.initial_size = initial_size;

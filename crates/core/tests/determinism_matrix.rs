@@ -100,6 +100,70 @@ fn streaming_grid_is_worker_and_chunk_invariant() {
     }
 }
 
+/// Scenario-class memoization must be invisible in every summary bit:
+/// the streaming grid folded with the flyweight forced on equals the grid
+/// folded with it forced off — across worker counts, chunkings, eras and
+/// profiles (deterministic ones replay cached outcomes, RNG-consuming
+/// ones bypass the memo; both must land on the same bits). Engines are
+/// separate per setting because the stream cache is keyed on
+/// (era, profile, size), not on the memo toggle.
+#[test]
+fn streaming_grid_is_memoization_invariant() {
+    let config = WorldConfig {
+        domains: 1_500,
+        seed: 0x9121,
+        ..WorldConfig::default()
+    };
+    for (era, profile) in [
+        (CertificateEra::Classical, NetworkProfile::Ideal),
+        (CertificateEra::Classical, NetworkProfile::Tunneled),
+        (CertificateEra::PostQuantum, NetworkProfile::Ideal),
+        (CertificateEra::Hybrid, NetworkProfile::Lossy),
+        (CertificateEra::Classical, NetworkProfile::LongFat),
+    ] {
+        let reference = ScanEngine::streaming(config.clone(), INITIAL, 1).with_memoization(false);
+        let want = reference.stream_quicreach_era(era, profile, INITIAL);
+        let direct_pump = reference.pump_stats().expect("pump ran");
+        assert_eq!(direct_pump.total_memo_hits(), 0, "{era}/{profile}");
+        assert_eq!(direct_pump.total_memo_misses(), 0, "{era}/{profile}");
+        for (workers, chunk) in [(1usize, 0usize), (2, 64), (8, 4096)] {
+            let memoized = ScanEngine::streaming(config.clone(), INITIAL, workers)
+                .with_stream_chunk(chunk)
+                .with_memoization(true);
+            assert_eq!(
+                *memoized.stream_quicreach_era(era, profile, INITIAL),
+                *want,
+                "memoized stream {era}/{profile} diverged at workers={workers} chunk={chunk}"
+            );
+            let pump = memoized.pump_stats().expect("pump ran");
+            let probed = want.total() as u64;
+            if profile.is_deterministic() {
+                // Every probe is accounted a hit or a miss, and some
+                // classes must actually be shared at this population.
+                assert_eq!(
+                    pump.total_memo_hits() + pump.total_memo_misses(),
+                    probed,
+                    "{era}/{profile} workers={workers} chunk={chunk}"
+                );
+                assert!(
+                    pump.total_distinct_classes() <= pump.total_memo_misses(),
+                    "{era}/{profile}"
+                );
+                // Class *sharing* (hits > 0) only emerges at campaign
+                // scale — the 3k-domain scanner unit test and the 1M
+                // bench guard pin it; here a small grid world may
+                // legitimately see all-distinct classes.
+                assert!(pump.total_distinct_classes() > 0, "{era}/{profile}");
+            } else {
+                // RNG-consuming profiles bypass the memo entirely.
+                assert_eq!(pump.total_memo_hits(), 0, "{era}/{profile}");
+                assert_eq!(pump.total_memo_misses(), 0, "{era}/{profile}");
+                assert_eq!(pump.total_distinct_classes(), 0, "{era}/{profile}");
+            }
+        }
+    }
+}
+
 /// The streaming path stays invariant on the non-default scenario axes
 /// too (one spot-check cell per axis to keep the grid affordable: the
 /// full per-axis grids are covered by the materialized tests above plus
@@ -191,6 +255,57 @@ proptest! {
                 initial
             );
         }
+    }
+
+    // Class-keyed replay equals direct per-record simulation: whatever
+    // record window, era, deterministic profile and Initial size a case
+    // draws, folding through a memoizing scratch — including a second
+    // pass over the same records, where every probe is a memo *hit*
+    // replayed from the table — must be bit-identical to a memo-less
+    // scratch that simulates each record.
+    #[test]
+    fn memoized_replay_equals_direct_simulation(
+        start in 1usize..160,
+        len in 1usize..80,
+        era_idx in 0usize..CertificateEra::ALL.len(),
+        deterministic_idx in 0usize..2,
+        initial in 1200usize..1473,
+    ) {
+        // Exactly the memoizable profiles: the ones whose overlays draw
+        // no RNG (pinned by netsim's determinism-predicate test).
+        let deterministic = [NetworkProfile::Ideal, NetworkProfile::Tunneled];
+        let deterministic_profile = deterministic[deterministic_idx];
+        assert!(deterministic_profile.is_deterministic());
+        let world = prop_world();
+        let era = CertificateEra::ALL[era_idx];
+        // `start` stays inside the 240-domain world, so never empty.
+        let records = world.domain_chunk(start, len);
+        prop_assert!(!records.is_empty());
+        let mut memoized = ProbeScratch::new();
+        let mut direct = ProbeScratch::with_memo(false);
+        let direct_shard = quicreach::fold_records_scratch(
+            world, &records, initial, deterministic_profile, era, &mut direct,
+        );
+        for pass in 0..2 {
+            let replayed = quicreach::fold_records_scratch(
+                world, &records, initial, deterministic_profile, era, &mut memoized,
+            );
+            prop_assert_eq!(
+                &replayed,
+                &direct_shard,
+                "replay diverged on pass {} [{}, +{}) {}/{} initial {}",
+                pass,
+                start,
+                len,
+                era,
+                deterministic_profile,
+                initial
+            );
+        }
+        // Second pass over identical records: all hits, no new classes.
+        let (hits, misses, _) = memoized.memo_stats();
+        prop_assert_eq!(hits + misses, 2 * direct_shard.total() as u64);
+        prop_assert!(hits >= direct_shard.total() as u64);
     }
 }
 

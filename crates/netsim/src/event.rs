@@ -115,6 +115,18 @@ impl Wire {
     pub fn rtt(&self) -> SimDuration {
         self.a_to_b.latency + self.b_to_a.latency
     }
+
+    /// Whether every component of the wire is RNG-free: both link models
+    /// (no loss, no jitter) and both fault injectors (no random drops or
+    /// corruption). Sessions over a deterministic wire replay identically
+    /// for any seed, which is what makes scenario-class memoization of
+    /// whole handshakes sound.
+    pub fn is_deterministic(&self) -> bool {
+        self.a_to_b.is_deterministic()
+            && self.b_to_a.is_deterministic()
+            && self.fault_a_to_b.is_deterministic()
+            && self.fault_b_to_a.is_deterministic()
+    }
 }
 
 /// Why a datagram did not arrive.

@@ -28,6 +28,13 @@ impl FaultInjector {
         FaultInjector::default()
     }
 
+    /// Whether this injector never draws from the session RNG: both random
+    /// fault probabilities are zero. A `size_limit` drop is deterministic
+    /// (it depends only on the datagram size) and does not disqualify.
+    pub fn is_deterministic(&self) -> bool {
+        self.drop_chance == 0.0 && self.corrupt_chance == 0.0
+    }
+
     /// An injector that drops datagrams with probability `p`.
     pub fn dropping(p: f64) -> Self {
         FaultInjector {

@@ -34,7 +34,7 @@ pub use event::{run_exchange, Endpoint, ExchangeLimits, ExchangeOutcome, TraceEv
 pub use fault::FaultInjector;
 pub use link::{Delivery, LinkModel};
 pub use profile::NetworkProfile;
-pub use rng::SimRng;
+pub use rng::{FastHashBuilder, FastHasher, SimRng};
 pub use simnet::{SessionId, SimNet};
 pub use telescope::{BackscatterRecord, Telescope};
 pub use time::{SimDuration, SimTime};

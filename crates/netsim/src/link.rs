@@ -72,6 +72,13 @@ impl LinkModel {
         }
     }
 
+    /// Whether deliveries on this link never draw from the session RNG:
+    /// no random loss and no jitter. Latency, encapsulation overhead and
+    /// MTU drops are all deterministic functions of the datagram.
+    pub fn is_deterministic(&self) -> bool {
+        self.loss == 0.0 && self.jitter == SimDuration::ZERO
+    }
+
     /// Effective on-path size of a datagram on this link.
     pub fn effective_size(&self, dgram: &Datagram) -> usize {
         dgram.wire_len() + self.encapsulation_overhead

@@ -115,6 +115,22 @@ impl NetworkProfile {
         self.apply(&mut wire);
         wire
     }
+
+    /// Whether this profile's overlay consumes no randomness: applied to a
+    /// deterministic base wire, the profiled wire never draws from the
+    /// session RNG, so a handshake outcome is a pure function of its
+    /// scenario class.
+    ///
+    /// [`Ideal`](NetworkProfile::Ideal) is the identity and
+    /// [`Tunneled`](NetworkProfile::Tunneled) only adds fixed encapsulation
+    /// overhead. [`Lossy`](NetworkProfile::Lossy) arms the fault injectors
+    /// and [`LongFat`](NetworkProfile::LongFat) adds jitter — both draw RNG
+    /// per datagram, so their outcomes depend on the per-record seed beyond
+    /// the class key. Note "fault-free" is not the same thing: long-fat
+    /// injects no faults yet is still non-deterministic through jitter.
+    pub fn is_deterministic(self) -> bool {
+        matches!(self, NetworkProfile::Ideal | NetworkProfile::Tunneled)
+    }
 }
 
 impl std::fmt::Display for NetworkProfile {
@@ -185,6 +201,33 @@ mod tests {
                 .encapsulation_overhead,
             64
         );
+    }
+
+    #[test]
+    fn determinism_predicate_matches_the_profiled_wire() {
+        // The profile-level shortcut must agree with the component-level
+        // RNG audit of the wire it actually produces: overlaying onto a
+        // deterministic base wire stays deterministic exactly for the
+        // profiles the predicate admits.
+        for profile in NetworkProfile::ALL {
+            let wire = profile.wire_from(&base());
+            assert_eq!(
+                wire.is_deterministic(),
+                profile.is_deterministic(),
+                "{profile}"
+            );
+        }
+        assert!(NetworkProfile::Ideal.is_deterministic());
+        assert!(NetworkProfile::Tunneled.is_deterministic());
+        assert!(!NetworkProfile::Lossy.is_deterministic());
+        assert!(!NetworkProfile::LongFat.is_deterministic());
+        // A non-deterministic base wire stays non-deterministic under any
+        // profile — the predicate only speaks for the overlay.
+        let mut jittery = base();
+        jittery.a_to_b.jitter = SimDuration::from_millis(1);
+        for profile in NetworkProfile::ALL {
+            assert!(!profile.wire_from(&jittery).is_deterministic());
+        }
     }
 
     #[test]

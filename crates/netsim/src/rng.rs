@@ -197,6 +197,82 @@ impl SimRng {
     }
 }
 
+/// A fast, non-cryptographic [`std::hash::Hasher`] for hot in-process maps.
+///
+/// `HashMap`'s default SipHash costs more than the rest of a probe on the
+/// million-record scan path, where the scenario-class memo performs one
+/// lookup per record. This multiply-rotate hasher (the fxhash scheme) is
+/// an order of magnitude cheaper and — since the keyed maps live and die
+/// inside one process and are never fed attacker-controlled keys — the
+/// HashDoS resistance being given up buys nothing here. Use via
+/// [`FastHashBuilder`]: `HashMap<K, V, FastHashBuilder>`.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+/// [`std::hash::BuildHasherDefault`] over [`FastHasher`] — the third type
+/// parameter for hot `HashMap`s.
+pub type FastHashBuilder = std::hash::BuildHasherDefault<FastHasher>;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(0x517C_C1B7_2722_0A9B);
+    }
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One SplitMix-style finalizer so low-entropy states still spread
+        // across the map's low index bits.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            tail[7] = rest.len() as u8;
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
 /// FNV-1a hash of a byte string, used to derive fork labels from names.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
@@ -338,6 +414,32 @@ mod tests {
     fn fnv1a_distinguishes_labels() {
         assert_ne!(fnv1a(b"cloudflare"), fnv1a(b"google"));
         assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+    }
+
+    #[test]
+    fn fast_hasher_is_stable_and_discriminating() {
+        use std::collections::HashMap;
+        use std::hash::{Hash, Hasher};
+
+        let hash_of = |key: &(u64, u8, bool)| {
+            let mut h = FastHasher::default();
+            key.hash(&mut h);
+            h.finish()
+        };
+        let a = (7u64, 3u8, true);
+        assert_eq!(hash_of(&a), hash_of(&a));
+        assert_ne!(hash_of(&a), hash_of(&(7, 3, false)));
+        assert_ne!(hash_of(&a), hash_of(&(8, 3, true)));
+        // Nearby small integers — the common key shape — must not collide
+        // wholesale, or the memo map degenerates into a scan.
+        let mut seen: HashMap<u64, (u64, u8, bool), FastHashBuilder> = HashMap::default();
+        for x in 0..1_000u64 {
+            for y in 0..4u8 {
+                let key = (x, y, false);
+                let h = hash_of(&key);
+                assert!(seen.insert(h, key).is_none(), "collision at {key:?}");
+            }
+        }
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! population with oversized chains (multi-RTT), a sliver of true 1-RTT
 //! deployments, rare Retry, and Meta's mvfst PoPs.
 
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::RwLock;
 
 use quicert_compress::Algorithm;
 use quicert_netsim::rng::fnv1a;
 use quicert_netsim::SimRng;
-use quicert_x509::{CertificateChain, KeyAlgorithm};
+use quicert_x509::{CertificateBuilder, CertificateChain, KeyAlgorithm};
 
 use crate::dns::{self, DnsOutcome, DnsRates};
 use crate::ecosystem::{ChainId, Ecosystem, LeafParams};
@@ -229,6 +231,14 @@ impl Default for WorldConfig {
     }
 }
 
+/// Cache key for [`World::quic_chain_der_len_era`]: everything that can
+/// change a byte length anywhere in an issued chain. Parent certificates
+/// are fixed per `(chain_id, era)`; the leaf varies with the key
+/// algorithm, the CN byte length (SANs derive from it), the extra-SAN
+/// count, and the encoded serial length (the single seed-dependent DER
+/// length — see [`CertificateBuilder::serial_der_len`]).
+type ChainLenKey = (ChainId, CertificateEra, KeyAlgorithm, u16, u16, u8);
+
 /// The generated world.
 #[derive(Debug)]
 pub struct World {
@@ -238,6 +248,7 @@ pub struct World {
     pub ecosystem: Ecosystem,
     domains: Vec<DomainRecord>,
     materialized: bool,
+    chain_len_cache: RwLock<HashMap<ChainLenKey, u32, quicert_netsim::FastHashBuilder>>,
 }
 
 const TLDS: [(&str, f64); 8] = [
@@ -270,6 +281,7 @@ impl World {
             ecosystem,
             domains,
             materialized: true,
+            chain_len_cache: RwLock::new(HashMap::default()),
         }
     }
 
@@ -286,6 +298,7 @@ impl World {
             config,
             domains: Vec::new(),
             materialized: false,
+            chain_len_cache: RwLock::new(HashMap::default()),
         }
     }
 
@@ -419,6 +432,52 @@ impl World {
         Some(self.ecosystem.issue_era(quic.chain_id, era, &params))
     }
 
+    /// Total DER byte length of [`World::quic_chain_era`]'s chain without
+    /// materialising it on the hot path.
+    ///
+    /// Chain lengths are shared by construction: parents are fixed per
+    /// `(chain_id, era)` and the leaf's encoding is length-stable given its
+    /// key algorithm, CN length, extra-SAN count and encoded serial length
+    /// (all other seed-dependent bytes fill fixed-size fields). The first
+    /// record of each such class issues the chain once and caches the
+    /// length; every later same-class record is a lock-read + hash lookup.
+    /// The cache's correctness test doubles as the proof that chain bytes
+    /// are a pure function of exactly this key tuple — which is what lets
+    /// the streaming scan memo key on the tuple directly, with no length
+    /// lookup at all on its per-record path.
+    pub fn quic_chain_der_len_era(
+        &self,
+        record: &DomainRecord,
+        era: CertificateEra,
+    ) -> Option<u32> {
+        let quic = record.quic.as_ref()?;
+        let https = record.https.as_ref()?;
+        let seed_shift = if quic.rotated_cert { 0x5EED_0001 } else { 0 };
+        let serial_len = CertificateBuilder::serial_der_len(record.seed ^ seed_shift) as u8;
+        let key: ChainLenKey = (
+            quic.chain_id,
+            era,
+            quic.leaf_key,
+            record.name.len() as u16,
+            https.extra_sans,
+            serial_len,
+        );
+        if let Some(&len) = self
+            .chain_len_cache
+            .read()
+            .expect("cache poisoned")
+            .get(&key)
+        {
+            return Some(len);
+        }
+        let len = self.quic_chain_era(record, era)?.total_der_len() as u32;
+        self.chain_len_cache
+            .write()
+            .expect("cache poisoned")
+            .insert(key, len);
+        Some(len)
+    }
+
     fn leaf_params(
         record: &DomainRecord,
         _chain: ChainId,
@@ -463,13 +522,20 @@ impl World {
         let mut rng = root.fork(rank as u64);
         let seed = rng.next_u64();
 
-        // Name: stem + rank + TLD (weighted).
+        // Name: stem + rank + TLD (weighted). Assembled by hand — the
+        // formatting machinery behind `format!` is measurable across a
+        // ten-million-record stream (output pinned byte-identical by
+        // `hand_assembled_names_match_format`).
         let stem = NAME_STEMS[(rng.next_u64() % NAME_STEMS.len() as u64) as usize];
         let tld = TLDS[rng
             .weighted_index_by(TLDS.len(), |i| TLDS[i].1)
             .unwrap_or(0)]
         .0;
-        let name = format!("{stem}{rank}.{tld}");
+        let mut name = String::with_capacity(stem.len() + tld.len() + 21);
+        name.push_str(stem);
+        push_decimal(&mut name, rank);
+        name.push('.');
+        name.push_str(tld);
 
         // DNS funnel (§3.1).
         let addr_seed = fnv1a(name.as_bytes());
@@ -760,6 +826,23 @@ impl World {
     }
 }
 
+/// Append `value` to `out` in decimal — `format!`'s output without its
+/// per-call formatter machinery (the population generator's hottest line).
+fn push_decimal(out: &mut String, value: usize) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = value;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("decimal digits are ASCII"));
+}
+
 /// Rank-ordered chunks of a world's population, derived on demand (see
 /// [`World::stream_domains`]). Memory held at any instant is one chunk.
 #[derive(Debug)]
@@ -786,6 +869,18 @@ impl Iterator for DomainChunks<'_> {
 mod tests {
     use super::*;
 
+    #[test]
+    fn hand_assembled_names_match_format() {
+        for rank in [0usize, 1, 9, 10, 99, 12_345, 1_000_000, usize::MAX] {
+            let mut name = String::new();
+            name.push_str("shop");
+            push_decimal(&mut name, rank);
+            name.push('.');
+            name.push_str("co.uk");
+            assert_eq!(name, format!("shop{rank}.co.uk"));
+        }
+    }
+
     fn small_world() -> World {
         World::generate(WorldConfig {
             domains: 10_000,
@@ -804,6 +899,42 @@ mod tests {
             assert_eq!(x.seed, y.seed);
             assert_eq!(x.has_quic(), y.has_quic());
         }
+    }
+
+    #[test]
+    fn cached_chain_len_equals_materialised_chain_len() {
+        // The O(1) length accessor must agree with actually issuing the
+        // chain for every record and era — including rotated certs and the
+        // rare trimmed-serial leaves the cache key exists to separate.
+        let world = small_world();
+        for era in CertificateEra::ALL {
+            for record in world.domains().iter().filter(|r| r.has_quic()) {
+                let cached = world.quic_chain_der_len_era(record, era).unwrap();
+                let issued = world.quic_chain_era(record, era).unwrap().total_der_len();
+                assert_eq!(cached as usize, issued, "rank {} era {era:?}", record.rank);
+            }
+        }
+        // Far fewer classes than records, or the cache buys nothing.
+        let quic_records = world.domains().iter().filter(|r| r.has_quic()).count();
+        let classes = world.chain_len_cache.read().unwrap().len();
+        assert!(
+            classes * 4 < quic_records * CertificateEra::ALL.len(),
+            "{classes} classes for {quic_records} records"
+        );
+    }
+
+    #[test]
+    fn chain_len_accessor_is_none_without_quic() {
+        let world = small_world();
+        let record = world
+            .domains()
+            .iter()
+            .find(|r| !r.has_quic())
+            .expect("some record without quic");
+        assert_eq!(
+            world.quic_chain_der_len_era(record, CertificateEra::Classical),
+            None
+        );
     }
 
     #[test]

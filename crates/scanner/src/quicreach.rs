@@ -14,6 +14,8 @@
 //! probe parameters and the outcome→result mapping can never diverge
 //! between entry points.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use quicert_analysis::{Merge, StreamSummary};
@@ -304,6 +306,119 @@ pub fn fold_records(
     QuicReachShard::from_results(initial_size, &results)
 }
 
+/// The scenario class of one cold streaming probe: every input that can
+/// change a [`HandshakeOutcome`] under a deterministic network profile.
+///
+/// The paper's core observation is that handshake behaviour is determined
+/// by the chain and the amplification budget, not by domain identity — a
+/// handful of provider configurations dominate the ecosystem. This key
+/// captures exactly that: two records with equal `ProbeClass` produce
+/// bit-identical outcomes, because every remaining per-record seed bit
+/// only fills fixed-size fields (connection IDs, randoms, serial *bytes*)
+/// that the outcome's counters and classification never read.
+///
+/// Deliberately excluded: the server's certificate-compression support
+/// (the quicreach client offers none, §3.2, so negotiation is always
+/// `None`) and the record's address/name *bytes* — only their lengths
+/// matter. The chain is represented by its exact DER-length inputs
+/// rather than materialized sizes: with `chain_id`/`era`/`leaf_key`
+/// fixing the intermediates and the leaf template, the CN length, extra
+/// SAN count (each SAN embeds the CN) and serial width pin every encoded
+/// length in the chain — [`World::quic_chain_der_len_era`]'s cache test
+/// proves chain bytes are a pure function of exactly this tuple. Keying
+/// on the inputs keeps class derivation lock- and lookup-free on the
+/// million-record path. The key carries its own scenario axes (era,
+/// profile, Initial size) so one memo table stays correct even if reused
+/// across folds with different axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProbeClass {
+    era: CertificateEra,
+    profile: NetworkProfile,
+    initial_size: usize,
+    provider: quicert_pki::Provider,
+    behavior: quicert_pki::world::BehaviorKind,
+    chain_id: quicert_pki::ChainId,
+    leaf_key: quicert_x509::KeyAlgorithm,
+    /// Leaf CN length in bytes (`record.name.len()`).
+    cn_len: u16,
+    /// Extra SANs on the leaf beyond CN and `www.` — each is
+    /// `alt-NNN.<cn>`, so together with `cn_len` this fixes the SAN
+    /// extension's encoded size.
+    extra_sans: u16,
+    /// Encoded length of the serial `INTEGER` — the only seed-dependent
+    /// DER length in a certificate (leading-zero trimming).
+    serial_der_len: u8,
+    /// `record.seed % 40` — the scanner wire's base latency step. PTO and
+    /// retransmission timers can fire latency-dependently, so outcomes
+    /// are only shared within one step.
+    latency_step: u8,
+    behind_lb: bool,
+    lb_overhead: usize,
+    /// Cold streaming scans never resume; reserved so a future warm
+    /// streaming fold can key on the resumption axis.
+    resumed: bool,
+}
+
+impl ProbeClass {
+    /// Derive the class of a record known to serve QUIC. O(1) with no
+    /// world lookups: everything is on the record, and the serial width
+    /// is recomputed arithmetically
+    /// ([`quicert_x509::CertificateBuilder::serial_der_len`]).
+    fn of(
+        record: &DomainRecord,
+        initial_size: usize,
+        profile: NetworkProfile,
+        era: CertificateEra,
+    ) -> ProbeClass {
+        let quic = record.quic.as_ref().expect("caller filtered on has_quic");
+        let https = record
+            .https
+            .as_ref()
+            .expect("QUIC deployments ride on an HTTPS record");
+        // Rotated certificates re-derive their serial from a shifted seed;
+        // mirror `World`'s chain issuance exactly.
+        let seed_shift = if quic.rotated_cert { 0x5EED_0001 } else { 0 };
+        ProbeClass {
+            era,
+            profile,
+            initial_size,
+            provider: quic.provider,
+            behavior: quic.behavior,
+            chain_id: quic.chain_id,
+            leaf_key: quic.leaf_key,
+            cn_len: record.name.len() as u16,
+            extra_sans: https.extra_sans,
+            serial_der_len: quicert_x509::CertificateBuilder::serial_der_len(
+                record.seed ^ seed_shift,
+            ) as u8,
+            latency_step: (record.seed % 40) as u8,
+            behind_lb: quic.behind_lb,
+            lb_overhead: quic.lb_overhead,
+            resumed: false,
+        }
+    }
+}
+
+/// Where a record's outcome comes from in the memoized fold: its own
+/// fresh simulation this chunk, or the memo table.
+#[derive(Debug, Clone, Copy)]
+enum OutcomeSlot {
+    Fresh(u32),
+    Cached(u32),
+}
+
+/// Per-worker flyweight table: one simulated [`HandshakeOutcome`] per
+/// distinct [`ProbeClass`], plus effectiveness counters.
+#[derive(Debug, Default)]
+struct ProbeMemo {
+    // FastHashBuilder: one lookup per probed record makes SipHash the
+    // single largest non-simulation cost at a million records.
+    classes: HashMap<ProbeClass, u32, quicert_netsim::FastHashBuilder>,
+    outcomes: Vec<HandshakeOutcome>,
+    hits: u64,
+    misses: u64,
+}
+
 /// Reusable per-worker buffers for the streaming quicreach fold.
 ///
 /// A pump worker folds thousands of chunks; rebuilding the probe, outcome
@@ -312,17 +427,56 @@ pub fn fold_records(
 /// chunks — the buffers are cleared (never read) before each fold, so a
 /// reused scratch can never leak one chunk's state into the next (pinned
 /// by the fresh-vs-reused property test).
-#[derive(Debug, Default)]
+///
+/// The scratch also hosts the worker's scenario-class memo (see
+/// [`fold_records_scratch`]); unlike the buffers it deliberately persists
+/// across chunks — outcomes are pure per class, so carrying them over is
+/// what makes the flyweight pay.
+#[derive(Debug)]
 pub struct ProbeScratch {
     probes: Vec<HandshakeProbe>,
     outcomes: Vec<HandshakeOutcome>,
     ranks: Vec<usize>,
+    slots: Vec<OutcomeSlot>,
+    pending: Vec<ProbeClass>,
+    memo: Option<ProbeMemo>,
 }
 
 impl ProbeScratch {
-    /// An empty scratch; capacities grow to the largest chunk folded.
+    /// An empty scratch with scenario-class memoization enabled;
+    /// capacities grow to the largest chunk folded.
     pub fn new() -> ProbeScratch {
-        ProbeScratch::default()
+        ProbeScratch::with_memo(true)
+    }
+
+    /// An empty scratch, memoizing when `enabled`. A disabled scratch
+    /// simulates every record — the reference path the determinism matrix
+    /// holds the memoized path to.
+    pub fn with_memo(enabled: bool) -> ProbeScratch {
+        ProbeScratch {
+            probes: Vec::new(),
+            outcomes: Vec::new(),
+            ranks: Vec::new(),
+            slots: Vec::new(),
+            pending: Vec::new(),
+            memo: enabled.then(ProbeMemo::default),
+        }
+    }
+
+    /// Memo effectiveness over this scratch's lifetime:
+    /// `(hits, misses, distinct_classes)`. All zero when memoization is
+    /// disabled or every fold bypassed it (non-deterministic profile).
+    pub fn memo_stats(&self) -> (u64, u64, u64) {
+        match &self.memo {
+            Some(memo) => (memo.hits, memo.misses, memo.outcomes.len() as u64),
+            None => (0, 0, 0),
+        }
+    }
+}
+
+impl Default for ProbeScratch {
+    fn default() -> Self {
+        ProbeScratch::new()
     }
 }
 
@@ -332,6 +486,17 @@ impl ProbeScratch {
 /// routes every probe through the same `probe_for` builder and
 /// outcome→result mapping as the materialized scans, so the folded shard
 /// is bit-for-bit [`fold_records`]'s at any chunk size.
+///
+/// When the scratch carries a memo and the profile is deterministic
+/// ([`NetworkProfile::is_deterministic`]), records are first keyed by
+/// `ProbeClass`: only the first record of each class is simulated; every
+/// later one replays the cached [`HandshakeOutcome`]. Replay happens in
+/// the original record order through the same per-record fold, so the
+/// order-sensitive [`StreamSummary`] float sums come out bit-for-bit
+/// identical to the unmemoized path. Profiles that consume RNG (lossy
+/// drops/corruption, long-fat jitter) make outcomes depend on per-record
+/// seeds beyond the class, so they bypass the memo entirely and keep
+/// per-record simulation.
 pub fn fold_records_scratch(
     world: &World,
     records: &[DomainRecord],
@@ -343,16 +508,51 @@ pub fn fold_records_scratch(
     scratch.probes.clear();
     scratch.outcomes.clear();
     scratch.ranks.clear();
+    scratch.slots.clear();
+    scratch.pending.clear();
+    let memo_active = scratch.memo.is_some() && profile.is_deterministic();
     for record in records.iter().filter(|record| record.has_quic()) {
+        scratch.ranks.push(record.rank);
+        if memo_active {
+            let class = ProbeClass::of(record, initial_size, profile, era);
+            let memo = scratch.memo.as_mut().expect("memo_active implies memo");
+            if let Some(&idx) = memo.classes.get(&class) {
+                memo.hits += 1;
+                scratch.slots.push(OutcomeSlot::Cached(idx));
+                continue;
+            }
+            memo.misses += 1;
+            scratch.pending.push(class);
+        }
+        scratch
+            .slots
+            .push(OutcomeSlot::Fresh(scratch.probes.len() as u32));
         scratch
             .probes
             .push(probe_for(world, record, initial_size, profile, era));
-        scratch.ranks.push(record.rank);
     }
     run_handshake_batch_into(&mut scratch.probes, &mut scratch.outcomes);
+    if memo_active {
+        // Every fresh probe this chunk was first-of-class *within the
+        // memo*; remember its outcome for later chunks. Two records of the
+        // same new class in one chunk both simulate (outcomes identical by
+        // construction) — only the first is stored.
+        let memo = scratch.memo.as_mut().expect("memo_active implies memo");
+        for (class, out) in scratch.pending.drain(..).zip(&scratch.outcomes) {
+            if let Entry::Vacant(slot) = memo.classes.entry(class) {
+                slot.insert(memo.outcomes.len() as u32);
+                memo.outcomes.push(out.clone());
+            }
+        }
+    }
     let mut shard = QuicReachShard::identity();
     shard.classes.initial_size = initial_size;
-    for (&rank, out) in scratch.ranks.iter().zip(&scratch.outcomes) {
+    let cached = scratch.memo.as_ref().map(|memo| &memo.outcomes);
+    for (&rank, slot) in scratch.ranks.iter().zip(&scratch.slots) {
+        let out = match *slot {
+            OutcomeSlot::Fresh(idx) => &scratch.outcomes[idx as usize],
+            OutcomeSlot::Cached(idx) => &cached.expect("cached slots require a memo")[idx as usize],
+        };
         shard.push(&QuicReachResult::from_outcome(rank, out));
     }
     shard
@@ -815,6 +1015,70 @@ mod tests {
             assert_eq!(reference, from_fresh);
             assert_eq!(from_fresh, from_reused, "scratch reuse leaked state");
         }
+    }
+
+    #[test]
+    fn memoized_fold_is_bit_identical_to_direct_fold_per_profile() {
+        // The flyweight must be invisible in the folded shard for every
+        // profile: deterministic ones replay cached outcomes, RNG-consuming
+        // ones bypass the memo — either way the shard matches a memo-less
+        // scratch bit-for-bit.
+        let world = world();
+        let owned: Vec<DomainRecord> = world.domains().iter().take(400).cloned().collect();
+        for profile in NetworkProfile::ALL {
+            for era in CertificateEra::ALL {
+                let mut memoized = ProbeScratch::new();
+                let mut direct = ProbeScratch::with_memo(false);
+                for chunk in owned.chunks(120) {
+                    let a = fold_records_scratch(&world, chunk, 1362, profile, era, &mut memoized);
+                    let b = fold_records_scratch(&world, chunk, 1362, profile, era, &mut direct);
+                    assert_eq!(a, b, "profile {profile} era {era:?}");
+                }
+                assert_eq!(direct.memo_stats(), (0, 0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn memo_counters_account_for_every_probed_record() {
+        let world = world();
+        let owned: Vec<DomainRecord> = world.domains().to_vec();
+        let probed = owned.iter().filter(|r| r.has_quic()).count() as u64;
+
+        // Deterministic profile: every probed record is a hit or a miss,
+        // and reuse across chunks turns same-class repeats into hits. The
+        // class space (latency steps × chain lengths × LB overheads) only
+        // collapses at campaign scale, so a small world just has to show
+        // *some* sharing — the bench guard enforces the at-scale ratio.
+        let mut scratch = ProbeScratch::new();
+        for chunk in owned.chunks(64) {
+            fold_records_scratch(
+                &world,
+                chunk,
+                1362,
+                NetworkProfile::Ideal,
+                CertificateEra::Classical,
+                &mut scratch,
+            );
+        }
+        let (hits, misses, distinct) = scratch.memo_stats();
+        assert_eq!(hits + misses, probed);
+        assert!(distinct <= misses);
+        assert!(hits > 0, "no class sharing across {probed} probed records");
+
+        // RNG-consuming profile: the memo is bypassed entirely.
+        let mut lossy = ProbeScratch::new();
+        for chunk in owned.chunks(64) {
+            fold_records_scratch(
+                &world,
+                chunk,
+                1362,
+                NetworkProfile::Lossy,
+                CertificateEra::Classical,
+                &mut lossy,
+            );
+        }
+        assert_eq!(lossy.memo_stats(), (0, 0, 0));
     }
 
     #[test]

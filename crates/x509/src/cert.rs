@@ -256,12 +256,45 @@ impl CertificateBuilder {
         self
     }
 
+    /// Derive the 16-byte serial magnitude used by [`build`](Self::build)
+    /// for a given serial seed.
+    fn derive_serial(serial_seed: u64) -> Vec<u8> {
+        let mut serial = vec![0u8; 16];
+        crate::fill_deterministic(serial_seed ^ 0x5E51_A11E, &mut serial);
+        serial[0] &= 0x7F; // keep the serial positive without padding
+        serial
+    }
+
+    /// Encoded DER length of the serial `INTEGER` a builder with this
+    /// serial seed would emit, without building the certificate.
+    ///
+    /// The serial is the only seed-dependent *length* in a built
+    /// certificate: `integer_bytes` trims leading zero octets of the
+    /// masked 16-byte magnitude, so a small fraction of seeds encode one
+    /// or more bytes shorter. Everything else (SPKI, signature, SCTs,
+    /// names sized by their inputs) is length-stable per algorithm.
+    /// Allocation-free: mirrors `der::integer_bytes` arithmetic (trim
+    /// leading zero octets while the sign stays positive, pad when the
+    /// top bit is set, two header bytes for the ≤17-byte content) so the
+    /// million-record scan path can call it per record. The mirror is
+    /// pinned against the real encoder by `serial_der_len_matches_built_
+    /// certificates`.
+    pub fn serial_der_len(serial_seed: u64) -> usize {
+        let mut serial = [0u8; 16];
+        crate::fill_deterministic(serial_seed ^ 0x5E51_A11E, &mut serial);
+        serial[0] &= 0x7F;
+        let mut m: &[u8] = &serial;
+        while m.len() > 1 && m[0] == 0 && m[1] & 0x80 == 0 {
+            m = &m[1..];
+        }
+        let content = m.len() + usize::from(m[0] & 0x80 != 0);
+        2 + content
+    }
+
     /// Build the certificate, deriving a 16-byte serial and a placeholder
     /// signature of the correct algorithm-specific size.
     pub fn build(self) -> Certificate {
-        let mut serial = vec![0u8; 16];
-        crate::fill_deterministic(self.serial_seed ^ 0x5E51_A11E, &mut serial);
-        serial[0] &= 0x7F; // keep the serial positive without padding
+        let serial = Self::derive_serial(self.serial_seed);
         let tbs = TbsCertificate {
             serial,
             signature_alg: self.signature_alg,
@@ -404,5 +437,50 @@ mod tests {
     fn signature_algorithms_match_inner_and_outer() {
         let cert = leaf();
         assert_eq!(cert.tbs.signature_alg, cert.signature_alg);
+    }
+
+    #[test]
+    fn serial_der_len_matches_built_certificates() {
+        let mut trimmed = 0usize;
+        for seed in 0..4096u64 {
+            let cert = CertificateBuilder::new(
+                DistinguishedName::ca("US", "CA", "X"),
+                DistinguishedName::cn("example.org"),
+                SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, seed),
+                SignatureAlgorithm::EcdsaSha256,
+            )
+            .build();
+            let predicted = CertificateBuilder::serial_der_len(seed);
+            let encoded = der::integer_bytes(&cert.tbs.serial).len();
+            assert_eq!(predicted, encoded, "seed {seed}");
+            // Full 16-byte magnitude => tag + len + 16.
+            if predicted < 18 {
+                trimmed += 1;
+            }
+        }
+        // Leading-zero trimming must be rare but present: the predictor
+        // only earns its keep if lengths actually vary with the seed.
+        assert!(trimmed > 0, "no trimmed serials in 4096 seeds");
+        assert!(trimmed < 64, "trimming should be ~1/256 per leading byte");
+    }
+
+    #[test]
+    fn serial_der_len_changes_with_builder_override() {
+        // `serial_seed()` overrides feed the same derivation.
+        let seed_with_zero_lead = (0..1u64 << 16)
+            .find(|&s| CertificateBuilder::serial_der_len(s) < 18)
+            .expect("some seed trims");
+        let cert = CertificateBuilder::new(
+            DistinguishedName::ca("US", "CA", "X"),
+            DistinguishedName::cn("example.org"),
+            SubjectPublicKeyInfo::new(KeyAlgorithm::EcdsaP256, 1),
+            SignatureAlgorithm::EcdsaSha256,
+        )
+        .serial_seed(seed_with_zero_lead)
+        .build();
+        assert_eq!(
+            der::integer_bytes(&cert.tbs.serial).len(),
+            CertificateBuilder::serial_der_len(seed_with_zero_lead),
+        );
     }
 }

@@ -84,6 +84,18 @@ fn main() {
         reach.wire_received.max(),
         reach.rtts.mean(),
     );
+    // The scenario-class flyweight: only the first record of each class
+    // was simulated; the hits replayed a cached outcome (bit-identically —
+    // toggle with `with_memoization(false)` and compare).
+    if let Some(stats) = engine.pump_stats() {
+        let (hits, misses) = (stats.total_memo_hits(), stats.total_memo_misses());
+        println!(
+            "  flyweight memo: {hits} hits / {misses} misses ({} distinct classes); \
+             {:.1}% of probes replayed instead of simulated",
+            stats.total_distinct_classes(),
+            100.0 * hits as f64 / (hits + misses).max(1) as f64,
+        );
+    }
 
     // The population-scale ladder exactly as the full report renders it
     // (10k and 100k here; pass PAPER_SCALE_SIZES to climb to 1M).
