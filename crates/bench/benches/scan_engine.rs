@@ -126,6 +126,9 @@ struct StreamRow {
     probed: usize,
     reachable: usize,
     pump: PumpStats,
+    /// The engine's full metrics registry after the scan, rendered as one
+    /// compact JSON object — each bench row carries its own snapshot.
+    metrics_json: String,
 }
 
 /// One streamed scan of a never-materialized population at one requested
@@ -147,6 +150,8 @@ fn bench_stream(label: &str, population: usize, workers: usize, memoized: bool) 
     let seconds = start.elapsed().as_secs_f64();
     black_box(shard.total());
     let pump = engine.pump_stats().unwrap_or_default();
+    let metrics_json = engine.metrics_registry().render_json();
+    let totals = pump.totals();
     let memo_note = if memoized { "memo" } else { "no-memo" };
     eprintln!(
         "{label:<10} {memo_note:<8} {seconds:>10.4} s  ({population} domains, {} probed, \
@@ -156,10 +161,10 @@ fn bench_stream(label: &str, population: usize, workers: usize, memoized: bool) 
         shard.classes.reachable(),
         pump.effective_workers,
         pump.requested_workers,
-        pump.total_chunks(),
-        pump.total_memo_hits(),
-        pump.total_memo_misses(),
-        pump.total_distinct_classes()
+        totals.chunks_claimed,
+        totals.memo_hits,
+        totals.memo_misses,
+        totals.distinct_classes
     );
     StreamRow {
         population,
@@ -169,10 +174,15 @@ fn bench_stream(label: &str, population: usize, workers: usize, memoized: bool) 
         probed: shard.total(),
         reachable: shard.classes.reachable(),
         pump,
+        metrics_json,
     }
 }
 
-/// Serialize one streamed row (plus its pump counters) as a JSON object.
+/// Serialize one streamed row as a JSON object. The per-row counters are
+/// the engine's own metrics registry, embedded verbatim — the bench no
+/// longer hand-serializes pump counters (the registry carries
+/// `quicert_engine_*` totals, the `quicert_scan_*` probe split, and the
+/// handshake-phase histograms).
 fn stream_row_json(row: &StreamRow, speedup_vs_1w: f64, indent: &str) -> String {
     let mut s = String::new();
     s.push_str(&format!("{indent}{{\n"));
@@ -189,56 +199,11 @@ fn stream_row_json(row: &StreamRow, speedup_vs_1w: f64, indent: &str) -> String 
     s.push_str(&format!(
         "{indent}  \"speedup_vs_1w\": {speedup_vs_1w:.3},\n"
     ));
-    s.push_str(&format!("{indent}  \"pump\": {{\n"));
     s.push_str(&format!(
-        "{indent}    \"chunks\": {},\n",
-        row.pump.total_chunks()
-    ));
-    s.push_str(&format!(
-        "{indent}    \"records\": {},\n",
-        row.pump.total_records()
-    ));
-    s.push_str(&format!(
-        "{indent}    \"fold_seconds_total\": {:.6},\n",
-        row.pump.total_fold_seconds()
-    ));
-    s.push_str(&format!(
-        "{indent}    \"fold_seconds_max\": {:.6},\n",
+        "{indent}  \"fold_seconds_max\": {:.6},\n",
         row.pump.max_fold_seconds()
     ));
-    s.push_str(&format!(
-        "{indent}    \"memo_hits\": {},\n",
-        row.pump.total_memo_hits()
-    ));
-    s.push_str(&format!(
-        "{indent}    \"memo_misses\": {},\n",
-        row.pump.total_memo_misses()
-    ));
-    s.push_str(&format!(
-        "{indent}    \"distinct_classes\": {},\n",
-        row.pump.total_distinct_classes()
-    ));
-    s.push_str(&format!("{indent}    \"per_worker\": [\n"));
-    for (i, w) in row.pump.workers.iter().enumerate() {
-        let comma = if i + 1 < row.pump.workers.len() {
-            ","
-        } else {
-            ""
-        };
-        s.push_str(&format!(
-            "{indent}      {{\"chunks_claimed\": {}, \"records_folded\": {}, \
-             \"fold_seconds\": {:.6}, \"memo_hits\": {}, \"memo_misses\": {}, \
-             \"distinct_classes\": {}}}{comma}\n",
-            w.chunks_claimed,
-            w.records_folded,
-            w.fold_seconds,
-            w.memo_hits,
-            w.memo_misses,
-            w.distinct_classes
-        ));
-    }
-    s.push_str(&format!("{indent}    ]\n"));
-    s.push_str(&format!("{indent}  }}\n"));
+    s.push_str(&format!("{indent}  \"metrics\": {}\n", row.metrics_json));
     s.push_str(&format!("{indent}}}"));
     s
 }

@@ -33,13 +33,14 @@ fn main() {
         shard.total()
     );
     if let Some(stats) = engine.pump_stats() {
+        let totals = stats.totals();
         eprintln!(
             "  pump: {}/{} workers, {} chunks, {} records, busy {:.3}s max {:.3}s",
             stats.effective_workers,
             stats.requested_workers,
-            stats.total_chunks(),
-            stats.total_records(),
-            stats.total_fold_seconds(),
+            totals.chunks_claimed,
+            totals.records_folded,
+            totals.fold_seconds,
             stats.max_fold_seconds()
         );
         for (i, w) in stats.workers.iter().enumerate() {

@@ -75,20 +75,19 @@ fn main() {
         .engine()
         .stream_quicreach(campaign.config().default_initial);
     if let Some(stats) = campaign.engine().pump_stats() {
+        let totals = stats.totals();
         eprintln!(
             "stream pump: {} worker(s) of {} requested, {} chunks, {} records, {:.3}s busy (max worker {:.3}s)",
             stats.effective_workers,
             stats.requested_workers,
-            stats.total_chunks(),
-            stats.total_records(),
-            stats.total_fold_seconds(),
+            totals.chunks_claimed,
+            totals.records_folded,
+            totals.fold_seconds,
             stats.max_fold_seconds(),
         );
         eprintln!(
             "stream memo: {} hits, {} misses, {} distinct classes across workers",
-            stats.total_memo_hits(),
-            stats.total_memo_misses(),
-            stats.total_distinct_classes(),
+            totals.memo_hits, totals.memo_misses, totals.distinct_classes,
         );
         for (i, w) in stats.workers.iter().enumerate() {
             eprintln!(
@@ -101,5 +100,15 @@ fn main() {
                 w.distinct_classes
             );
         }
+    }
+
+    // The full campaign registry — every counter and histogram the scans
+    // touched — renders to stderr on request; stdout stays the golden
+    // report byte-for-byte either way.
+    if std::env::var("QUICERT_METRICS").map(|v| v == "1") == Ok(true) {
+        eprint!(
+            "{}",
+            campaign.engine().metrics_registry().render_prometheus()
+        );
     }
 }

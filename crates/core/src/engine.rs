@@ -33,6 +33,7 @@ use std::time::Instant;
 use quicert_analysis::Merge;
 use quicert_compress::Algorithm;
 use quicert_netsim::{Ipv4Net, NetworkProfile};
+use quicert_obs::{Counter, Gauge, MetricsRegistry};
 use quicert_pki::{CertificateEra, DomainRecord, World, WorldConfig};
 use quicert_scanner::compression::{
     self, AlgorithmSupport, CompressionShard, SyntheticCompression,
@@ -40,7 +41,7 @@ use quicert_scanner::compression::{
 use quicert_scanner::https_scan::{self, HttpsScanReport, HttpsScanShard};
 use quicert_scanner::qscanner::{self, ConsistencyReport, QuicCertObservation};
 use quicert_scanner::quicreach::{
-    self, QuicReachResult, QuicReachShard, ScanSummary, WarmScanResult,
+    self, ProbeMetrics, QuicReachResult, QuicReachShard, ScanSummary, WarmScanResult,
 };
 use quicert_scanner::telescope_scan::{self, BackscatterSession};
 use quicert_scanner::zmap::{self, ZmapResult};
@@ -84,19 +85,36 @@ fn adaptive_claim(remaining: usize, workers: usize) -> usize {
 #[derive(Debug)]
 struct ArtifactCache<K, V> {
     map: Mutex<HashMap<K, Arc<V>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl<K: Eq + Hash, V> ArtifactCache<K, V> {
-    fn new() -> Self {
+    /// A cache whose hit/miss counters carry `family` as their label on
+    /// `registry`. Artifact requests are rare (once per campaign figure),
+    /// so counting every lookup costs nothing measurable.
+    fn new(registry: &MetricsRegistry, family: &str) -> Self {
         ArtifactCache {
             map: Mutex::new(HashMap::new()),
+            hits: registry.labeled_counter(
+                "quicert_engine_cache_hits_total",
+                &[("family", family)],
+                "Artifact requests answered from the engine cache",
+            ),
+            misses: registry.labeled_counter(
+                "quicert_engine_cache_misses_total",
+                &[("family", family)],
+                "Artifact requests that had to compute their artifact",
+            ),
         }
     }
 
     fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
         if let Some(value) = self.map.lock().unwrap().get(&key) {
+            self.hits.inc();
             return Arc::clone(value);
         }
+        self.misses.inc();
         let value = Arc::new(compute());
         // First insertion wins so concurrent callers agree on one allocation.
         Arc::clone(self.map.lock().unwrap().entry(key).or_insert(value))
@@ -203,19 +221,23 @@ pub struct PumpStats {
 }
 
 impl PumpStats {
-    /// Chunks claimed across all workers.
-    pub fn total_chunks(&self) -> u64 {
-        self.workers.iter().map(|w| w.chunks_claimed).sum()
-    }
-
-    /// Records folded across all workers.
-    pub fn total_records(&self) -> u64 {
-        self.workers.iter().map(|w| w.records_folded).sum()
-    }
-
-    /// CPU-ish busy seconds summed over workers.
-    pub fn total_fold_seconds(&self) -> f64 {
-        self.workers.iter().map(|w| w.fold_seconds).sum()
+    /// Every per-worker counter summed into one merged
+    /// [`WorkerPumpStats`]: the run's totals, in the same shape as any
+    /// single worker's share. `distinct_classes` sums the per-worker memo
+    /// tables — workers memoize independently, so a class counts once per
+    /// worker that met it, and at scale the total stays close to
+    /// `workers × classes`.
+    pub fn totals(&self) -> WorkerPumpStats {
+        let mut totals = WorkerPumpStats::default();
+        for w in &self.workers {
+            totals.chunks_claimed += w.chunks_claimed;
+            totals.records_folded += w.records_folded;
+            totals.fold_seconds += w.fold_seconds;
+            totals.memo_hits += w.memo_hits;
+            totals.memo_misses += w.memo_misses;
+            totals.distinct_classes += w.distinct_classes;
+        }
+        totals
     }
 
     /// The busiest worker's fold seconds — the pump's critical path.
@@ -224,23 +246,6 @@ impl PumpStats {
             .iter()
             .map(|w| w.fold_seconds)
             .fold(0.0, f64::max)
-    }
-
-    /// Memo hits across all workers.
-    pub fn total_memo_hits(&self) -> u64 {
-        self.workers.iter().map(|w| w.memo_hits).sum()
-    }
-
-    /// Memo misses (actual simulations under memoization) across workers.
-    pub fn total_memo_misses(&self) -> u64 {
-        self.workers.iter().map(|w| w.memo_misses).sum()
-    }
-
-    /// Distinct scenario classes summed over per-worker memo tables.
-    /// Workers memoize independently, so a class counts once per worker
-    /// that met it — at scale this stays close to `workers × classes`.
-    pub fn total_distinct_classes(&self) -> u64 {
-        self.workers.iter().map(|w| w.distinct_classes).sum()
     }
 }
 
@@ -369,6 +374,52 @@ where
     .0
 }
 
+/// Pre-registered streaming-pump instruments on the engine's registry —
+/// resolved once at construction so the pump's flush is a handful of
+/// atomic adds, never a registry lock.
+#[derive(Debug)]
+struct EngineMetrics {
+    chunks_claimed: Arc<Counter>,
+    records_folded: Arc<Counter>,
+    fold_wall_seconds: Arc<Gauge>,
+    memo_hits: Arc<Counter>,
+    memo_misses: Arc<Counter>,
+    memo_classes: Arc<Gauge>,
+}
+
+impl EngineMetrics {
+    fn register(registry: &MetricsRegistry) -> EngineMetrics {
+        EngineMetrics {
+            chunks_claimed: registry.counter(
+                "quicert_engine_chunks_claimed_total",
+                "Population chunks claimed off the streaming pump's cursor",
+            ),
+            records_folded: registry.counter(
+                "quicert_engine_records_folded_total",
+                "Records generated and folded by the streaming pump",
+            ),
+            // "wall" marks the one nondeterministic value in the registry:
+            // golden renders redact exactly the lines carrying it.
+            fold_wall_seconds: registry.gauge(
+                "quicert_engine_fold_wall_seconds_total",
+                "Wall-clock seconds pump workers spent generating and folding",
+            ),
+            memo_hits: registry.counter(
+                "quicert_engine_memo_hits_total",
+                "Streamed probes answered from scenario-class memos",
+            ),
+            memo_misses: registry.counter(
+                "quicert_engine_memo_misses_total",
+                "Streamed probes simulated while memoizing",
+            ),
+            memo_classes: registry.gauge(
+                "quicert_engine_memo_classes",
+                "Distinct scenario classes across per-worker memo tables after the last pump",
+            ),
+        }
+    }
+}
+
 /// The campaign's scan executor and artifact store.
 #[derive(Debug)]
 pub struct ScanEngine {
@@ -400,6 +451,11 @@ pub struct ScanEngine {
     stream_compression: ArtifactCache<(), CompressionShard>,
     // What the pump did on the most recent (uncached) streaming scan.
     last_pump: Mutex<Option<PumpStats>>,
+    // The campaign's metrics registry and its pre-registered pump
+    // instruments; `metrics_enabled` gates the streaming-path flushes.
+    registry: Arc<MetricsRegistry>,
+    metrics: EngineMetrics,
+    metrics_enabled: bool,
 }
 
 impl ScanEngine {
@@ -413,6 +469,8 @@ impl ScanEngine {
         } else {
             workers
         };
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = EngineMetrics::register(&registry);
         ScanEngine {
             world,
             default_initial,
@@ -422,20 +480,23 @@ impl ScanEngine {
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
             era: CertificateEra::Classical,
-            https: ArtifactCache::new(),
-            quicreach: ArtifactCache::new(),
-            warm: ArtifactCache::new(),
-            sweep: ArtifactCache::new(),
-            compression_support: ArtifactCache::new(),
-            all_three: ArtifactCache::new(),
-            compression_study: ArtifactCache::new(),
-            telescope: ArtifactCache::new(),
-            zmap: ArtifactCache::new(),
-            qscanner: ArtifactCache::new(),
-            stream_quicreach: ArtifactCache::new(),
-            stream_https: ArtifactCache::new(),
-            stream_compression: ArtifactCache::new(),
+            https: ArtifactCache::new(&registry, "https"),
+            quicreach: ArtifactCache::new(&registry, "quicreach"),
+            warm: ArtifactCache::new(&registry, "warm"),
+            sweep: ArtifactCache::new(&registry, "sweep"),
+            compression_support: ArtifactCache::new(&registry, "compression-support"),
+            all_three: ArtifactCache::new(&registry, "all-three"),
+            compression_study: ArtifactCache::new(&registry, "compression-study"),
+            telescope: ArtifactCache::new(&registry, "telescope"),
+            zmap: ArtifactCache::new(&registry, "zmap"),
+            qscanner: ArtifactCache::new(&registry, "qscanner"),
+            stream_quicreach: ArtifactCache::new(&registry, "stream-quicreach"),
+            stream_https: ArtifactCache::new(&registry, "stream-https"),
+            stream_compression: ArtifactCache::new(&registry, "stream-compression"),
             last_pump: Mutex::new(None),
+            registry,
+            metrics,
+            metrics_enabled: true,
         }
     }
 
@@ -475,6 +536,31 @@ impl ScanEngine {
     /// Whether the streaming scan path memoizes scenario classes.
     pub fn memoization(&self) -> bool {
         self.memoize
+    }
+
+    /// Enable or disable streaming-scan instrumentation (on by default).
+    /// Metrics are a pure side channel — they read simulated time and
+    /// counters the datapath maintains anyway, so summaries are bit-for-bit
+    /// identical either way; the determinism matrix pins exactly that. The
+    /// toggle exists for overhead A/B runs, not because anything depends
+    /// on it.
+    pub fn with_metrics(mut self, enabled: bool) -> ScanEngine {
+        self.metrics_enabled = enabled;
+        self
+    }
+
+    /// Whether the streaming scan path updates the metrics registry.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_enabled
+    }
+
+    /// The campaign's metrics registry. Artifact-cache counters land here
+    /// unconditionally; pump totals, probe counters and handshake-phase
+    /// histograms land here while metrics are enabled. Render it with
+    /// [`MetricsRegistry::render_prometheus`] or
+    /// [`MetricsRegistry::render_json`].
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Set the engine's default [`NetworkProfile`]: the link-condition
@@ -768,6 +854,17 @@ impl ScanEngine {
             make_scratch,
             fold,
         );
+        if self.metrics_enabled {
+            let totals = stats.totals();
+            self.metrics.chunks_claimed.add(totals.chunks_claimed);
+            self.metrics.records_folded.add(totals.records_folded);
+            self.metrics.fold_wall_seconds.add(totals.fold_seconds);
+            self.metrics.memo_hits.add(totals.memo_hits);
+            self.metrics.memo_misses.add(totals.memo_misses);
+            self.metrics
+                .memo_classes
+                .set(totals.distinct_classes as f64);
+        }
         *self.last_pump.lock().unwrap() = Some(stats);
         shard
     }
@@ -795,8 +892,17 @@ impl ScanEngine {
     ) -> Arc<QuicReachShard> {
         self.stream_quicreach
             .get_or_compute((era, profile, initial_size), || {
+                let probe_metrics = self
+                    .metrics_enabled
+                    .then(|| ProbeMetrics::register(&self.registry, era, profile));
                 let mut shard: QuicReachShard = self.pump(
-                    || quicreach::ProbeScratch::with_memo(self.memoize),
+                    || {
+                        let mut scratch = quicreach::ProbeScratch::with_memo(self.memoize);
+                        if let Some(metrics) = &probe_metrics {
+                            scratch.set_metrics(metrics.clone());
+                        }
+                        scratch
+                    },
                     |records, scratch| {
                         quicreach::fold_records_scratch(
                             &self.world,
@@ -1189,6 +1295,91 @@ mod tests {
         assert_eq!(reach.total(), 0);
         assert_eq!(reach.classes.initial_size, 1362);
         assert_eq!(engine.stream_https_scan().total, 0);
+    }
+
+    #[test]
+    fn metrics_are_a_pure_side_channel_at_any_worker_count() {
+        // Bit-identity with metrics on vs off, at 1, 2 and 8 workers: the
+        // instrumented pump must fold exactly the summaries the bare pump
+        // folds. (The full axes sweep lives in the determinism matrix.)
+        let reference = engine(1).with_metrics(false).stream_quicreach(1362);
+        for workers in [1, 2, 8] {
+            let on = engine(workers).with_metrics(true);
+            let off = engine(workers).with_metrics(false);
+            assert_eq!(
+                *on.stream_quicreach(1362),
+                *reference,
+                "metrics on diverged at {workers} workers"
+            );
+            assert_eq!(
+                *off.stream_quicreach(1362),
+                *reference,
+                "metrics off diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_counters_mirror_the_pump_and_cache_activity() {
+        let engine = engine(2);
+        let first = engine.stream_quicreach(1362);
+        let again = engine.stream_quicreach(1362);
+        assert!(Arc::ptr_eq(&first, &again));
+
+        let registry = engine.metrics_registry();
+        let totals = engine.pump_stats().expect("a pump ran").totals();
+        let counter = |name: &str| registry.counter(name, "").get();
+        assert_eq!(
+            counter("quicert_engine_chunks_claimed_total"),
+            totals.chunks_claimed
+        );
+        assert_eq!(
+            counter("quicert_engine_records_folded_total"),
+            totals.records_folded
+        );
+        assert_eq!(counter("quicert_engine_memo_hits_total"), totals.memo_hits);
+        assert_eq!(
+            counter("quicert_engine_memo_misses_total"),
+            totals.memo_misses
+        );
+
+        // The streaming probe counters carry the scan's era × profile
+        // labels and split probed records into fresh vs replayed.
+        let labels = [("era", "classical"), ("profile", "ideal")];
+        let issued = registry
+            .labeled_counter("quicert_scan_probes_issued_total", &labels, "")
+            .get();
+        let replayed = registry
+            .labeled_counter("quicert_scan_probes_replayed_total", &labels, "")
+            .get();
+        assert_eq!(issued, totals.memo_misses);
+        assert_eq!(replayed, totals.memo_hits);
+
+        // One miss then one hit on the stream-quicreach artifact cache.
+        let cache = [("family", "stream-quicreach")];
+        assert_eq!(
+            registry
+                .labeled_counter("quicert_engine_cache_misses_total", &cache, "")
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .labeled_counter("quicert_engine_cache_hits_total", &cache, "")
+                .get(),
+            1
+        );
+
+        // Disabled metrics freeze the pump counters (cache counters still
+        // tick — they never threatened determinism in the first place).
+        let off = super::tests::engine(2).with_metrics(false);
+        off.stream_quicreach(1362);
+        assert_eq!(
+            off.metrics_registry()
+                .counter("quicert_engine_records_folded_total", "")
+                .get(),
+            0
+        );
     }
 
     #[test]

@@ -123,9 +123,9 @@ fn streaming_grid_is_memoization_invariant() {
     ] {
         let reference = ScanEngine::streaming(config.clone(), INITIAL, 1).with_memoization(false);
         let want = reference.stream_quicreach_era(era, profile, INITIAL);
-        let direct_pump = reference.pump_stats().expect("pump ran");
-        assert_eq!(direct_pump.total_memo_hits(), 0, "{era}/{profile}");
-        assert_eq!(direct_pump.total_memo_misses(), 0, "{era}/{profile}");
+        let direct_totals = reference.pump_stats().expect("pump ran").totals();
+        assert_eq!(direct_totals.memo_hits, 0, "{era}/{profile}");
+        assert_eq!(direct_totals.memo_misses, 0, "{era}/{profile}");
         for (workers, chunk) in [(1usize, 0usize), (2, 64), (8, 4096)] {
             let memoized = ScanEngine::streaming(config.clone(), INITIAL, workers)
                 .with_stream_chunk(chunk)
@@ -135,30 +135,30 @@ fn streaming_grid_is_memoization_invariant() {
                 *want,
                 "memoized stream {era}/{profile} diverged at workers={workers} chunk={chunk}"
             );
-            let pump = memoized.pump_stats().expect("pump ran");
+            let totals = memoized.pump_stats().expect("pump ran").totals();
             let probed = want.total() as u64;
             if profile.is_deterministic() {
                 // Every probe is accounted a hit or a miss, and some
                 // classes must actually be shared at this population.
                 assert_eq!(
-                    pump.total_memo_hits() + pump.total_memo_misses(),
+                    totals.memo_hits + totals.memo_misses,
                     probed,
                     "{era}/{profile} workers={workers} chunk={chunk}"
                 );
                 assert!(
-                    pump.total_distinct_classes() <= pump.total_memo_misses(),
+                    totals.distinct_classes <= totals.memo_misses,
                     "{era}/{profile}"
                 );
                 // Class *sharing* (hits > 0) only emerges at campaign
                 // scale — the 3k-domain scanner unit test and the 1M
                 // bench guard pin it; here a small grid world may
                 // legitimately see all-distinct classes.
-                assert!(pump.total_distinct_classes() > 0, "{era}/{profile}");
+                assert!(totals.distinct_classes > 0, "{era}/{profile}");
             } else {
                 // RNG-consuming profiles bypass the memo entirely.
-                assert_eq!(pump.total_memo_hits(), 0, "{era}/{profile}");
-                assert_eq!(pump.total_memo_misses(), 0, "{era}/{profile}");
-                assert_eq!(pump.total_distinct_classes(), 0, "{era}/{profile}");
+                assert_eq!(totals.memo_hits, 0, "{era}/{profile}");
+                assert_eq!(totals.memo_misses, 0, "{era}/{profile}");
+                assert_eq!(totals.distinct_classes, 0, "{era}/{profile}");
             }
         }
     }

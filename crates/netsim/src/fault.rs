@@ -18,8 +18,12 @@ pub struct FaultInjector {
     pub corrupt_chance: f64,
     /// Drop datagrams whose UDP payload exceeds this size (None = no limit).
     pub size_limit: Option<usize>,
+    /// Probability of delivering a surviving datagram twice (spurious
+    /// retransmission / routing duplication).
+    pub duplicate_chance: f64,
     drops: u64,
     corruptions: u64,
+    duplications: u64,
 }
 
 impl FaultInjector {
@@ -32,13 +36,22 @@ impl FaultInjector {
     /// fault probabilities are zero. A `size_limit` drop is deterministic
     /// (it depends only on the datagram size) and does not disqualify.
     pub fn is_deterministic(&self) -> bool {
-        self.drop_chance == 0.0 && self.corrupt_chance == 0.0
+        self.drop_chance == 0.0 && self.corrupt_chance == 0.0 && self.duplicate_chance == 0.0
     }
 
     /// An injector that drops datagrams with probability `p`.
     pub fn dropping(p: f64) -> Self {
         FaultInjector {
             drop_chance: p,
+            ..FaultInjector::default()
+        }
+    }
+
+    /// An injector that duplicates surviving datagrams with probability
+    /// `p`.
+    pub fn duplicating(p: f64) -> Self {
+        FaultInjector {
+            duplicate_chance: p,
             ..FaultInjector::default()
         }
     }
@@ -65,6 +78,19 @@ impl FaultInjector {
         Some(dgram)
     }
 
+    /// Decide whether a datagram that survived [`FaultInjector::apply`]
+    /// should additionally be delivered a second time. Draws from the
+    /// session RNG only when `duplicate_chance` is nonzero, so existing
+    /// profiles stay bit-for-bit unchanged.
+    pub fn maybe_duplicate(&mut self, rng: &mut SimRng) -> bool {
+        if self.duplicate_chance > 0.0 && rng.chance(self.duplicate_chance) {
+            self.duplications += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of datagrams dropped so far.
     pub fn drops(&self) -> u64 {
         self.drops
@@ -73,6 +99,11 @@ impl FaultInjector {
     /// Number of datagrams corrupted so far.
     pub fn corruptions(&self) -> u64 {
         self.corruptions
+    }
+
+    /// Number of datagrams duplicated so far.
+    pub fn duplications(&self) -> u64 {
+        self.duplications
     }
 }
 
@@ -123,6 +154,28 @@ mod tests {
             .count();
         let rate = survived as f64 / 10_000.0;
         assert!((rate - 0.5).abs() < 0.03, "survival rate was {rate}");
+    }
+
+    #[test]
+    fn duplication_counts_and_never_draws_when_disabled() {
+        let mut inj = FaultInjector {
+            duplicate_chance: 1.0,
+            ..FaultInjector::none()
+        };
+        assert!(!inj.is_deterministic());
+        let mut rng = SimRng::new(5);
+        assert!(inj.maybe_duplicate(&mut rng));
+        assert!(inj.maybe_duplicate(&mut rng));
+        assert_eq!(inj.duplications(), 2);
+
+        // A zero chance must not advance the RNG stream at all.
+        let mut off = FaultInjector::none();
+        assert!(off.is_deterministic());
+        let mut a = SimRng::new(6);
+        let mut b = SimRng::new(6);
+        assert!(!off.maybe_duplicate(&mut a));
+        assert_eq!(a.below(1_000_000), b.below(1_000_000));
+        assert_eq!(off.duplications(), 0);
     }
 
     #[test]

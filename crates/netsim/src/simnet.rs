@@ -35,14 +35,57 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use quicert_obs::{Counter, MetricsRegistry};
 
 use crate::datagram::Datagram;
 use crate::event::{
     Direction, DropReason, Endpoint, ExchangeLimits, ExchangeOutcome, TraceEvent, Wire,
 };
-use crate::link::Delivery;
+use crate::link::{Delivery, LinkModel};
 use crate::rng::SimRng;
 use crate::time::SimTime;
+
+/// Process-wide event-loop counters on [`MetricsRegistry::global`],
+/// batch-flushed once per [`SimNet::run`] so the per-event hot path never
+/// touches a shared atomic.
+struct NetMetrics {
+    events: Arc<Counter>,
+    timer_fires: Arc<Counter>,
+    drops: Arc<Counter>,
+    corruptions: Arc<Counter>,
+    duplications: Arc<Counter>,
+}
+
+fn net_metrics() -> &'static NetMetrics {
+    static METRICS: OnceLock<NetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = MetricsRegistry::global();
+        NetMetrics {
+            events: registry.counter(
+                "quicert_netsim_events_total",
+                "SimNet events processed (deliveries and timer fires)",
+            ),
+            timer_fires: registry.counter(
+                "quicert_netsim_timer_fires_total",
+                "SimNet timer events fired",
+            ),
+            drops: registry.counter(
+                "quicert_netsim_fault_drops_total",
+                "Datagrams removed by fault injectors",
+            ),
+            corruptions: registry.counter(
+                "quicert_netsim_fault_corruptions_total",
+                "Datagrams corrupted by fault injectors",
+            ),
+            duplications: registry.counter(
+                "quicert_netsim_fault_duplications_total",
+                "Datagrams duplicated by fault injectors",
+            ),
+        }
+    })
+}
 
 /// Handle to one session on a [`SimNet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,9 +187,14 @@ struct Session<'e> {
     /// Epoch of each side's timer slot; queued timers with older epochs are
     /// stale and skipped on pop.
     timer_epoch: [u64; 2],
-    /// Fault-injector counters at session creation, so outcomes report the
-    /// faults of *this* exchange even on a reused wire.
-    faults_before: (u64, u64),
+    /// Fault-injector counters (drops, corruptions, duplications) at
+    /// session creation, so outcomes report the faults of *this* exchange
+    /// even on a reused wire.
+    faults_before: (u64, u64, u64),
+    /// Whether this session's fault deltas were already flushed to the
+    /// global metrics registry (guards against double-counting if `run` is
+    /// called again).
+    metrics_flushed: bool,
     finished: bool,
     quiesced: bool,
 }
@@ -163,6 +211,11 @@ impl Session<'_> {
     fn fault_corruptions(&self) -> u64 {
         self.wire.fault_a_to_b.corruptions() + self.wire.fault_b_to_a.corruptions()
             - self.faults_before.1
+    }
+
+    fn fault_duplications(&self) -> u64 {
+        self.wire.fault_a_to_b.duplications() + self.wire.fault_b_to_a.duplications()
+            - self.faults_before.2
     }
 }
 
@@ -247,6 +300,7 @@ impl<'e> SimNet<'e> {
         let faults_before = (
             wire.fault_a_to_b.drops() + wire.fault_b_to_a.drops(),
             wire.fault_a_to_b.corruptions() + wire.fault_b_to_a.corruptions(),
+            wire.fault_a_to_b.duplications() + wire.fault_b_to_a.duplications(),
         );
         let mut sess = Session {
             a,
@@ -262,6 +316,7 @@ impl<'e> SimNet<'e> {
             timer_target: [None, None],
             timer_epoch: [0, 0],
             faults_before,
+            metrics_flushed: false,
             finished: false,
             quiesced: false,
         };
@@ -304,6 +359,8 @@ impl<'e> SimNet<'e> {
     /// since sessions share no state, each session's outcome is identical
     /// to running it alone.
     pub fn run(&mut self) {
+        let mut events_processed = 0u64;
+        let mut timer_events = 0u64;
         while let Some(Reverse(ev)) = self.queue.pop() {
             let s = ev.session;
             let sess = &mut self.sessions[s];
@@ -325,6 +382,10 @@ impl<'e> SimNet<'e> {
             }
             sess.now = ev.at;
             sess.events += 1;
+            events_processed += 1;
+            if matches!(ev.kind, EventKind::Timer { .. }) {
+                timer_events += 1;
+            }
             match ev.kind {
                 EventKind::Delivery {
                     direction, dgram, ..
@@ -367,6 +428,23 @@ impl<'e> SimNet<'e> {
             self.sessions.iter().all(|s| s.finished),
             "event heap drained with unfinished sessions"
         );
+        // One batched flush to the global registry per run: the per-event
+        // path above only touches locals.
+        let (mut drops, mut corruptions, mut duplications) = (0u64, 0u64, 0u64);
+        for sess in &mut self.sessions {
+            if !sess.metrics_flushed {
+                drops += sess.fault_drops();
+                corruptions += sess.fault_corruptions();
+                duplications += sess.fault_duplications();
+                sess.metrics_flushed = true;
+            }
+        }
+        let metrics = net_metrics();
+        metrics.events.add(events_processed);
+        metrics.timer_fires.add(timer_events);
+        metrics.drops.add(drops);
+        metrics.corruptions.add(corruptions);
+        metrics.duplications.add(duplications);
     }
 
     /// Take a finished session's outcome (trace moves out; a second take
@@ -422,26 +500,27 @@ fn enqueue_outbox(
         };
         let payload_len = dgram.payload_len();
 
-        let outcome = match fault.apply(&mut sess.rng, dgram) {
+        // RNG draw order: fault first, then (optional) duplication, then
+        // one link draw per copy — injectors with every chance at zero
+        // leave the stream untouched, exactly as before.
+        let survived = fault.apply(&mut sess.rng, dgram);
+        let duplicate = match &survived {
+            Some(dgram) => fault.maybe_duplicate(&mut sess.rng).then(|| dgram.clone()),
+            None => None,
+        };
+        let outcome = match survived {
             None => Err(DropReason::Fault),
-            Some(dgram) => match link.deliver(&mut sess.rng, &dgram, now) {
-                Delivery::Arrives(at) => {
-                    sess.seq += 1;
-                    queue.push(Reverse(QueuedEvent {
-                        at,
-                        session: session_idx,
-                        kind: EventKind::Delivery {
-                            seq: sess.seq,
-                            direction,
-                            dgram,
-                        },
-                    }));
-                    sess.pending_deliveries += 1;
-                    Ok(at)
-                }
-                Delivery::LostRandom => Err(DropReason::Loss),
-                Delivery::LostMtu(size) => Err(DropReason::Mtu(size)),
-            },
+            Some(dgram) => deliver_via_link(
+                link,
+                &mut sess.rng,
+                &mut sess.seq,
+                &mut sess.pending_deliveries,
+                queue,
+                session_idx,
+                direction,
+                now,
+                dgram,
+            ),
         };
         sess.trace.push(TraceEvent {
             sent_at: now,
@@ -449,6 +528,61 @@ fn enqueue_outbox(
             payload_len,
             outcome,
         });
+        if let Some(dgram) = duplicate {
+            let payload_len = dgram.payload_len();
+            let outcome = deliver_via_link(
+                link,
+                &mut sess.rng,
+                &mut sess.seq,
+                &mut sess.pending_deliveries,
+                queue,
+                session_idx,
+                direction,
+                now,
+                dgram,
+            );
+            sess.trace.push(TraceEvent {
+                sent_at: now,
+                direction,
+                payload_len,
+                outcome,
+            });
+        }
+    }
+}
+
+/// Offer one surviving datagram to the link model, queueing its delivery
+/// on arrival. Shared by the primary and the duplicated copy so both take
+/// identical scheduling (and RNG) paths.
+#[allow(clippy::too_many_arguments)]
+fn deliver_via_link(
+    link: &LinkModel,
+    rng: &mut SimRng,
+    seq: &mut u64,
+    pending_deliveries: &mut usize,
+    queue: &mut BinaryHeap<Reverse<QueuedEvent>>,
+    session_idx: usize,
+    direction: Direction,
+    now: SimTime,
+    dgram: Datagram,
+) -> Result<SimTime, DropReason> {
+    match link.deliver(rng, &dgram, now) {
+        Delivery::Arrives(at) => {
+            *seq += 1;
+            queue.push(Reverse(QueuedEvent {
+                at,
+                session: session_idx,
+                kind: EventKind::Delivery {
+                    seq: *seq,
+                    direction,
+                    dgram,
+                },
+            }));
+            *pending_deliveries += 1;
+            Ok(at)
+        }
+        Delivery::LostRandom => Err(DropReason::Loss),
+        Delivery::LostMtu(size) => Err(DropReason::Mtu(size)),
     }
 }
 
@@ -705,6 +839,31 @@ mod tests {
         assert!(!out.quiesced);
         assert_eq!(out.fault_drops, 1);
         assert_eq!(out.fault_corruptions, 0);
+    }
+
+    #[test]
+    fn duplicating_injector_delivers_every_datagram_twice() {
+        let mut recorder = Recorder::default();
+        let mut wire = Wire::ideal(SimDuration::from_millis(5));
+        wire.fault_a_to_b = FaultInjector::duplicating(1.0);
+        let mut net = SimNet::new();
+        let id = net.add_session(
+            Box::new(Burst { n: 4 }),
+            Box::new(&mut recorder),
+            wire,
+            ExchangeLimits::default(),
+            SimRng::new(7),
+        );
+        net.run();
+        let out = net.take_outcome(id);
+        assert!(out.quiesced);
+        // One trace event per copy, no drops.
+        assert_eq!(out.datagrams(Direction::AtoB), 8);
+        assert_eq!(out.fault_drops, 0);
+        assert_eq!(net.wire(id).fault_a_to_b.duplications(), 4);
+        drop(net);
+        // Each payload arrives twice, copies adjacent in send order.
+        assert_eq!(recorder.seen, vec![10, 10, 11, 11, 12, 12, 13, 13]);
     }
 
     #[test]

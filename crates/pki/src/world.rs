@@ -11,11 +11,12 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::sync::RwLock;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use quicert_compress::Algorithm;
 use quicert_netsim::rng::fnv1a;
 use quicert_netsim::SimRng;
+use quicert_obs::{Counter, MetricsRegistry};
 use quicert_x509::{CertificateBuilder, CertificateChain, KeyAlgorithm};
 
 use crate::dns::{self, DnsOutcome, DnsRates};
@@ -239,6 +240,31 @@ impl Default for WorldConfig {
 /// length — see [`CertificateBuilder::serial_der_len`]).
 type ChainLenKey = (ChainId, CertificateEra, KeyAlgorithm, u16, u16, u8);
 
+/// Process-wide world-generation counters on [`MetricsRegistry::global`].
+/// Record generation is batched (one `add` per chunk) so the streaming
+/// pump's per-record path never touches an atomic it doesn't already own.
+struct WorldMetrics {
+    records_generated: Arc<Counter>,
+    chain_len_cache_hits: Arc<Counter>,
+}
+
+fn world_metrics() -> &'static WorldMetrics {
+    static METRICS: OnceLock<WorldMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = MetricsRegistry::global();
+        WorldMetrics {
+            records_generated: reg.counter(
+                "quicert_pki_records_generated_total",
+                "Domain records derived from world configurations",
+            ),
+            chain_len_cache_hits: reg.counter(
+                "quicert_pki_chain_len_cache_hits_total",
+                "Chain-length lookups answered from the per-world class cache",
+            ),
+        }
+    })
+}
+
 /// The generated world.
 #[derive(Debug)]
 pub struct World {
@@ -276,6 +302,7 @@ impl World {
         for rank in 1..=config.domains {
             domains.push(Self::generate_domain(&config, &root, rank));
         }
+        world_metrics().records_generated.add(domains.len() as u64);
         World {
             config,
             ecosystem,
@@ -313,6 +340,7 @@ impl World {
     /// at `rank`, whether or not this world materialised its population.
     pub fn domain_at(&self, rank: usize) -> DomainRecord {
         debug_assert!(rank >= 1 && rank <= self.config.domains);
+        world_metrics().records_generated.inc();
         Self::generate_domain(&self.config, &SimRng::new(self.config.seed), rank)
     }
 
@@ -352,6 +380,7 @@ impl World {
         for rank in first_rank..=end {
             out.push(Self::generate_domain(&self.config, &root, rank));
         }
+        world_metrics().records_generated.add(out.len() as u64);
     }
 
     /// Stream the population as rank-ordered chunks of `chunk_size`
@@ -468,6 +497,7 @@ impl World {
             .expect("cache poisoned")
             .get(&key)
         {
+            world_metrics().chain_len_cache_hits.inc();
             return Some(len);
         }
         let len = self.quic_chain_era(record, era)?.total_der_len() as u32;

@@ -90,6 +90,11 @@ pub struct ClientConn {
     /// When the client had the full server handshake (handshake complete
     /// from the client's perspective).
     pub completed_at: Option<SimTime>,
+    /// When the client first had the whole certificate flight verified
+    /// (Certificate/CompressedCertificate + CertificateVerify on the cold
+    /// path; the accepted PSK on a resumed one). Feeds the handshake phase
+    /// timeline.
+    pub cert_flight_at: Option<SimTime>,
     /// Whether the server accepted our PSK offer (resumed handshake).
     pub psk_accepted: bool,
     /// A NewSessionTicket the server issued post-handshake, if any.
@@ -126,6 +131,7 @@ impl ClientConn {
             handshake_messages_done: false,
             fin_sent: false,
             completed_at: None,
+            cert_flight_at: None,
             psk_accepted: false,
             ticket: None,
             saw_retry: false,
@@ -256,6 +262,9 @@ impl ClientConn {
             // EE + Finished complete it.
             let certs_done = self.psk_accepted
                 || ((types.contains(&11) || types.contains(&25)) && types.contains(&15));
+            if certs_done && self.cert_flight_at.is_none() {
+                self.cert_flight_at = Some(now);
+            }
             let done = types.contains(&8) && certs_done && types.contains(&20);
             if done {
                 self.handshake_messages_done = true;

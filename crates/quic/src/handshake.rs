@@ -11,6 +11,7 @@ use quicert_netsim::{
     run_exchange, Datagram, Endpoint, ExchangeLimits, ExchangeOutcome, SessionId, SimDuration,
     SimNet, SimRng, SimTime, Wire,
 };
+use quicert_obs::HandshakeTimeline;
 use quicert_session::{SessionCache, SessionTicket};
 use quicert_tls::PskOffer;
 
@@ -137,6 +138,10 @@ pub struct HandshakeOutcome {
     /// one out; `obtained_at_secs` is left 0 for the caller to stamp with
     /// its wall clock.
     pub ticket: Option<SessionTicket>,
+    /// Per-phase timestamps of the handshake (Initial sent, amplification
+    /// stall begin/end, certificate flight complete, done), feeding the
+    /// phase-duration histograms of the telemetry layer.
+    pub timeline: HandshakeTimeline,
 }
 
 impl HandshakeOutcome {
@@ -208,6 +213,16 @@ fn extract_handshake_outcome(
         .map(|t| t.as_nanos().max(1).div_ceil(rtt.as_nanos().max(1)) as u32)
         .unwrap_or(0);
 
+    // Every session starts its own virtual timeline at zero, so the
+    // timeline's offsets are simply the endpoints' SimTime stamps.
+    let timeline = HandshakeTimeline {
+        initial_sent_ns: 0,
+        stall_begin_ns: server.stall_began_at().map(|t| t.as_nanos()),
+        stall_end_ns: server.stall_ended_at().map(|t| t.as_nanos()),
+        cert_flight_ns: client.cert_flight_at.map(|t| t.as_nanos()),
+        done_ns: client.completed_at.map(|t| t.as_nanos()),
+    };
+
     HandshakeOutcome {
         completed: client.handshake_complete(),
         used_retry: client.saw_retry,
@@ -218,6 +233,7 @@ fn extract_handshake_outcome(
         rtt_count,
         server_stats: *server.stats(),
         completed_at: client.completed_at,
+        timeline,
         fault_drops: outcome.fault_drops,
         fault_corruptions: outcome.fault_corruptions,
         resumed: client.psk_accepted,
@@ -867,6 +883,57 @@ mod tests {
         assert_eq!(out.flight_transmissions, 8);
         // Session spans the retransmission backoff (tens of seconds).
         assert!(out.session_duration() > SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn timeline_phases_account_for_the_whole_handshake() {
+        use quicert_obs::Phase;
+        // Multi-RTT big chain: the server stalls on its 3x budget, so all
+        // four phases are populated and must sum exactly to the total.
+        let out = run_handshake(
+            ClientConfig::scanner(1362, SERVER, 31),
+            server(
+                ServerBehavior::rfc_compliant(),
+                big_chain(),
+                KeyAlgorithm::Rsa2048,
+            ),
+            &mut wire(),
+            31,
+        );
+        assert!(out.completed);
+        assert_eq!(out.classify(), HandshakeClass::MultiRtt);
+        let phases = out.timeline.phases().expect("completed handshake");
+        let sum: u64 = phases.iter().map(|(_, d)| d).sum();
+        assert_eq!(Some(sum), out.timeline.total_ns(), "phases sum to total");
+        assert_eq!(
+            out.timeline.done_ns,
+            out.completed_at.map(|t| t.as_nanos()),
+            "timeline end is the completion instant"
+        );
+        assert!(out.timeline.stall_begin_ns.is_some(), "big chain stalls");
+        assert!(
+            phases[Phase::AmplificationStall.index()].1 > 0,
+            "the stall phase has nonzero duration"
+        );
+
+        // 1-RTT small chain: no stall ever begins, and the degenerate
+        // timeline still partitions the total exactly.
+        let fast = run_handshake(
+            ClientConfig::scanner(1362, SERVER, 32),
+            server(
+                ServerBehavior::rfc_compliant(),
+                small_chain(),
+                KeyAlgorithm::EcdsaP256,
+            ),
+            &mut wire(),
+            32,
+        );
+        assert_eq!(fast.classify(), HandshakeClass::OneRtt);
+        assert!(fast.timeline.stall_begin_ns.is_none());
+        let phases = fast.timeline.phases().expect("completed handshake");
+        let sum: u64 = phases.iter().map(|(_, d)| d).sum();
+        assert_eq!(Some(sum), fast.timeline.total_ns());
+        assert_eq!(phases[Phase::AmplificationStall.index()].1, 0);
     }
 
     #[test]

@@ -217,6 +217,10 @@ pub struct ServerConn {
     pto_deadline: Option<SimTime>,
     current_pto: SimDuration,
     stats: ServerStats,
+    /// When the send queue first blocked on the anti-amplification budget.
+    stall_began_at: Option<SimTime>,
+    /// When the first datagram left after a stall had begun.
+    stall_ended_at: Option<SimTime>,
 }
 
 impl ServerConn {
@@ -247,12 +251,26 @@ impl ServerConn {
             pto_deadline: None,
             current_pto,
             stats: ServerStats::default(),
+            stall_began_at: None,
+            stall_ended_at: None,
         }
     }
 
     /// Final statistics (valid at any time).
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// When the send queue first blocked on the anti-amplification budget,
+    /// if it ever did — the amplification-stall phase begins here.
+    pub fn stall_began_at(&self) -> Option<SimTime> {
+        self.stall_began_at
+    }
+
+    /// When sending resumed after a stall had begun, if it did — the
+    /// amplification-stall phase ends here.
+    pub fn stall_ended_at(&self) -> Option<SimTime> {
+        self.stall_ended_at
     }
 
     /// Whether the handshake completed from the server's perspective.
@@ -485,7 +503,13 @@ impl ServerConn {
                 charged = 0;
             }
             if !self.budget.allows(charged, pending.packets.len()) {
+                if self.stall_began_at.is_none() {
+                    self.stall_began_at = Some(now);
+                }
                 break;
+            }
+            if self.stall_began_at.is_some() && self.stall_ended_at.is_none() {
+                self.stall_ended_at = Some(now);
             }
             let pending = self.queue.pop_front().unwrap();
             self.budget.charge(charged, pending.packets.len());

@@ -16,10 +16,11 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use quicert_analysis::{Merge, StreamSummary};
 use quicert_netsim::{NetworkProfile, UDP_IPV4_OVERHEAD};
+use quicert_obs::{Counter, Histogram, MetricsRegistry, Phase};
 use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_quic::handshake::{
     HandshakeClass, HandshakeOutcome, HandshakeProbe, ResumptionOutcome, ResumptionProbe,
@@ -399,6 +400,74 @@ impl ProbeClass {
     }
 }
 
+/// Record `n` probes issued by one materialized scan family on the
+/// process-wide registry (`quicert_scanner_probes_issued_total{family=…}`).
+/// Registration is idempotent, so the per-shard lock cost is one mutex
+/// acquisition — never on a per-record path.
+fn count_family_probes(family: &'static str, n: usize) {
+    MetricsRegistry::global()
+        .labeled_counter(
+            "quicert_scanner_probes_issued_total",
+            &[("family", family)],
+            "Handshake probes issued by the materialized scan entry points",
+        )
+        .add(n as u64);
+}
+
+/// Per-(era, profile) streaming-scan instruments: fresh-vs-replayed probe
+/// counters plus one handshake-phase histogram per [`Phase`].
+///
+/// The engine registers one of these per scanned era on its registry and
+/// attaches a clone to every worker's [`ProbeScratch`]; the fold then
+/// batch-updates the shared atomics once per chunk. Everything observed is
+/// derived from simulated time and pre-existing memo counters, so
+/// attaching metrics can never perturb a summary.
+#[derive(Debug, Clone)]
+pub struct ProbeMetrics {
+    issued: Arc<Counter>,
+    replayed: Arc<Counter>,
+    phases: [Arc<Histogram>; 4],
+}
+
+impl ProbeMetrics {
+    /// Register (or re-acquire — registration is idempotent) the
+    /// instruments for one era × profile pair on `registry`.
+    pub fn register(
+        registry: &MetricsRegistry,
+        era: CertificateEra,
+        profile: NetworkProfile,
+    ) -> ProbeMetrics {
+        let labels: &[(&str, &str)] = &[("era", era.name()), ("profile", profile.name())];
+        let phases = Phase::ALL.map(|phase| {
+            registry.labeled_histogram(
+                "quicert_handshake_phase_seconds",
+                &[
+                    ("era", era.name()),
+                    ("profile", profile.name()),
+                    ("phase", phase.label()),
+                ],
+                "Simulated handshake phase durations by era and network profile",
+                0.0,
+                1.0,
+                20,
+            )
+        });
+        ProbeMetrics {
+            issued: registry.labeled_counter(
+                "quicert_scan_probes_issued_total",
+                labels,
+                "Fresh handshake simulations run by the streaming scan",
+            ),
+            replayed: registry.labeled_counter(
+                "quicert_scan_probes_replayed_total",
+                labels,
+                "Handshake outcomes replayed from the scenario-class memo",
+            ),
+            phases,
+        }
+    }
+}
+
 /// Where a record's outcome comes from in the memoized fold: its own
 /// fresh simulation this chunk, or the memo table.
 #[derive(Debug, Clone, Copy)]
@@ -440,6 +509,7 @@ pub struct ProbeScratch {
     slots: Vec<OutcomeSlot>,
     pending: Vec<ProbeClass>,
     memo: Option<ProbeMemo>,
+    metrics: Option<ProbeMetrics>,
 }
 
 impl ProbeScratch {
@@ -460,7 +530,15 @@ impl ProbeScratch {
             slots: Vec::new(),
             pending: Vec::new(),
             memo: enabled.then(ProbeMemo::default),
+            metrics: None,
         }
+    }
+
+    /// Attach streaming-scan instruments; every later
+    /// [`fold_records_scratch`] through this scratch batch-updates them
+    /// once per chunk. A scratch without metrics skips all of it.
+    pub fn set_metrics(&mut self, metrics: ProbeMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Memo effectiveness over this scratch's lifetime:
@@ -511,6 +589,7 @@ pub fn fold_records_scratch(
     scratch.slots.clear();
     scratch.pending.clear();
     let memo_active = scratch.memo.is_some() && profile.is_deterministic();
+    let hits_before = scratch.memo.as_ref().map_or(0, |memo| memo.hits);
     for record in records.iter().filter(|record| record.has_quic()) {
         scratch.ranks.push(record.rank);
         if memo_active {
@@ -542,6 +621,21 @@ pub fn fold_records_scratch(
             if let Entry::Vacant(slot) = memo.classes.entry(class) {
                 slot.insert(memo.outcomes.len() as u32);
                 memo.outcomes.push(out.clone());
+            }
+        }
+    }
+    if let Some(metrics) = &scratch.metrics {
+        // Batch flush: two counter adds per chunk, and phase observations
+        // only for this chunk's *fresh* outcomes (replays would double-count
+        // the class's phases). Everything read is simulated time.
+        metrics.issued.add(scratch.outcomes.len() as u64);
+        let hits_now = scratch.memo.as_ref().map_or(0, |memo| memo.hits);
+        metrics.replayed.add(hits_now - hits_before);
+        for out in &scratch.outcomes {
+            if let Some(phases) = out.timeline.phases() {
+                for (phase, ns) in phases {
+                    metrics.phases[phase.index()].observe(ns as f64 / 1e9);
+                }
             }
         }
     }
@@ -688,6 +782,7 @@ pub fn scan_records_era(
     profile: NetworkProfile,
     era: CertificateEra,
 ) -> Vec<QuicReachResult> {
+    count_family_probes("quicreach", records.len());
     let outcomes = run_handshake_batch(probes_for(world, records, initial_size, profile, era));
     collate(records, &outcomes)
 }
@@ -704,6 +799,7 @@ pub fn scan_records_per_probe(
     initial_size: usize,
     profile: NetworkProfile,
 ) -> Vec<QuicReachResult> {
+    count_family_probes("per-probe", records.len());
     let outcomes: Vec<HandshakeOutcome> = probes_for(
         world,
         records,
@@ -835,6 +931,7 @@ pub fn warm_scan_records_era(
     policy: ResumptionPolicy,
     era: CertificateEra,
 ) -> Vec<WarmScanResult> {
+    count_family_probes("warm", records.len());
     let warm_now_secs = warm_visit_secs(policy);
     let probes: Vec<ResumptionProbe> = probes_for(world, records, initial_size, profile, era)
         .into_iter()
@@ -1079,6 +1176,78 @@ mod tests {
             );
         }
         assert_eq!(lossy.memo_stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn probe_metrics_account_for_every_probed_record_and_change_nothing() {
+        let world = world();
+        let owned: Vec<DomainRecord> = world.domains().iter().take(600).cloned().collect();
+        let probed = owned.iter().filter(|r| r.has_quic()).count() as u64;
+
+        let registry = MetricsRegistry::new();
+        let metrics =
+            ProbeMetrics::register(&registry, CertificateEra::Classical, NetworkProfile::Ideal);
+        let mut instrumented = ProbeScratch::new();
+        instrumented.set_metrics(metrics);
+        let mut plain = ProbeScratch::new();
+        for chunk in owned.chunks(64) {
+            let a = fold_records_scratch(
+                &world,
+                chunk,
+                1362,
+                NetworkProfile::Ideal,
+                CertificateEra::Classical,
+                &mut instrumented,
+            );
+            let b = fold_records_scratch(
+                &world,
+                chunk,
+                1362,
+                NetworkProfile::Ideal,
+                CertificateEra::Classical,
+                &mut plain,
+            );
+            assert_eq!(a, b, "metrics attachment changed a folded shard");
+        }
+
+        // issued == memo misses (every fresh simulation), replayed == memo
+        // hits, and together they cover each probed record exactly once.
+        let (hits, misses, _) = instrumented.memo_stats();
+        let labels = [("era", "classical"), ("profile", "ideal")];
+        let issued = registry
+            .labeled_counter("quicert_scan_probes_issued_total", &labels, "")
+            .get();
+        let replayed = registry
+            .labeled_counter("quicert_scan_probes_replayed_total", &labels, "")
+            .get();
+        assert_eq!(issued, misses);
+        assert_eq!(replayed, hits);
+        assert_eq!(issued + replayed, probed);
+
+        // Phase histograms: one observation per completed fresh handshake,
+        // the same count in all four phases.
+        let phase_counts: Vec<u64> = Phase::ALL
+            .iter()
+            .map(|phase| {
+                registry
+                    .labeled_histogram(
+                        "quicert_handshake_phase_seconds",
+                        &[
+                            ("era", "classical"),
+                            ("profile", "ideal"),
+                            ("phase", phase.label()),
+                        ],
+                        "",
+                        0.0,
+                        1.0,
+                        20,
+                    )
+                    .count()
+            })
+            .collect();
+        assert!(phase_counts[0] > 0, "no handshake phases observed");
+        assert!(phase_counts.iter().all(|&c| c == phase_counts[0]));
+        assert!(phase_counts[0] <= issued, "replays must not observe phases");
     }
 
     #[test]

@@ -88,13 +88,28 @@ fn main() {
     // was simulated; the hits replayed a cached outcome (bit-identically —
     // toggle with `with_memoization(false)` and compare).
     if let Some(stats) = engine.pump_stats() {
-        let (hits, misses) = (stats.total_memo_hits(), stats.total_memo_misses());
+        let totals = stats.totals();
+        let (hits, misses) = (totals.memo_hits, totals.memo_misses);
         println!(
             "  flyweight memo: {hits} hits / {misses} misses ({} distinct classes); \
              {:.1}% of probes replayed instead of simulated",
-            stats.total_distinct_classes(),
+            totals.distinct_classes,
             100.0 * hits as f64 / (hits + misses).max(1) as f64,
         );
+    }
+
+    // Campaign telemetry: everything above also landed on the engine's
+    // metrics registry — cache hit/miss per artifact family, pump totals,
+    // fresh-vs-replayed probe counters, and per-phase handshake timing
+    // histograms, all in Prometheus exposition format.
+    println!("\n== telemetry tour: the same campaign as a metrics registry ==\n");
+    let rendered = engine.metrics_registry().render_prometheus();
+    for line in rendered.lines() {
+        // Skip the host-dependent wall-clock gauge; everything else is
+        // derived from simulated time and deterministic counters.
+        if !line.contains("_wall_") {
+            println!("{line}");
+        }
     }
 
     // The population-scale ladder exactly as the full report renders it

@@ -27,6 +27,8 @@
 //! * [`compress`] — RFC 8879-style certificate compression (three profiles)
 //! * [`tls`] — TLS 1.3 handshake messages and browser profiles
 //! * [`quic`] — QUIC v1 handshake engine with real-world server behaviours
+//! * [`obs`] — lock-free metrics registry, Prometheus exposition, and
+//!   handshake phase timelines
 //! * [`session`] — TLS session tickets, STEK rotation, the client cache
 //!   and the resumption-policy scenario axis
 //! * [`pki`] — the CA ecosystem, ranked world generator, and the
@@ -40,6 +42,7 @@ pub use quicert_analysis as analysis;
 pub use quicert_compress as compress;
 pub use quicert_core as core;
 pub use quicert_netsim as netsim;
+pub use quicert_obs as obs;
 pub use quicert_pki as pki;
 pub use quicert_quic as quic;
 pub use quicert_scanner as scanner;
