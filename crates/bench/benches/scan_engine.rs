@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use quicert_core::engine::host_parallelism;
 use quicert_core::{PumpStats, ScanEngine};
-use quicert_netsim::NetworkProfile;
+use quicert_netsim::{FaultPlan, NetworkProfile};
 use quicert_pki::{CertificateEra, DomainRecord, World, WorldConfig};
 use quicert_scanner::quicreach;
 use quicert_session::ResumptionPolicy;
@@ -60,6 +60,17 @@ fn stream_population_10m() -> usize {
         50_000
     } else {
         10_000_000
+    }
+}
+
+/// Population for the chaos fault-grid rows: fault injection adds PTO
+/// retransmission rounds per probe, so the rows run a smaller population
+/// than the fault-free streaming rows.
+fn chaos_population() -> usize {
+    if smoke() {
+        4_000
+    } else {
+        100_000
     }
 }
 
@@ -175,6 +186,63 @@ fn bench_stream(label: &str, population: usize, workers: usize, memoized: bool) 
         reachable: shard.classes.reachable(),
         pump,
         metrics_json,
+    }
+}
+
+struct ChaosRow {
+    plan: FaultPlan,
+    seconds: f64,
+    probed: usize,
+    reachable: usize,
+    client_retransmissions: u64,
+    server_retransmissions: u64,
+    fault_drops: u64,
+    fault_duplications: u64,
+    fault_corruptions: u64,
+    stall_ms: f64,
+}
+
+/// One streamed chaos scan per ladder rung: the fault-free rung is the
+/// baseline, the lossy rungs carry the recovery-cost counters the CI
+/// guard reads (retransmissions must be nonzero under loss, zero without).
+fn bench_chaos(population: usize, plan: FaultPlan) -> ChaosRow {
+    let config = WorldConfig {
+        domains: population,
+        seed: SEED,
+        ..WorldConfig::default()
+    };
+    let engine = ScanEngine::streaming(config, INITIAL, 8);
+    let start = Instant::now();
+    let shard = engine.stream_quicreach_chaos(
+        CertificateEra::Classical,
+        NetworkProfile::Ideal,
+        plan,
+        INITIAL,
+    );
+    let seconds = start.elapsed().as_secs_f64();
+    black_box(shard.total());
+    eprintln!(
+        "scan_chaos {:<10} {seconds:>10.4} s  ({population} domains, {} reachable, \
+         {} cli rtx, {} srv rtx, {} drops, {} dups, {} corrupt)",
+        plan.to_string(),
+        shard.classes.reachable(),
+        shard.client_retransmissions,
+        shard.server_retransmissions,
+        shard.fault_drops,
+        shard.fault_duplications,
+        shard.fault_corruptions,
+    );
+    ChaosRow {
+        plan,
+        seconds,
+        probed: shard.total(),
+        reachable: shard.classes.reachable(),
+        client_retransmissions: shard.client_retransmissions,
+        server_retransmissions: shard.server_retransmissions,
+        fault_drops: shard.fault_drops,
+        fault_duplications: shard.fault_duplications,
+        fault_corruptions: shard.fault_corruptions,
+        stall_ms: shard.stall_ns_total as f64 / 1e6,
     }
 }
 
@@ -310,6 +378,14 @@ fn main() {
     let scan_10m_rows: Vec<StreamRow> =
         vec![bench_stream("scan_10m", stream_population_10m(), 8, true)];
 
+    // The chaos axis: the fault-free rung as baseline, one lossy rung and
+    // the duplication-only rung. CI asserts the MODERATE row recovers
+    // (nonzero retransmissions) and the NONE row never pays for recovery.
+    let chaos_rows: Vec<ChaosRow> = [FaultPlan::NONE, FaultPlan::MODERATE, FaultPlan::DUP_STORM]
+        .into_iter()
+        .map(|plan| bench_chaos(chaos_population(), plan))
+        .collect();
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"domains\": {domains},\n"));
@@ -367,6 +443,31 @@ fn main() {
         ));
         json.push_str(comma);
         json.push('\n');
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"scan_chaos\": {\n");
+    json.push_str(&format!("    \"population\": {},\n", chaos_population()));
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in chaos_rows.iter().enumerate() {
+        let comma = if i + 1 < chaos_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "      {{\"plan\": \"{}\", \"seconds\": {:.6}, \"probed\": {}, \
+             \"reachable\": {}, \"client_retransmissions\": {}, \
+             \"server_retransmissions\": {}, \"fault_drops\": {}, \
+             \"fault_duplications\": {}, \"fault_corruptions\": {}, \
+             \"stall_ms\": {:.3}}}{comma}\n",
+            row.plan,
+            row.seconds,
+            row.probed,
+            row.reachable,
+            row.client_retransmissions,
+            row.server_retransmissions,
+            row.fault_drops,
+            row.fault_duplications,
+            row.fault_corruptions,
+            row.stall_ms,
+        ));
     }
     json.push_str("    ]\n");
     json.push_str("  },\n");

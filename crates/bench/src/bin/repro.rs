@@ -61,6 +61,7 @@ fn main() {
         resumption: true,
         pq_eras: true,
         population_scale: true,
+        chaos: true,
         // The paper-scale ladder: 10k / 100k / 1M domains streamed in
         // bounded memory.
         scale_sizes: quicert_core::experiments::scale::PAPER_SCALE_SIZES,

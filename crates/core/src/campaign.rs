@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use quicert_compress::Algorithm;
-use quicert_netsim::NetworkProfile;
+use quicert_netsim::{FaultPlan, NetworkProfile};
 use quicert_pki::{CertificateEra, World, WorldConfig};
 use quicert_scanner::compression::{AlgorithmSupport, SyntheticCompression};
 use quicert_scanner::https_scan::HttpsScanReport;
@@ -42,6 +42,11 @@ pub struct CampaignConfig {
     /// campaigns byte-for-byte; the report's era section additionally scans
     /// explicit eras regardless of this setting.
     pub era: CertificateEra,
+    /// The fault overlay plan-unaware scans run under.
+    /// [`FaultPlan::NONE`] (the default) reproduces plan-unaware campaigns
+    /// byte-for-byte; the report's chaos grid additionally scans explicit
+    /// plans regardless of this setting.
+    pub fault_plan: FaultPlan,
     /// Population chunk size for the streaming (`stream_*`) scan path;
     /// `0` (the default) lets the pump claim adaptively — large chunks
     /// that taper near the population's tail. Streaming results are
@@ -64,6 +69,7 @@ impl CampaignConfig {
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
             era: CertificateEra::Classical,
+            fault_plan: FaultPlan::NONE,
             stream_chunk: 0,
         }
     }
@@ -77,6 +83,7 @@ impl CampaignConfig {
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
             era: CertificateEra::Classical,
+            fault_plan: FaultPlan::NONE,
             stream_chunk: 0,
         }
     }
@@ -117,6 +124,12 @@ impl CampaignConfig {
         self
     }
 
+    /// Override the default fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Override the streaming chunk size (`0` = the engine default).
     pub fn with_stream_chunk(mut self, chunk_size: usize) -> Self {
         self.stream_chunk = chunk_size;
@@ -145,7 +158,8 @@ impl Campaign {
             .with_stream_chunk(config.stream_chunk)
             .with_profile(config.profile)
             .with_resumption(config.resumption)
-            .with_era(config.era);
+            .with_era(config.era)
+            .with_fault_plan(config.fault_plan);
         Campaign { config, engine }
     }
 
@@ -205,6 +219,20 @@ impl Campaign {
         initial_size: usize,
     ) -> Arc<Vec<QuicReachResult>> {
         self.engine.quicreach_era(era, profile, initial_size)
+    }
+
+    /// The quicreach classification under an explicit [`FaultPlan`]
+    /// overlay (cached per `(era, profile, plan, size)` — the chaos-grid
+    /// axes).
+    pub fn quicreach_chaos(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        plan: FaultPlan,
+        initial_size: usize,
+    ) -> Arc<Vec<QuicReachResult>> {
+        self.engine
+            .quicreach_chaos(era, profile, plan, initial_size)
     }
 
     /// The cold-then-warm resumption scan at the default Initial size under

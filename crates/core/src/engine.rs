@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use quicert_analysis::Merge;
 use quicert_compress::Algorithm;
-use quicert_netsim::{Ipv4Net, NetworkProfile};
+use quicert_netsim::{FaultPlan, Ipv4Net, NetworkProfile};
 use quicert_obs::{Counter, Gauge, MetricsRegistry};
 use quicert_pki::{CertificateEra, DomainRecord, World, WorldConfig};
 use quicert_scanner::compression::{
@@ -431,10 +431,20 @@ pub struct ScanEngine {
     profile: NetworkProfile,
     resumption: ResumptionPolicy,
     era: CertificateEra,
+    fault_plan: FaultPlan,
     https: ArtifactCache<(), HttpsScanReport>,
-    quicreach: ArtifactCache<(CertificateEra, NetworkProfile, usize), Vec<QuicReachResult>>,
+    // FaultPlan stores per-mille integers, so it is `Eq + Hash` and keys
+    // the caches exactly — no float keys anywhere.
+    quicreach:
+        ArtifactCache<(CertificateEra, NetworkProfile, FaultPlan, usize), Vec<QuicReachResult>>,
     warm: ArtifactCache<
-        (CertificateEra, NetworkProfile, ResumptionPolicy, usize),
+        (
+            CertificateEra,
+            NetworkProfile,
+            ResumptionPolicy,
+            FaultPlan,
+            usize,
+        ),
         Vec<WarmScanResult>,
     >,
     sweep: ArtifactCache<(), Vec<ScanSummary>>,
@@ -446,7 +456,8 @@ pub struct ScanEngine {
     qscanner: ArtifactCache<(), (Vec<QuicCertObservation>, ConsistencyReport)>,
     // Streaming-path caches hold *summaries*, never per-record vectors, so
     // a cached million-record scan costs a few kilobytes.
-    stream_quicreach: ArtifactCache<(CertificateEra, NetworkProfile, usize), QuicReachShard>,
+    stream_quicreach:
+        ArtifactCache<(CertificateEra, NetworkProfile, FaultPlan, usize), QuicReachShard>,
     stream_https: ArtifactCache<(), HttpsScanShard>,
     stream_compression: ArtifactCache<(), CompressionShard>,
     // What the pump did on the most recent (uncached) streaming scan.
@@ -480,6 +491,7 @@ impl ScanEngine {
             profile: NetworkProfile::Ideal,
             resumption: ResumptionPolicy::WarmAfterFirstVisit,
             era: CertificateEra::Classical,
+            fault_plan: FaultPlan::NONE,
             https: ArtifactCache::new(&registry, "https"),
             quicreach: ArtifactCache::new(&registry, "quicreach"),
             warm: ArtifactCache::new(&registry, "warm"),
@@ -589,6 +601,16 @@ impl ScanEngine {
         self
     }
 
+    /// Set the engine's default [`FaultPlan`]: the fault overlay all
+    /// plan-unaware scan requests run under. [`FaultPlan::NONE`] (the
+    /// default) reproduces plan-unaware campaigns byte-for-byte; any other
+    /// plan draws wire randomness, so the streaming scan path bypasses
+    /// scenario-class memoization on its own.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> ScanEngine {
+        self.fault_plan = plan;
+        self
+    }
+
     /// The world all scans run against.
     pub fn world(&self) -> &World {
         &self.world
@@ -607,6 +629,11 @@ impl ScanEngine {
     /// The engine's default certificate era.
     pub fn era(&self) -> CertificateEra {
         self.era
+    }
+
+    /// The engine's default fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.fault_plan
     }
 
     /// The resolved worker count.
@@ -658,11 +685,34 @@ impl ScanEngine {
         profile: NetworkProfile,
         initial_size: usize,
     ) -> Arc<Vec<QuicReachResult>> {
+        self.quicreach_chaos(era, profile, self.fault_plan, initial_size)
+    }
+
+    /// quicreach classifications under an explicit [`FaultPlan`] overlay on
+    /// top of the era and profile — one cached artifact per `(era, profile,
+    /// plan, size)` tuple, so a chaos grid revisiting a cell is free. The
+    /// plan's drops, duplications and corruptions draw from each probe's
+    /// forked RNG, so the artifact stays bit-for-bit identical at any
+    /// worker count.
+    pub fn quicreach_chaos(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        plan: FaultPlan,
+        initial_size: usize,
+    ) -> Arc<Vec<QuicReachResult>> {
         self.quicreach
-            .get_or_compute((era, profile, initial_size), || {
+            .get_or_compute((era, profile, plan, initial_size), || {
                 let records: Vec<&DomainRecord> = self.world.quic_services().collect();
                 run_sharded(&records, self.workers, |shard| {
-                    quicreach::scan_records_era(&self.world, shard, initial_size, profile, era)
+                    quicreach::scan_records_chaos(
+                        &self.world,
+                        shard,
+                        initial_size,
+                        profile,
+                        era,
+                        plan,
+                    )
                 })
             })
     }
@@ -703,17 +753,34 @@ impl ScanEngine {
         policy: ResumptionPolicy,
         initial_size: usize,
     ) -> Arc<Vec<WarmScanResult>> {
+        self.warm_scan_chaos(era, profile, policy, self.fault_plan, initial_size)
+    }
+
+    /// The cold-then-warm resumption scan under an explicit [`FaultPlan`]
+    /// overlay — one cached artifact per `(era, profile, policy, plan,
+    /// size)` tuple. This is how the chaos grid measures whether session
+    /// resumption still pays off once the wire drops and corrupts
+    /// datagrams.
+    pub fn warm_scan_chaos(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        policy: ResumptionPolicy,
+        plan: FaultPlan,
+        initial_size: usize,
+    ) -> Arc<Vec<WarmScanResult>> {
         self.warm
-            .get_or_compute((era, profile, policy, initial_size), || {
+            .get_or_compute((era, profile, policy, plan, initial_size), || {
                 let records: Vec<&DomainRecord> = self.world.quic_services().collect();
                 run_sharded(&records, self.workers, |shard| {
-                    quicreach::warm_scan_records_era(
+                    quicreach::warm_scan_records_chaos(
                         &self.world,
                         shard,
                         initial_size,
                         profile,
                         policy,
                         era,
+                        plan,
                     )
                 })
             })
@@ -890,8 +957,24 @@ impl ScanEngine {
         profile: NetworkProfile,
         initial_size: usize,
     ) -> Arc<QuicReachShard> {
+        self.stream_quicreach_chaos(era, profile, self.fault_plan, initial_size)
+    }
+
+    /// The streaming quicreach scan under an explicit [`FaultPlan`] overlay
+    /// — cached per `(era, profile, plan, size)`. A non-[`FaultPlan::NONE`]
+    /// plan consumes per-probe wire randomness, so the fold bypasses
+    /// scenario-class memoization regardless of the engine's memo toggle;
+    /// the summary stays bit-for-bit identical at any worker count and
+    /// chunk size either way.
+    pub fn stream_quicreach_chaos(
+        &self,
+        era: CertificateEra,
+        profile: NetworkProfile,
+        plan: FaultPlan,
+        initial_size: usize,
+    ) -> Arc<QuicReachShard> {
         self.stream_quicreach
-            .get_or_compute((era, profile, initial_size), || {
+            .get_or_compute((era, profile, plan, initial_size), || {
                 let probe_metrics = self
                     .metrics_enabled
                     .then(|| ProbeMetrics::register(&self.registry, era, profile));
@@ -904,12 +987,13 @@ impl ScanEngine {
                         scratch
                     },
                     |records, scratch| {
-                        quicreach::fold_records_scratch(
+                        quicreach::fold_records_scratch_chaos(
                             &self.world,
                             records,
                             initial_size,
                             profile,
                             era,
+                            plan,
                             scratch,
                         )
                     },
@@ -1146,6 +1230,135 @@ mod tests {
                 NetworkProfile::Ideal,
                 1362
             )
+        );
+    }
+
+    #[test]
+    fn chaos_artifacts_are_cached_per_plan_and_worker_invariant() {
+        let serial = engine(1);
+        let parallel = engine(8);
+        for plan in [FaultPlan::MODERATE, FaultPlan::DUP_STORM] {
+            assert_eq!(
+                *serial.quicreach_chaos(
+                    CertificateEra::Classical,
+                    NetworkProfile::Ideal,
+                    plan,
+                    1362
+                ),
+                *parallel.quicreach_chaos(
+                    CertificateEra::Classical,
+                    NetworkProfile::Ideal,
+                    plan,
+                    1362
+                ),
+                "{plan} diverged across worker counts"
+            );
+        }
+
+        let engine = engine(2);
+        // The plan-unaware request and the explicit fault-free request
+        // share one cache entry; faulted plans are distinct artifacts.
+        assert!(Arc::ptr_eq(
+            &engine.quicreach(1362),
+            &engine.quicreach_chaos(
+                CertificateEra::Classical,
+                NetworkProfile::Ideal,
+                FaultPlan::NONE,
+                1362
+            )
+        ));
+        assert!(!Arc::ptr_eq(
+            &engine.quicreach_chaos(
+                CertificateEra::Classical,
+                NetworkProfile::Ideal,
+                FaultPlan::NONE,
+                1362
+            ),
+            &engine.quicreach_chaos(
+                CertificateEra::Classical,
+                NetworkProfile::Ideal,
+                FaultPlan::HEAVY,
+                1362
+            )
+        ));
+        assert!(Arc::ptr_eq(
+            &engine.warm_scan(1362),
+            &engine.warm_scan_chaos(
+                CertificateEra::Classical,
+                NetworkProfile::Ideal,
+                ResumptionPolicy::WarmAfterFirstVisit,
+                FaultPlan::NONE,
+                1362
+            )
+        ));
+    }
+
+    #[test]
+    fn engine_default_fault_plan_steers_plan_unaware_requests() {
+        let world = World::generate(WorldConfig {
+            domains: 1_200,
+            seed: 0xD37E,
+            ..WorldConfig::default()
+        });
+        let chaos_engine = ScanEngine::new(world, 1362, 2).with_fault_plan(FaultPlan::LIGHT);
+        assert_eq!(chaos_engine.fault_plan(), FaultPlan::LIGHT);
+        // The plan-unaware request is the faulted artifact…
+        assert!(Arc::ptr_eq(
+            &chaos_engine.quicreach(1362),
+            &chaos_engine.quicreach_chaos(
+                CertificateEra::Classical,
+                NetworkProfile::Ideal,
+                FaultPlan::LIGHT,
+                1362
+            )
+        ));
+        // …and it matches a fault-free engine's explicit chaos request.
+        let plain_engine = engine(2);
+        assert_eq!(
+            *chaos_engine.quicreach(1362),
+            *plain_engine.quicreach_chaos(
+                CertificateEra::Classical,
+                NetworkProfile::Ideal,
+                FaultPlan::LIGHT,
+                1362
+            )
+        );
+    }
+
+    #[test]
+    fn stream_chaos_matches_materialized_and_bypasses_memo() {
+        let engine = engine(2);
+        let plan = FaultPlan::MODERATE;
+        let streamed = engine.stream_quicreach_chaos(
+            CertificateEra::Classical,
+            NetworkProfile::Ideal,
+            plan,
+            1362,
+        );
+        let materialized = QuicReachShard::from_results(
+            1362,
+            &engine.quicreach_chaos(CertificateEra::Classical, NetworkProfile::Ideal, plan, 1362),
+        );
+        assert_eq!(*streamed, materialized);
+        // The faulted probes draw wire randomness, so the streamed fold
+        // must never have consulted the scenario-class memo — even though
+        // the engine's memo toggle is on and the profile is Ideal.
+        let stats = engine.pump_stats().expect("stream scan recorded stats");
+        let totals = stats.totals();
+        assert_eq!(
+            (
+                totals.memo_hits,
+                totals.memo_misses,
+                totals.distinct_classes
+            ),
+            (0, 0, 0),
+            "faulted plans must bypass scenario-class memoization"
+        );
+        // The recovery-cost counters actually surface the plan's faults.
+        assert!(streamed.fault_drops > 0, "moderate plan drops datagrams");
+        assert!(
+            streamed.retransmissions() > 0,
+            "dropped flights force retransmissions"
         );
     }
 

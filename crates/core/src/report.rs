@@ -3,7 +3,7 @@
 use quicert_compress::Algorithm;
 
 use crate::experiments::{
-    amplification, certs, compression, guidance, handshakes, pq, resumption, scale,
+    amplification, certs, chaos, compression, guidance, handshakes, pq, resumption, scale,
 };
 use crate::Campaign;
 
@@ -38,6 +38,12 @@ pub struct ReportOptions {
     /// recomputed at growing population sizes through the streaming
     /// (bounded-memory) scan path.
     pub population_scale: bool,
+    /// Include the chaos fault-grid section: the [`quicert_netsim::FaultPlan`]
+    /// ladder swept per `(era, profile)` cell with its loss-recovery cost
+    /// (added round trips, retransmissions, amplification stalls), plus
+    /// session resumption re-measured under every rung. Each grid cell
+    /// re-scans the QUIC population once.
+    pub chaos: bool,
     /// The population ladder for the scale section; `0` entries derive
     /// from the campaign's world size as `[n/2, n, 5n]`. The `repro`
     /// harness passes [`scale::PAPER_SCALE_SIZES`] (10k/100k/1M) here.
@@ -56,6 +62,7 @@ impl Default for ReportOptions {
             resumption: true,
             pq_eras: true,
             population_scale: true,
+            chaos: true,
             scale_sizes: [0, 0, 0],
         }
     }
@@ -68,7 +75,7 @@ type ToggledSection = (fn(&ReportOptions) -> bool, &'static str);
 /// them. [`ReportOptions::skipped`] derives from this table, so the
 /// skipped-section list always follows the report's canonical section order
 /// no matter how the toggles are declared or queried.
-const TOGGLED_SECTIONS: [ToggledSection; 6] = [
+const TOGGLED_SECTIONS: [ToggledSection; 7] = [
     (|o| o.full_sweep, "Fig 3 full Initial-size sweep"),
     (
         |o| o.guidance_mitigation,
@@ -77,6 +84,7 @@ const TOGGLED_SECTIONS: [ToggledSection; 6] = [
     (|o| o.network_profiles, "network-profile scenario matrix"),
     (|o| o.resumption, "session-resumption section"),
     (|o| o.pq_eras, "post-quantum certificate-era section"),
+    (|o| o.chaos, "chaos fault-grid section"),
     (|o| o.population_scale, "population-scale streaming section"),
 ];
 
@@ -222,6 +230,18 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
         ));
     }
 
+    // Beyond the paper: the fault-injection grid — what loss recovery
+    // costs once the wire drops, duplicates and corrupts datagrams.
+    if options.chaos {
+        out.push('\n');
+        out.push_str(&chaos::render_fault_grid(&chaos::fault_grid_default(
+            campaign,
+        )));
+        out.push_str(&chaos::render_resumption_under_faults(
+            &chaos::resumption_under_faults(campaign),
+        ));
+    }
+
     // At scale: the headline measurements at growing population sizes,
     // streamed through the bounded-memory scan path (summaries only).
     if options.population_scale {
@@ -255,6 +275,7 @@ mod tests {
                 resumption: true,
                 pq_eras: true,
                 population_scale: true,
+                chaos: true,
                 scale_sizes: [0, 0, 0],
             },
         );
@@ -290,6 +311,10 @@ mod tests {
             "1-RTT survivorship",
             "brotli dictionary performance",
             "post-quantum",
+            "Chaos grid",
+            "added RTTs",
+            "dup-storm",
+            "Resumption under faults",
             "Population scale",
         ] {
             assert!(report.contains(needle), "missing section {needle}");
@@ -308,10 +333,11 @@ mod tests {
             resumption: false,
             pq_eras: false,
             population_scale: false,
+            chaos: false,
             ..ReportOptions::default()
         };
         let skipped = partial.skipped();
-        assert_eq!(skipped.len(), 6);
+        assert_eq!(skipped.len(), 7);
         assert!(skipped.iter().any(|s| s.contains("resumption")));
 
         // A report with everything off renders none of the toggled
@@ -329,6 +355,7 @@ mod tests {
         assert!(!report.contains("Resumption matrix"));
         assert!(!report.contains("Network-profile matrix"));
         assert!(!report.contains("Certificate-era matrix"));
+        assert!(!report.contains("Chaos grid"));
         assert!(!report.contains("Population scale"));
         assert!(report.contains("§3.1 funnel"));
     }
@@ -344,6 +371,7 @@ mod tests {
             resumption: false,
             pq_eras: false,
             population_scale: false,
+            chaos: false,
             ..ReportOptions::default()
         };
         assert_eq!(
@@ -354,6 +382,7 @@ mod tests {
                 "network-profile scenario matrix",
                 "session-resumption section",
                 "post-quantum certificate-era section",
+                "chaos fault-grid section",
                 "population-scale streaming section",
             ]
         );

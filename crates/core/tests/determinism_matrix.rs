@@ -7,7 +7,7 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use quicert_core::ScanEngine;
-use quicert_netsim::NetworkProfile;
+use quicert_netsim::{FaultPlan, NetworkProfile};
 use quicert_pki::{CertificateEra, World, WorldConfig};
 use quicert_scanner::https_scan::HttpsScanShard;
 use quicert_scanner::quicreach::{self, ProbeScratch, QuicReachShard};
@@ -190,6 +190,50 @@ fn streaming_scenario_axes_are_worker_and_chunk_invariant() {
                 *want,
                 "stream {era}/{profile} diverged at workers={workers} chunk={chunk}"
             );
+        }
+    }
+}
+
+/// The chaos grid across the worker × chunk × memo matrix: every
+/// [`FaultPlan`] rung must fold bit-for-bit identical summaries at
+/// workers {1, 2, 8} and chunks {adaptive, 64, 4096}, with memoization
+/// forced on and forced off, and must equal the materialized chaos
+/// artifact of the same world. Fault wires draw per-probe RNG, so with
+/// the memo forced *on* a non-NONE plan must still record zero memo
+/// traffic — the plan's own determinism predicate bypasses it, even on
+/// the otherwise-deterministic ideal profile.
+#[test]
+fn chaos_grid_is_worker_chunk_and_memo_invariant() {
+    let config = WorldConfig {
+        domains: 320,
+        seed: 0x9121,
+        ..WorldConfig::default()
+    };
+    let era = CertificateEra::Classical;
+    let profile = NetworkProfile::Ideal;
+    for plan in [FaultPlan::LIGHT, FaultPlan::HEAVY, FaultPlan::DUP_STORM] {
+        let materialized = ScanEngine::new(World::generate(config.clone()), INITIAL, 2);
+        let reference = QuicReachShard::from_results(
+            INITIAL,
+            &materialized.quicreach_chaos(era, profile, plan, INITIAL),
+        );
+        for (workers, chunk) in [(1usize, 0usize), (2, 64), (8, 4096)] {
+            for memo in [true, false] {
+                let engine = ScanEngine::streaming(config.clone(), INITIAL, workers)
+                    .with_stream_chunk(chunk)
+                    .with_memoization(memo);
+                assert_eq!(
+                    *engine.stream_quicreach_chaos(era, profile, plan, INITIAL),
+                    reference,
+                    "chaos {plan} diverged at workers={workers} chunk={chunk} memo={memo}"
+                );
+                let totals = engine.pump_stats().expect("pump ran").totals();
+                assert_eq!(
+                    (totals.memo_hits, totals.memo_misses, totals.distinct_classes),
+                    (0, 0, 0),
+                    "chaos {plan} consulted the memo at workers={workers} chunk={chunk} memo={memo}"
+                );
+            }
         }
     }
 }

@@ -194,6 +194,9 @@ pub struct ExchangeOutcome {
     /// Datagrams corrupted by the wire's [`FaultInjector`]s during this
     /// exchange.
     pub fault_corruptions: u64,
+    /// Datagrams delivered twice by the wire's [`FaultInjector`]s during
+    /// this exchange.
+    pub fault_duplications: u64,
 }
 
 impl ExchangeOutcome {

@@ -21,6 +21,7 @@ pub mod addr;
 pub mod datagram;
 pub mod event;
 pub mod fault;
+pub mod faultplan;
 pub mod link;
 pub mod profile;
 pub mod rng;
@@ -32,6 +33,7 @@ pub use addr::{Ipv4Net, ANY_PORT};
 pub use datagram::{Datagram, UDP_IPV4_OVERHEAD};
 pub use event::{run_exchange, Endpoint, ExchangeLimits, ExchangeOutcome, TraceEvent, Wire};
 pub use fault::FaultInjector;
+pub use faultplan::FaultPlan;
 pub use link::{Delivery, LinkModel};
 pub use profile::NetworkProfile;
 pub use rng::{FastHashBuilder, FastHasher, SimRng};

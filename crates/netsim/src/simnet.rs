@@ -457,6 +457,7 @@ impl<'e> SimNet<'e> {
             quiesced: sess.quiesced,
             fault_drops: sess.fault_drops(),
             fault_corruptions: sess.fault_corruptions(),
+            fault_duplications: sess.fault_duplications(),
         }
     }
 
@@ -839,6 +840,7 @@ mod tests {
         assert!(!out.quiesced);
         assert_eq!(out.fault_drops, 1);
         assert_eq!(out.fault_corruptions, 0);
+        assert_eq!(out.fault_duplications, 0);
     }
 
     #[test]
@@ -857,9 +859,11 @@ mod tests {
         net.run();
         let out = net.take_outcome(id);
         assert!(out.quiesced);
-        // One trace event per copy, no drops.
+        // One trace event per copy, no drops, and the duplication count
+        // surfaces on the outcome itself (not just the wire).
         assert_eq!(out.datagrams(Direction::AtoB), 8);
         assert_eq!(out.fault_drops, 0);
+        assert_eq!(out.fault_duplications, 4);
         assert_eq!(net.wire(id).fault_a_to_b.duplications(), 4);
         drop(net);
         // Each payload arrives twice, copies adjacent in send order.

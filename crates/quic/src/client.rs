@@ -152,6 +152,11 @@ impl ClientConn {
         self.completed_at.is_some()
     }
 
+    /// Number of Initial transmissions so far (1 = no PTO retransmission).
+    pub fn transmissions(&self) -> u32 {
+        self.transmissions
+    }
+
     fn initial_datagram(&mut self) -> Vec<u8> {
         let ch = client_hello(&ClientHelloParams {
             server_name: self.config.server_name.clone(),

@@ -131,6 +131,13 @@ pub struct HandshakeOutcome {
     /// Datagrams corrupted by the wire's fault injectors during this
     /// attempt.
     pub fault_corruptions: u64,
+    /// Datagrams delivered twice by the wire's fault injectors during this
+    /// attempt.
+    pub fault_duplications: u64,
+    /// Number of Initial transmissions the client performed (1 = no PTO
+    /// retransmission) — with the server's flight count, the per-probe
+    /// recovery cost under loss.
+    pub client_transmissions: u32,
     /// Whether the handshake resumed via PSK (server accepted the offer;
     /// no certificate on the wire).
     pub resumed: bool,
@@ -236,6 +243,8 @@ fn extract_handshake_outcome(
         timeline,
         fault_drops: outcome.fault_drops,
         fault_corruptions: outcome.fault_corruptions,
+        fault_duplications: outcome.fault_duplications,
+        client_transmissions: client.transmissions(),
         resumed: client.psk_accepted,
         ticket: client.ticket.as_ref().map(|nst| SessionTicket {
             identity: nst.ticket.clone(),
@@ -498,6 +507,9 @@ pub struct SpoofedOutcome {
     pub fault_drops: u64,
     /// Datagrams corrupted by the wire's fault injectors during the probe.
     pub fault_corruptions: u64,
+    /// Datagrams delivered twice by the wire's fault injectors during the
+    /// probe.
+    pub fault_duplications: u64,
 }
 
 impl SpoofedOutcome {
@@ -542,6 +554,7 @@ fn extract_spoofed_outcome(
         flight_transmissions: server.stats().flight_transmissions,
         fault_drops: outcome.fault_drops,
         fault_corruptions: outcome.fault_corruptions,
+        fault_duplications: outcome.fault_duplications,
     }
 }
 
@@ -1081,6 +1094,130 @@ mod tests {
         assert!(out.ticket.is_none());
         assert!(!out.server_stats.issued_ticket);
         assert!(!out.resumed);
+    }
+
+    /// Drive a server directly: one client Initial delivered, then every
+    /// response lost, so only the PTO machinery runs. Returns the client's
+    /// Initial payload length and the primed endpoints.
+    fn primed_pair(behavior: ServerBehavior, seed: u64) -> (usize, ServerConn) {
+        let mut client = ClientConn::new(ClientConfig::scanner(1362, SERVER, seed));
+        let mut out = Vec::new();
+        client.start(SimTime::ZERO, &mut out);
+        let initial = out.pop().expect("client emits its Initial on start");
+        let mut server = ServerConn::new(server(behavior, small_chain(), KeyAlgorithm::EcdsaP256));
+        let mut sink = Vec::new();
+        server.on_datagram(&initial, SimTime::ZERO, &mut sink);
+        (initial.payload_len(), server)
+    }
+
+    #[test]
+    fn pto_backoff_doubles_and_caps_at_max_pto() {
+        // mvfst profile: 350 ms base PTO, resends uncharged, a high
+        // transmission cap so the backoff alone terminates the ladder.
+        let (_, mut server) = primed_pair(ServerBehavior::mvfst_like(20), 9);
+        assert_eq!(server.current_pto(), SimDuration::from_millis(350));
+
+        // 350 → 700 → 1400 → 2800 → 5600 → cap: never 11200, and with
+        // saturating_mul never the 584-year saturation point either.
+        let expected_ms = [700u64, 1400, 2800, 5600, 8000, 8000, 8000];
+        let mut sink = Vec::new();
+        for &ms in &expected_ms {
+            let deadline = server.next_timer().expect("timer armed while data is out");
+            sink.clear();
+            server.on_timer(deadline, &mut sink);
+            assert_eq!(server.current_pto(), SimDuration::from_millis(ms));
+            assert!(server.current_pto() <= ServerBehavior::MAX_PTO);
+            assert!(!sink.is_empty(), "uncharged resend goes out");
+            // The re-armed deadline follows the capped cadence exactly.
+            let next = server.next_timer().expect("still below the cap");
+            assert_eq!(next, deadline + server.current_pto());
+        }
+        assert_eq!(
+            server.stats().flight_transmissions,
+            1 + expected_ms.len() as u32
+        );
+    }
+
+    #[test]
+    fn transmission_limit_classifies_total_loss_as_unreachable() {
+        // Every server→client datagram is lost: the server retransmits to
+        // its cap and gives up; the client never completes.
+        let mut w = wire();
+        w.fault_b_to_a = quicert_netsim::FaultInjector::dropping(1.0);
+        let out = run_handshake(
+            ClientConfig::scanner(1362, SERVER, 11),
+            server(
+                ServerBehavior::rfc_compliant(),
+                small_chain(),
+                KeyAlgorithm::EcdsaP256,
+            ),
+            &mut w,
+            11,
+        );
+        assert!(!out.completed);
+        assert_eq!(out.classify(), HandshakeClass::Unreachable);
+        // The server attempted exactly its transmission budget, no more.
+        assert_eq!(out.server_stats.flight_transmissions, 3);
+        // The client also re-probed (its own Initial PTO fired).
+        assert_eq!(out.client_transmissions, 2);
+        assert!(out.fault_drops > 0, "the injector recorded the losses");
+        assert_eq!(out.fault_duplications, 0);
+    }
+
+    #[test]
+    fn resend_bytes_charge_the_budget_exactly_when_count_resends_is_set() {
+        // Fire every PTO to exhaustion with no client response.
+        let drain = |mut server: ServerConn| {
+            let first_charged = server.stats().charged;
+            let mut sink = Vec::new();
+            while let Some(deadline) = server.next_timer() {
+                server.on_timer(deadline, &mut sink);
+            }
+            (first_charged, server)
+        };
+
+        // RFC-compliant: resends are charged, so the 3x budget blocks the
+        // retransmission stream and the stall is observable.
+        let (_, server_rfc) = {
+            let (probe_len, srv) = primed_pair(ServerBehavior::rfc_compliant(), 12);
+            let (first, srv) = drain(srv);
+            assert!(first > 0);
+            assert!(
+                srv.stats().charged <= 3 * probe_len,
+                "charged {} must respect 3x{probe_len}",
+                srv.stats().charged
+            );
+            assert!(
+                srv.stall_began_at().is_some(),
+                "charged resends must hit the amplification stall"
+            );
+            (first, srv)
+        };
+        assert_eq!(server_rfc.stats().flight_transmissions, 3);
+
+        // mvfst-like: resends uncharged — every flight leaves whole and the
+        // budget meter never moves past the first transmission.
+        let (probe_len, srv) = primed_pair(ServerBehavior::mvfst_like(5), 12);
+        let (first, srv) = drain(srv);
+        assert_eq!(
+            srv.stats().charged,
+            first,
+            "uncharged resends must not move the budget meter"
+        );
+        assert_eq!(srv.stats().flight_transmissions, 5);
+        assert!(
+            srv.stats().wire_sent >= 4 * first,
+            "all five flights reach the wire ({} vs first {first})",
+            srv.stats().wire_sent
+        );
+        assert!(
+            srv.stats().charged <= 3 * probe_len,
+            "the meter itself still respects 3x"
+        );
+        assert!(
+            srv.stall_began_at().is_none(),
+            "uncharged resends never stall"
+        );
     }
 
     #[test]

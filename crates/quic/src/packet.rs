@@ -34,9 +34,15 @@ pub struct ConnectionId {
 }
 
 impl ConnectionId {
+    /// Longest connection ID RFC 9000 admits in a long header.
+    pub const MAX_LEN: usize = 20;
+
     /// Construct from a slice.
     pub fn new(bytes: &[u8]) -> Self {
-        assert!(bytes.len() <= 20, "connection IDs are at most 20 bytes");
+        assert!(
+            bytes.len() <= ConnectionId::MAX_LEN,
+            "connection IDs are at most 20 bytes"
+        );
         let mut cid = ConnectionId::default();
         cid.bytes[..bytes.len()].copy_from_slice(bytes);
         cid.len = bytes.len() as u8;
@@ -342,11 +348,20 @@ pub fn parse_datagram(payload: &[u8]) -> Option<Vec<ParsedPacket>> {
         }
         let _version = u32::from_be_bytes(payload[pos..pos + 4].try_into().unwrap());
         pos += 4;
+        // A corrupted length byte can claim up to 255 CID bytes; RFC 9000
+        // caps CIDs at 20, so anything longer marks the packet malformed —
+        // reject it instead of panicking in `ConnectionId::new`.
         let dcid_len = *payload.get(pos)? as usize;
+        if dcid_len > ConnectionId::MAX_LEN {
+            return None;
+        }
         pos += 1;
         let dcid = ConnectionId::new(payload.get(pos..pos + dcid_len)?);
         pos += dcid_len;
         let scid_len = *payload.get(pos)? as usize;
+        if scid_len > ConnectionId::MAX_LEN {
+            return None;
+        }
         pos += 1;
         let scid = ConnectionId::new(payload.get(pos..pos + scid_len)?);
         pos += scid_len;
@@ -501,6 +516,25 @@ mod tests {
         let mut retry = Packet::new(PacketType::Retry, cid(3), cid(4), 0, Vec::new());
         retry.token = vec![0x55; 48];
         assert_eq!(retry.encoded_len(), retry.encode().len());
+    }
+
+    #[test]
+    fn oversized_cid_lengths_reject_instead_of_panicking() {
+        // A corrupted wire can claim any CID length up to 255; RFC 9000
+        // caps CIDs at 20 bytes, so the parser must reject, not assert.
+        let pkt = initial_packet(vec![Frame::Crypto {
+            offset: 0,
+            data: vec![0xAB; 64],
+        }]);
+        let wire = pkt.encode();
+        // Byte 5 is the DCID length of the long header.
+        let mut bad_dcid = wire.clone();
+        bad_dcid[5] = 0xFF;
+        assert_eq!(parse_datagram(&bad_dcid), None);
+        // The SCID length follows the 8 DCID bytes.
+        let mut bad_scid = wire;
+        bad_scid[5 + 1 + 8] = 21;
+        assert_eq!(parse_datagram(&bad_scid), None);
     }
 
     #[test]

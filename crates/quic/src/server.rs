@@ -64,6 +64,13 @@ pub struct ServerBehavior {
 }
 
 impl ServerBehavior {
+    /// Ceiling on the exponentially backed-off probe timeout. RFC 9002
+    /// leaves the cap to implementations; ours bounds the doubling so a
+    /// server under sustained loss keeps probing at a sane cadence instead
+    /// of backing off toward the idle deadline (and, with
+    /// `saturating_mul`, toward the 584-year saturation point).
+    pub const MAX_PTO: SimDuration = SimDuration::from_secs(8);
+
     /// A fully RFC 9000/9002-compliant server.
     pub fn rfc_compliant() -> Self {
         ServerBehavior {
@@ -259,6 +266,12 @@ impl ServerConn {
     /// Final statistics (valid at any time).
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The probe timeout currently in force (doubles per retransmission,
+    /// capped at [`ServerBehavior::MAX_PTO`]).
+    pub fn current_pto(&self) -> SimDuration {
+        self.current_pto
     }
 
     /// When the send queue first blocked on the anti-amplification budget,
@@ -689,10 +702,14 @@ impl Endpoint for ServerConn {
             // Give up; connection will idle out.
             return;
         }
-        // Exponential backoff and retransmit the whole flight. Anything
-        // still queued from the previous transmission is superseded (and
-        // would otherwise wedge the queue behind the amplification limit).
-        self.current_pto = self.current_pto.saturating_mul(2);
+        // Exponential backoff (capped) and retransmit the whole flight.
+        // Anything still queued from the previous transmission is
+        // superseded (and would otherwise wedge the queue behind the
+        // amplification limit).
+        self.current_pto = self
+            .current_pto
+            .saturating_mul(2)
+            .min(ServerBehavior::MAX_PTO);
         self.queue.clear();
         self.enqueue_flight(true);
         self.try_send(now, out);

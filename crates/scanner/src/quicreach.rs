@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use quicert_analysis::{Merge, StreamSummary};
-use quicert_netsim::{NetworkProfile, UDP_IPV4_OVERHEAD};
+use quicert_netsim::{FaultPlan, NetworkProfile, UDP_IPV4_OVERHEAD};
 use quicert_obs::{Counter, Histogram, MetricsRegistry, Phase};
 use quicert_pki::{CertificateEra, DomainRecord, World};
 use quicert_quic::handshake::{
@@ -70,10 +70,23 @@ pub struct QuicReachResult {
     pub fault_drops: u64,
     /// Datagrams the path's fault injectors corrupted during the probe.
     pub fault_corruptions: u64,
+    /// Datagrams the path's fault injectors delivered twice.
+    pub fault_duplications: u64,
+    /// Client Initial transmissions (1 = no PTO retransmission).
+    pub client_transmissions: u32,
+    /// Server handshake-flight transmissions (1 = no retransmission).
+    pub server_transmissions: u32,
+    /// Time the server spent blocked on its anti-amplification budget, in
+    /// simulated nanoseconds (0 when it never stalled or never resumed).
+    pub stall_ns: u64,
 }
 
 impl QuicReachResult {
     fn from_outcome(rank: usize, out: &HandshakeOutcome) -> QuicReachResult {
+        let stall_ns = match (out.timeline.stall_begin_ns, out.timeline.stall_end_ns) {
+            (Some(begin), Some(end)) => end.saturating_sub(begin),
+            _ => 0,
+        };
         QuicReachResult {
             rank,
             class: out.classify(),
@@ -84,7 +97,18 @@ impl QuicReachResult {
             rtt_count: out.rtt_count,
             fault_drops: out.fault_drops,
             fault_corruptions: out.fault_corruptions,
+            fault_duplications: out.fault_duplications,
+            client_transmissions: out.client_transmissions,
+            server_transmissions: out.server_stats.flight_transmissions,
+            stall_ns,
         }
+    }
+
+    /// Retransmissions this probe needed beyond the fault-free minimum of
+    /// one transmission per side — the loss-recovery cost counter.
+    pub fn retransmissions(&self) -> u64 {
+        self.client_transmissions.saturating_sub(1) as u64
+            + self.server_transmissions.saturating_sub(1) as u64
     }
 }
 
@@ -223,6 +247,17 @@ pub struct QuicReachShard {
     pub fault_drops: u64,
     /// Datagrams corrupted by the path's fault injectors.
     pub fault_corruptions: u64,
+    /// Datagrams delivered twice by the path's fault injectors.
+    pub fault_duplications: u64,
+    /// Client Initial retransmissions beyond the first transmission,
+    /// summed over the shard — half of the loss-recovery cost.
+    pub client_retransmissions: u64,
+    /// Server handshake-flight retransmissions beyond the first, summed
+    /// over the shard — the other half of the loss-recovery cost.
+    pub server_retransmissions: u64,
+    /// Total simulated nanoseconds probes spent stalled on the server's
+    /// anti-amplification budget.
+    pub stall_ns_total: u64,
 }
 
 impl QuicReachShard {
@@ -238,6 +273,15 @@ impl QuicReachShard {
         }
         self.fault_drops += result.fault_drops;
         self.fault_corruptions += result.fault_corruptions;
+        self.fault_duplications += result.fault_duplications;
+        self.client_retransmissions += result.client_transmissions.saturating_sub(1) as u64;
+        self.server_retransmissions += result.server_transmissions.saturating_sub(1) as u64;
+        self.stall_ns_total += result.stall_ns;
+    }
+
+    /// Total retransmissions (client + server) across the shard.
+    pub fn retransmissions(&self) -> u64 {
+        self.client_retransmissions + self.server_retransmissions
     }
 
     /// Derive the summary from materialized per-record results — the
@@ -266,6 +310,10 @@ impl Merge for QuicReachShard {
             rtts: StreamSummary::identity(),
             fault_drops: 0,
             fault_corruptions: 0,
+            fault_duplications: 0,
+            client_retransmissions: 0,
+            server_retransmissions: 0,
+            stall_ns_total: 0,
         }
     }
 
@@ -276,6 +324,10 @@ impl Merge for QuicReachShard {
         self.rtts.merge(&other.rtts);
         self.fault_drops += other.fault_drops;
         self.fault_corruptions += other.fault_corruptions;
+        self.fault_duplications += other.fault_duplications;
+        self.client_retransmissions += other.client_retransmissions;
+        self.server_retransmissions += other.server_retransmissions;
+        self.stall_ns_total += other.stall_ns_total;
     }
 }
 
@@ -304,6 +356,25 @@ pub fn fold_records(
         .filter(|record| record.has_quic())
         .collect();
     let results = scan_records_era(world, &services, initial_size, profile, era);
+    QuicReachShard::from_results(initial_size, &results)
+}
+
+/// [`fold_records`] under a chaos [`FaultPlan`] — the reference the
+/// streaming chaos fold must match bit-for-bit.
+pub fn fold_records_chaos(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    era: CertificateEra,
+    plan: FaultPlan,
+) -> QuicReachShard {
+    let services: Vec<&DomainRecord> = records
+        .iter()
+        .copied()
+        .filter(|record| record.has_quic())
+        .collect();
+    let results = scan_records_chaos(world, &services, initial_size, profile, era, plan);
     QuicReachShard::from_results(initial_size, &results)
 }
 
@@ -583,12 +654,43 @@ pub fn fold_records_scratch(
     era: CertificateEra,
     scratch: &mut ProbeScratch,
 ) -> QuicReachShard {
+    fold_records_scratch_chaos(
+        world,
+        records,
+        initial_size,
+        profile,
+        era,
+        FaultPlan::NONE,
+        scratch,
+    )
+}
+
+/// [`fold_records_scratch`] under a chaos [`FaultPlan`]: every probe's wire
+/// gets the plan's fault overlay on top of the profile's. Any non-identity
+/// plan arms an RNG-drawing fault injector, so outcomes stop being a pure
+/// function of their `ProbeClass` — the scenario-class memo is bypassed
+/// exactly as for RNG-consuming profiles (the memo gate requires *both*
+/// [`NetworkProfile::is_deterministic`] and [`FaultPlan::is_deterministic`]).
+/// [`FaultPlan::NONE`] reproduces the plain fold byte-for-byte, memo
+/// included; a scratch can therefore be reused across plans without its
+/// memo ever being polluted by a fault-injected outcome.
+#[allow(clippy::too_many_arguments)]
+pub fn fold_records_scratch_chaos(
+    world: &World,
+    records: &[DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    era: CertificateEra,
+    plan: FaultPlan,
+    scratch: &mut ProbeScratch,
+) -> QuicReachShard {
     scratch.probes.clear();
     scratch.outcomes.clear();
     scratch.ranks.clear();
     scratch.slots.clear();
     scratch.pending.clear();
-    let memo_active = scratch.memo.is_some() && profile.is_deterministic();
+    let memo_active =
+        scratch.memo.is_some() && profile.is_deterministic() && plan.is_deterministic();
     let hits_before = scratch.memo.as_ref().map_or(0, |memo| memo.hits);
     for record in records.iter().filter(|record| record.has_quic()) {
         scratch.ranks.push(record.rank);
@@ -608,7 +710,7 @@ pub fn fold_records_scratch(
             .push(OutcomeSlot::Fresh(scratch.probes.len() as u32));
         scratch
             .probes
-            .push(probe_for(world, record, initial_size, profile, era));
+            .push(probe_for(world, record, initial_size, profile, era, plan));
     }
     run_handshake_batch_into(&mut scratch.probes, &mut scratch.outcomes);
     if memo_active {
@@ -663,6 +765,7 @@ fn probe_for(
     initial_size: usize,
     profile: NetworkProfile,
     era: CertificateEra,
+    plan: FaultPlan,
 ) -> HandshakeProbe {
     let chain = world
         .quic_chain_era(record, era)
@@ -674,26 +777,31 @@ fn probe_for(
         quicert_pki::World::server_addr(record),
         record.seed ^ initial_size as u64,
     );
+    // The chaos plan overlays the profiled wire (max-merge, like profiles
+    // themselves); FaultPlan::NONE touches nothing at all.
+    let mut wire = wire_for_profile(record, profile);
+    plan.apply(&mut wire);
     HandshakeProbe {
         client,
         server,
-        wire: wire_for_profile(record, profile),
+        wire,
         seed: record.seed,
     }
 }
 
 /// Build the probes for a whole shard — the single probe-construction path
-/// every scan family (batched, per-probe, warm) goes through.
+/// every scan family (batched, per-probe, warm, chaos) goes through.
 fn probes_for(
     world: &World,
     records: &[&DomainRecord],
     initial_size: usize,
     profile: NetworkProfile,
     era: CertificateEra,
+    plan: FaultPlan,
 ) -> Vec<HandshakeProbe> {
     records
         .iter()
-        .map(|record| probe_for(world, record, initial_size, profile, era))
+        .map(|record| probe_for(world, record, initial_size, profile, era, plan))
         .collect()
 }
 
@@ -725,6 +833,7 @@ pub fn scan_service_profiled(
         initial_size,
         profile,
         CertificateEra::Classical,
+        FaultPlan::NONE,
     );
     let mut wire = probe.wire;
     let out = run_handshake(probe.client, probe.server, &mut wire, probe.seed);
@@ -783,7 +892,34 @@ pub fn scan_records_era(
     era: CertificateEra,
 ) -> Vec<QuicReachResult> {
     count_family_probes("quicreach", records.len());
-    let outcomes = run_handshake_batch(probes_for(world, records, initial_size, profile, era));
+    let outcomes = run_handshake_batch(probes_for(
+        world,
+        records,
+        initial_size,
+        profile,
+        era,
+        FaultPlan::NONE,
+    ));
+    collate(records, &outcomes)
+}
+
+/// [`scan_records_era`] under a chaos [`FaultPlan`]: the same population,
+/// the same per-record RNG streams, with the plan's loss × duplication ×
+/// corruption overlay on every wire. [`FaultPlan::NONE`] reproduces
+/// [`scan_records_era`] byte-for-byte; any other plan draws per-datagram
+/// RNG, so its outcomes are still deterministic for a fixed seed but no
+/// longer shared across records of one scenario class.
+pub fn scan_records_chaos(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    era: CertificateEra,
+    plan: FaultPlan,
+) -> Vec<QuicReachResult> {
+    count_family_probes("chaos", records.len());
+    let outcomes =
+        run_handshake_batch(probes_for(world, records, initial_size, profile, era, plan));
     collate(records, &outcomes)
 }
 
@@ -806,6 +942,7 @@ pub fn scan_records_per_probe(
         initial_size,
         profile,
         CertificateEra::Classical,
+        FaultPlan::NONE,
     )
     .into_iter()
     .map(|probe| {
@@ -931,9 +1068,34 @@ pub fn warm_scan_records_era(
     policy: ResumptionPolicy,
     era: CertificateEra,
 ) -> Vec<WarmScanResult> {
+    warm_scan_records_chaos(
+        world,
+        records,
+        initial_size,
+        profile,
+        policy,
+        era,
+        FaultPlan::NONE,
+    )
+}
+
+/// [`warm_scan_records_era`] under a chaos [`FaultPlan`]: both the cold
+/// and the warm visit run over plan-overlaid wires, so the sweep can ask
+/// whether resumption still pays once the path itself is hostile.
+/// [`FaultPlan::NONE`] reproduces [`warm_scan_records_era`] byte-for-byte.
+#[allow(clippy::too_many_arguments)]
+pub fn warm_scan_records_chaos(
+    world: &World,
+    records: &[&DomainRecord],
+    initial_size: usize,
+    profile: NetworkProfile,
+    policy: ResumptionPolicy,
+    era: CertificateEra,
+    plan: FaultPlan,
+) -> Vec<WarmScanResult> {
     count_family_probes("warm", records.len());
     let warm_now_secs = warm_visit_secs(policy);
-    let probes: Vec<ResumptionProbe> = probes_for(world, records, initial_size, profile, era)
+    let probes: Vec<ResumptionProbe> = probes_for(world, records, initial_size, profile, era, plan)
         .into_iter()
         .zip(records)
         .map(|(mut probe, record)| {
@@ -1520,6 +1682,134 @@ mod tests {
         let lossy = scan_records_profiled(&world, &records, 1362, NetworkProfile::Lossy);
         let drops: u64 = lossy.iter().map(|r| r.fault_drops).sum();
         assert!(drops > 0, "3% loss over 60 probes must drop something");
+    }
+
+    #[test]
+    fn none_plan_scans_are_byte_for_byte_the_plain_scans() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(60).collect();
+        let plain = scan_records_era(
+            &world,
+            &records,
+            1362,
+            NetworkProfile::Ideal,
+            CertificateEra::Classical,
+        );
+        let chaos = scan_records_chaos(
+            &world,
+            &records,
+            1362,
+            NetworkProfile::Ideal,
+            CertificateEra::Classical,
+            FaultPlan::NONE,
+        );
+        assert_eq!(plain, chaos);
+
+        let warm_plain = warm_scan_records_era(
+            &world,
+            &records[..20],
+            1362,
+            NetworkProfile::Lossy,
+            ResumptionPolicy::WarmAfterFirstVisit,
+            CertificateEra::Classical,
+        );
+        let warm_chaos = warm_scan_records_chaos(
+            &world,
+            &records[..20],
+            1362,
+            NetworkProfile::Lossy,
+            ResumptionPolicy::WarmAfterFirstVisit,
+            CertificateEra::Classical,
+            FaultPlan::NONE,
+        );
+        assert_eq!(warm_plain, warm_chaos);
+    }
+
+    #[test]
+    fn chaos_plans_surface_recovery_cost() {
+        let world = world();
+        let records: Vec<&DomainRecord> = world.quic_services().take(80).collect();
+        let shard = |plan| {
+            QuicReachShard::from_results(
+                1362,
+                &scan_records_chaos(
+                    &world,
+                    &records,
+                    1362,
+                    NetworkProfile::Ideal,
+                    CertificateEra::Classical,
+                    plan,
+                ),
+            )
+        };
+        let none = shard(FaultPlan::NONE);
+        assert_eq!(none.fault_drops, 0);
+        assert_eq!(none.fault_duplications, 0);
+        let light = shard(FaultPlan::LIGHT);
+        let heavy = shard(FaultPlan::HEAVY);
+        assert!(
+            heavy.fault_drops > light.fault_drops,
+            "loss scales with intensity"
+        );
+        assert!(
+            heavy.retransmissions() > none.retransmissions(),
+            "recovery cost must grow under heavy loss ({} vs {})",
+            heavy.retransmissions(),
+            none.retransmissions()
+        );
+        // The duplication-flavoured rung exercises FaultInjector::duplicating
+        // end-to-end: the counter rides ExchangeOutcome → HandshakeOutcome →
+        // QuicReachResult → the shard.
+        let dup = shard(FaultPlan::DUP_STORM);
+        assert!(
+            dup.fault_duplications > 0,
+            "dup-storm must duplicate datagrams"
+        );
+        assert_eq!(dup.fault_drops, 0, "dup-storm drops nothing");
+    }
+
+    #[test]
+    fn chaos_fold_bypasses_memo_and_matches_the_materialized_scan() {
+        let world = world();
+        let owned: Vec<DomainRecord> = world.domains().iter().take(200).cloned().collect();
+        let refs: Vec<&DomainRecord> = owned.iter().collect();
+        for plan in [FaultPlan::NONE, FaultPlan::MODERATE, FaultPlan::DUP_STORM] {
+            let reference = fold_records_chaos(
+                &world,
+                &refs,
+                1362,
+                NetworkProfile::Ideal,
+                CertificateEra::Classical,
+                plan,
+            );
+            let mut memoized = ProbeScratch::new();
+            let mut shard = QuicReachShard::identity();
+            for chunk in owned.chunks(64) {
+                shard.merge(&fold_records_scratch_chaos(
+                    &world,
+                    chunk,
+                    1362,
+                    NetworkProfile::Ideal,
+                    CertificateEra::Classical,
+                    plan,
+                    &mut memoized,
+                ));
+            }
+            assert_eq!(shard, reference, "plan {plan}");
+            if plan.is_deterministic() {
+                let (hits, misses, _) = memoized.memo_stats();
+                assert!(hits + misses > 0, "the identity plan keeps memoizing");
+            } else {
+                // A fault-injected wire draws RNG, so its outcomes may never
+                // be replayed from the scenario-class memo — even under the
+                // (otherwise deterministic) ideal profile.
+                assert_eq!(
+                    memoized.memo_stats(),
+                    (0, 0, 0),
+                    "plan {plan} must bypass the memo entirely"
+                );
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn main() {
         resumption: true,
         pq_eras: false,
         population_scale: false,
+        chaos: false,
         scale_sizes: [0, 0, 0],
     };
     let skipped = options.skipped();

@@ -101,6 +101,7 @@ fn full_report_runs_end_to_end() {
             resumption: true,
             pq_eras: true,
             population_scale: true,
+            chaos: true,
             scale_sizes: [0, 0, 0],
         },
     );

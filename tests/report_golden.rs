@@ -45,6 +45,7 @@ fn pinned_report() -> String {
             resumption: true,
             pq_eras: true,
             population_scale: true,
+            chaos: true,
             scale_sizes: [0, 0, 0],
         },
     )
