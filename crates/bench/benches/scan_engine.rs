@@ -19,8 +19,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use quicert_churn::ChurnConfig;
 use quicert_core::engine::host_parallelism;
-use quicert_core::{PumpStats, ScanEngine};
+use quicert_core::{CampaignConfig, CampaignService, PumpStats, ScanEngine, ServiceConfig};
 use quicert_netsim::{FaultPlan, NetworkProfile};
 use quicert_pki::{CertificateEra, DomainRecord, World, WorldConfig};
 use quicert_scanner::quicreach;
@@ -246,6 +247,72 @@ fn bench_chaos(population: usize, plan: FaultPlan) -> ChaosRow {
     }
 }
 
+struct ChurnRow {
+    population: usize,
+    delta_seconds: f64,
+    delta_probed: usize,
+    full_seconds: f64,
+    full_probed: usize,
+    changed_ranks: usize,
+    dirty_segments: usize,
+    total_segments: usize,
+}
+
+/// The resident campaign's delta-scan path against a from-scratch full
+/// rescan of the same churned tick. Tick 0 populates the segment cache
+/// outside the timed region; tick 1 carries one tick of sparse churn, so
+/// the delta re-folds a handful of segments while the full rescan pays
+/// for the whole population. CI asserts the delta probes strictly fewer
+/// records AND finishes faster (the two snapshots are bit-identical —
+/// asserted inline).
+fn bench_churn(population: usize) -> ChurnRow {
+    let campaign = CampaignConfig::standard()
+        .with_domains(population)
+        .with_seed(SEED)
+        .with_workers(8);
+    let churn = ChurnConfig::new(SEED ^ 0x00C4_2A17, population);
+    let mut service = CampaignService::new(
+        ServiceConfig::new(campaign, churn).with_segment_size((population / 50).clamp(32, 1024)),
+    );
+    service.snapshot_at(0);
+    let start = Instant::now();
+    let delta = service.snapshot_at(1);
+    let delta_seconds = start.elapsed().as_secs_f64();
+    black_box(delta.reach.classes.reachable());
+    let stats = *service
+        .tick_log()
+        .last()
+        .expect("snapshot_at always logs a scan");
+    let start = Instant::now();
+    let full = service.full_rescan_at(1);
+    let full_seconds = start.elapsed().as_secs_f64();
+    black_box(full.reach.classes.reachable());
+    assert_eq!(
+        *delta, full,
+        "delta scan diverged from the full rescan at tick 1"
+    );
+    eprintln!(
+        "scan_churn delta      {delta_seconds:>10.4} s  ({population} domains, {} probed, \
+         {} of {} segments, {} ranks churned)",
+        stats.probed, stats.dirty_segments, stats.total_segments, stats.changed_ranks,
+    );
+    eprintln!(
+        "scan_churn full       {full_seconds:>10.4} s  ({} probed, {:.2}x delta)",
+        stats.full_probe_count,
+        full_seconds / delta_seconds,
+    );
+    ChurnRow {
+        population,
+        delta_seconds,
+        delta_probed: stats.probed,
+        full_seconds,
+        full_probed: stats.full_probe_count,
+        changed_ranks: stats.changed_ranks,
+        dirty_segments: stats.dirty_segments,
+        total_segments: stats.total_segments,
+    }
+}
+
 /// Serialize one streamed row as a JSON object. The per-row counters are
 /// the engine's own metrics registry, embedded verbatim — the bench no
 /// longer hand-serializes pump counters (the registry carries
@@ -386,6 +453,11 @@ fn main() {
         .map(|plan| bench_chaos(chaos_population(), plan))
         .collect();
 
+    // The resident-service axis: delta scan vs full rescan of one sparse
+    // churn tick. CI asserts the delta probes strictly fewer records and
+    // is strictly faster.
+    let churn_row = bench_churn(chaos_population());
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"domains\": {domains},\n"));
@@ -470,6 +542,37 @@ fn main() {
         ));
     }
     json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"scan_churn\": {\n");
+    json.push_str(&format!("    \"population\": {},\n", churn_row.population));
+    json.push_str(&format!(
+        "    \"delta_seconds\": {:.6},\n",
+        churn_row.delta_seconds
+    ));
+    json.push_str(&format!(
+        "    \"delta_probed\": {},\n",
+        churn_row.delta_probed
+    ));
+    json.push_str(&format!(
+        "    \"full_seconds\": {:.6},\n",
+        churn_row.full_seconds
+    ));
+    json.push_str(&format!(
+        "    \"full_probed\": {},\n",
+        churn_row.full_probed
+    ));
+    json.push_str(&format!(
+        "    \"changed_ranks\": {},\n",
+        churn_row.changed_ranks
+    ));
+    json.push_str(&format!(
+        "    \"dirty_segments\": {},\n",
+        churn_row.dirty_segments
+    ));
+    json.push_str(&format!(
+        "    \"total_segments\": {}\n",
+        churn_row.total_segments
+    ));
     json.push_str("  },\n");
     json.push_str("  \"engine_end_to_end\": [\n");
     for (i, row) in engine_rows.iter().enumerate() {

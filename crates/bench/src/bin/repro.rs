@@ -11,6 +11,10 @@
 //! serial); when absent, a `QUICERT_WORKERS` environment override is
 //! honored (same semantics), so at-scale runs are tunable without code or
 //! command-line edits. The report is bit-for-bit identical at any setting.
+//!
+//! `--ticks N` (or `QUICERT_TICKS=N`) additionally drives the resident
+//! campaign service through `N` churn ticks after the report, printing
+//! per-tick delta-scan stats to stderr — stdout stays the golden report.
 
 use quicert_core::{full_report, Campaign, CampaignConfig, ReportOptions};
 
@@ -20,8 +24,28 @@ fn env_workers() -> Option<usize> {
     std::env::var("QUICERT_WORKERS").ok()?.trim().parse().ok()
 }
 
+/// The `QUICERT_TICKS` override, when set and parseable.
+fn env_ticks() -> Option<u64> {
+    std::env::var("QUICERT_TICKS").ok()?.trim().parse().ok()
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    // Positional args (domains, seed, workers) with one flag: `--ticks N`
+    // may appear anywhere and is consumed before positional parsing.
+    let mut ticks: Option<u64> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--ticks" {
+            ticks = raw.next().and_then(|a| a.parse().ok());
+        } else if let Some(n) = arg.strip_prefix("--ticks=") {
+            ticks = n.parse().ok();
+        } else {
+            positional.push(arg);
+        }
+    }
+    let ticks = ticks.or_else(env_ticks);
+    let mut args = positional.into_iter();
     let domains: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
     let seed: u64 = args
         .next()
@@ -62,6 +86,7 @@ fn main() {
         pq_eras: true,
         population_scale: true,
         chaos: true,
+        churn: true,
         // The paper-scale ladder: 10k / 100k / 1M domains streamed in
         // bounded memory.
         scale_sizes: quicert_core::experiments::scale::PAPER_SCALE_SIZES,
@@ -111,5 +136,39 @@ fn main() {
             "{}",
             campaign.engine().metrics_registry().render_prometheus()
         );
+    }
+
+    // Resident-service mode: drive the era-migration churn timeline for
+    // `--ticks N` ticks through the delta-scan path, reporting what each
+    // tick cost. All of it goes to stderr.
+    if let Some(ticks) = ticks.filter(|&t| t > 0) {
+        eprintln!("churn service: advancing {ticks} tick(s) through delta scans ...");
+        let mut service = quicert_core::CampaignService::new(
+            quicert_core::experiments::churn::era_migration_config(&campaign),
+        );
+        for tick in 0..=ticks {
+            let snapshot = service.snapshot_at(tick);
+            let reachable = snapshot.reach.classes.reachable();
+            let stats = *service
+                .tick_log()
+                .last()
+                .expect("snapshot_at always logs a scan");
+            eprintln!(
+                "  tick {}: {} event(s), {} rank(s) churned{}, probed {}/{} ({} of {} segments dirty), {} reachable",
+                stats.tick,
+                stats.events,
+                stats.changed_ranks,
+                if stats.all_changed {
+                    " [era migration: all segments dirty]"
+                } else {
+                    ""
+                },
+                stats.probed,
+                stats.full_probe_count,
+                stats.dirty_segments,
+                stats.total_segments,
+                reachable,
+            );
+        }
     }
 }

@@ -77,6 +77,54 @@ fn adaptive_claim(remaining: usize, workers: usize) -> usize {
     (remaining / (workers * 8).max(1)).clamp(MIN_ADAPTIVE_CHUNK, MAX_ADAPTIVE_CHUNK)
 }
 
+/// One fully-specified scan scenario: the orthogonal axes that determine
+/// a scan family's outcome, packaged as one hashable key.
+///
+/// Replaces the engine's former ad-hoc `(era, profile, plan, size)` and
+/// `(era, profile, policy, plan, size)` cache-key tuples, and doubles as
+/// the key the campaign service uses for per-tick snapshots. All
+/// components store exact (integer/enum) values, so the key is `Eq +
+/// Hash` with no float anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioKey {
+    /// Certificate era the scan runs under.
+    pub era: CertificateEra,
+    /// Network path conditions.
+    pub profile: NetworkProfile,
+    /// Resumption policy for warm scans; `None` on cold scans.
+    pub policy: Option<ResumptionPolicy>,
+    /// Chaos overlay ([`FaultPlan::NONE`] outside fault campaigns).
+    pub plan: FaultPlan,
+    /// Client Initial size in bytes.
+    pub initial_size: usize,
+}
+
+impl ScenarioKey {
+    /// The key of a cold (no-resumption) scan.
+    pub fn cold(
+        era: CertificateEra,
+        profile: NetworkProfile,
+        plan: FaultPlan,
+        initial_size: usize,
+    ) -> ScenarioKey {
+        ScenarioKey {
+            era,
+            profile,
+            policy: None,
+            plan,
+            initial_size,
+        }
+    }
+
+    /// The same scenario scanned warm under `policy`.
+    pub fn with_policy(self, policy: ResumptionPolicy) -> ScenarioKey {
+        ScenarioKey {
+            policy: Some(policy),
+            ..self
+        }
+    }
+}
+
 /// One lazily-computed artifact family, keyed by scan parameters.
 ///
 /// The first request for a key computes the artifact (outside the lock, so
@@ -433,20 +481,10 @@ pub struct ScanEngine {
     era: CertificateEra,
     fault_plan: FaultPlan,
     https: ArtifactCache<(), HttpsScanReport>,
-    // FaultPlan stores per-mille integers, so it is `Eq + Hash` and keys
-    // the caches exactly — no float keys anywhere.
-    quicreach:
-        ArtifactCache<(CertificateEra, NetworkProfile, FaultPlan, usize), Vec<QuicReachResult>>,
-    warm: ArtifactCache<
-        (
-            CertificateEra,
-            NetworkProfile,
-            ResumptionPolicy,
-            FaultPlan,
-            usize,
-        ),
-        Vec<WarmScanResult>,
-    >,
+    // Scan-family caches key on [`ScenarioKey`] — every axis stores exact
+    // integer/enum values, so no float keys anywhere.
+    quicreach: ArtifactCache<ScenarioKey, Vec<QuicReachResult>>,
+    warm: ArtifactCache<ScenarioKey, Vec<WarmScanResult>>,
     sweep: ArtifactCache<(), Vec<ScanSummary>>,
     compression_support: ArtifactCache<(), Vec<AlgorithmSupport>>,
     all_three: ArtifactCache<(), (usize, usize)>,
@@ -456,8 +494,7 @@ pub struct ScanEngine {
     qscanner: ArtifactCache<(), (Vec<QuicCertObservation>, ConsistencyReport)>,
     // Streaming-path caches hold *summaries*, never per-record vectors, so
     // a cached million-record scan costs a few kilobytes.
-    stream_quicreach:
-        ArtifactCache<(CertificateEra, NetworkProfile, FaultPlan, usize), QuicReachShard>,
+    stream_quicreach: ArtifactCache<ScenarioKey, QuicReachShard>,
     stream_https: ArtifactCache<(), HttpsScanShard>,
     stream_compression: ArtifactCache<(), CompressionShard>,
     // What the pump did on the most recent (uncached) streaming scan.
@@ -702,7 +739,7 @@ impl ScanEngine {
         initial_size: usize,
     ) -> Arc<Vec<QuicReachResult>> {
         self.quicreach
-            .get_or_compute((era, profile, plan, initial_size), || {
+            .get_or_compute(ScenarioKey::cold(era, profile, plan, initial_size), || {
                 let records: Vec<&DomainRecord> = self.world.quic_services().collect();
                 run_sharded(&records, self.workers, |shard| {
                     quicreach::scan_records_chaos(
@@ -769,21 +806,21 @@ impl ScanEngine {
         plan: FaultPlan,
         initial_size: usize,
     ) -> Arc<Vec<WarmScanResult>> {
-        self.warm
-            .get_or_compute((era, profile, policy, plan, initial_size), || {
-                let records: Vec<&DomainRecord> = self.world.quic_services().collect();
-                run_sharded(&records, self.workers, |shard| {
-                    quicreach::warm_scan_records_chaos(
-                        &self.world,
-                        shard,
-                        initial_size,
-                        profile,
-                        policy,
-                        era,
-                        plan,
-                    )
-                })
+        let key = ScenarioKey::cold(era, profile, plan, initial_size).with_policy(policy);
+        self.warm.get_or_compute(key, || {
+            let records: Vec<&DomainRecord> = self.world.quic_services().collect();
+            run_sharded(&records, self.workers, |shard| {
+                quicreach::warm_scan_records_chaos(
+                    &self.world,
+                    shard,
+                    initial_size,
+                    profile,
+                    policy,
+                    era,
+                    plan,
+                )
             })
+        })
     }
 
     /// The full Fig 3 sweep: one [`ScanSummary`] per swept Initial size.
@@ -973,8 +1010,9 @@ impl ScanEngine {
         plan: FaultPlan,
         initial_size: usize,
     ) -> Arc<QuicReachShard> {
-        self.stream_quicreach
-            .get_or_compute((era, profile, plan, initial_size), || {
+        self.stream_quicreach.get_or_compute(
+            ScenarioKey::cold(era, profile, plan, initial_size),
+            || {
                 let probe_metrics = self
                     .metrics_enabled
                     .then(|| ProbeMetrics::register(&self.registry, era, profile));
@@ -1002,7 +1040,8 @@ impl ScanEngine {
                 // scan's Initial size; stamp it so the bar is labelled.
                 shard.classes.initial_size = initial_size;
                 shard
-            })
+            },
+        )
     }
 
     /// The streaming §3.1 HTTPS scan: funnel counters and chain-size

@@ -11,10 +11,12 @@
 //! | [`pq`] | the post-quantum certificate-era axis (beyond the paper) |
 //! | [`scale`] | the population-scale ladder on the streaming scan path |
 //! | [`chaos`] | the fault-grid axis and its loss-recovery cost (beyond the paper) |
+//! | [`churn`] | ecosystem churn over a resident campaign (beyond the paper) |
 
 pub mod amplification;
 pub mod certs;
 pub mod chaos;
+pub mod churn;
 pub mod compression;
 pub mod guidance;
 pub mod handshakes;

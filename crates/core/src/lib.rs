@@ -17,7 +17,9 @@ pub mod campaign;
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod service;
 
 pub use campaign::{Campaign, CampaignConfig};
-pub use engine::{PumpStats, ScanEngine, WorkerPumpStats};
+pub use engine::{PumpStats, ScanEngine, ScenarioKey, WorkerPumpStats};
 pub use report::{full_report, ReportOptions};
+pub use service::{CampaignService, ServiceConfig, TickStats};

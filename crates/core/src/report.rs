@@ -3,7 +3,7 @@
 use quicert_compress::Algorithm;
 
 use crate::experiments::{
-    amplification, certs, chaos, compression, guidance, handshakes, pq, resumption, scale,
+    amplification, certs, chaos, churn, compression, guidance, handshakes, pq, resumption, scale,
 };
 use crate::Campaign;
 
@@ -44,6 +44,10 @@ pub struct ReportOptions {
     /// session resumption re-measured under every rung. Each grid cell
     /// re-scans the QUIC population once.
     pub chaos: bool,
+    /// Include the ecosystem-churn section: the resident campaign service
+    /// replaying an era-migration timeline with per-tick delta scans
+    /// (each tick re-probes only the churned population segments).
+    pub churn: bool,
     /// The population ladder for the scale section; `0` entries derive
     /// from the campaign's world size as `[n/2, n, 5n]`. The `repro`
     /// harness passes [`scale::PAPER_SCALE_SIZES`] (10k/100k/1M) here.
@@ -63,6 +67,7 @@ impl Default for ReportOptions {
             pq_eras: true,
             population_scale: true,
             chaos: true,
+            churn: true,
             scale_sizes: [0, 0, 0],
         }
     }
@@ -75,7 +80,7 @@ type ToggledSection = (fn(&ReportOptions) -> bool, &'static str);
 /// them. [`ReportOptions::skipped`] derives from this table, so the
 /// skipped-section list always follows the report's canonical section order
 /// no matter how the toggles are declared or queried.
-const TOGGLED_SECTIONS: [ToggledSection; 7] = [
+const TOGGLED_SECTIONS: [ToggledSection; 8] = [
     (|o| o.full_sweep, "Fig 3 full Initial-size sweep"),
     (
         |o| o.guidance_mitigation,
@@ -86,6 +91,7 @@ const TOGGLED_SECTIONS: [ToggledSection; 7] = [
     (|o| o.pq_eras, "post-quantum certificate-era section"),
     (|o| o.chaos, "chaos fault-grid section"),
     (|o| o.population_scale, "population-scale streaming section"),
+    (|o| o.churn, "ecosystem-churn timeline section"),
 ];
 
 impl ReportOptions {
@@ -252,8 +258,23 @@ pub fn full_report(campaign: &Campaign, options: ReportOptions) -> String {
         )));
     }
 
+    // Beyond the paper: the same campaign as a resident service whose
+    // population churns along a deterministic era-migration timeline,
+    // measured per tick through delta scans.
+    if options.churn {
+        out.push('\n');
+        out.push_str(&churn::render_churn(&churn::churn_timeline(
+            campaign,
+            REPORT_CHURN_TICKS,
+        )));
+    }
+
     out
 }
+
+/// Ticks the report's churn section replays — far enough to cover every
+/// migration of [`churn::era_migration_config`]'s timeline.
+const REPORT_CHURN_TICKS: u64 = 5;
 
 #[cfg(test)]
 mod tests {
@@ -276,6 +297,7 @@ mod tests {
                 pq_eras: true,
                 population_scale: true,
                 chaos: true,
+                churn: true,
                 scale_sizes: [0, 0, 0],
             },
         );
@@ -316,6 +338,7 @@ mod tests {
             "dup-storm",
             "Resumption under faults",
             "Population scale",
+            "Ecosystem churn",
         ] {
             assert!(report.contains(needle), "missing section {needle}");
         }
@@ -334,10 +357,11 @@ mod tests {
             pq_eras: false,
             population_scale: false,
             chaos: false,
+            churn: false,
             ..ReportOptions::default()
         };
         let skipped = partial.skipped();
-        assert_eq!(skipped.len(), 7);
+        assert_eq!(skipped.len(), 8);
         assert!(skipped.iter().any(|s| s.contains("resumption")));
 
         // A report with everything off renders none of the toggled
@@ -357,6 +381,7 @@ mod tests {
         assert!(!report.contains("Certificate-era matrix"));
         assert!(!report.contains("Chaos grid"));
         assert!(!report.contains("Population scale"));
+        assert!(!report.contains("Ecosystem churn"));
         assert!(report.contains("§3.1 funnel"));
     }
 
@@ -372,6 +397,7 @@ mod tests {
             pq_eras: false,
             population_scale: false,
             chaos: false,
+            churn: false,
             ..ReportOptions::default()
         };
         assert_eq!(
@@ -384,6 +410,7 @@ mod tests {
                 "post-quantum certificate-era section",
                 "chaos fault-grid section",
                 "population-scale streaming section",
+                "ecosystem-churn timeline section",
             ]
         );
 

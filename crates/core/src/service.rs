@@ -1,0 +1,572 @@
+//! The resident campaign service: a long-lived campaign whose population
+//! churns along a deterministic timeline, serving point-in-time snapshots
+//! through **delta scans**.
+//!
+//! A batch [`crate::Campaign`] scans one frozen world. The
+//! [`CampaignService`] instead holds a `quicert_churn::Timeline` and a
+//! fixed segmentation of the population:
+//!
+//! * [`CampaignService::advance_to`] applies churn ticks as pure state
+//!   transitions and marks the **segments** containing churned ranks
+//!   dirty (an era migration dirties everything — the affected records
+//!   are only identifiable after derivation).
+//! * [`CampaignService::snapshot_at`] re-derives and re-probes **only the
+//!   dirty segments** through the same scanner folds the streaming pump
+//!   uses, then merges the per-segment `Merge`-monoid summaries in
+//!   segment order. Because every summary merge is exactly associative
+//!   and commutative (pinned by the worker/chunk-invariance suite), the
+//!   delta scan is **bit-identical to a full rescan** of the churned
+//!   world at that tick — the load-bearing invariant, pinned in
+//!   `determinism_matrix`.
+//! * Snapshots are memoized per ([`ScenarioKey`], tick); requesting a
+//!   tick older than the service's clock falls back to a full refold
+//!   from the replayed [`ChurnState`].
+//!
+//! `quicert_obs` counters on the service registry account ticks applied,
+//! records churned, and delta-vs-full probe volumes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use quicert_analysis::Merge;
+use quicert_churn::{ChurnConfig, ChurnState, Timeline};
+use quicert_obs::{Counter, MetricsRegistry};
+use quicert_pki::World;
+use quicert_scanner::https_scan::{self, HttpsScanShard};
+use quicert_scanner::quicreach::{self, ProbeScratch, QuicReachShard};
+
+use crate::campaign::CampaignConfig;
+use crate::engine::{host_parallelism, run_sharded, ScenarioKey};
+
+/// Configuration of a resident campaign.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The scan parameters (world, Initial size, workers, profile, era,
+    /// fault plan) — same knobs as a batch campaign.
+    pub campaign: CampaignConfig,
+    /// The churn timeline driving the population between ticks.
+    pub churn: ChurnConfig,
+    /// Ranks per delta-scan segment: the invalidation granularity. One
+    /// churned rank re-probes its whole segment, so smaller segments
+    /// probe less per tick but cache more summaries.
+    pub segment_size: usize,
+}
+
+impl ServiceConfig {
+    /// Wrap campaign parameters and a churn timeline with the default
+    /// segment size (256 ranks).
+    pub fn new(campaign: CampaignConfig, churn: ChurnConfig) -> ServiceConfig {
+        ServiceConfig {
+            campaign,
+            churn,
+            segment_size: 256,
+        }
+    }
+
+    /// Override the delta-scan segment size (builder style).
+    pub fn with_segment_size(mut self, segment_size: usize) -> ServiceConfig {
+        self.segment_size = segment_size.max(1);
+        self
+    }
+}
+
+/// One point-in-time view of the churned campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The tick this snapshot measures.
+    pub tick: u64,
+    /// The quicreach summary of the churned population.
+    pub reach: QuicReachShard,
+    /// The §3.1 funnel and chain-size summary of the churned population.
+    pub funnel: HttpsScanShard,
+    /// The global session-ticket-key epoch at this tick.
+    pub stek_epoch: u32,
+}
+
+/// What one scanned tick cost: churn volume and probe accounting for the
+/// delta-vs-full comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickStats {
+    /// The scanned tick.
+    pub tick: u64,
+    /// Churn events applied since the previous scanned tick.
+    pub events: usize,
+    /// Distinct ranks churned since the previous scanned tick.
+    pub changed_ranks: usize,
+    /// An era migration fired, invalidating every segment.
+    pub all_changed: bool,
+    /// Segments re-folded by this scan.
+    pub dirty_segments: usize,
+    /// Total segments in the population.
+    pub total_segments: usize,
+    /// QUIC services actually re-probed by this scan.
+    pub probed: usize,
+    /// QUIC services a full rescan would have probed.
+    pub full_probe_count: usize,
+    /// This scan fell back to a full refold (historical tick or first
+    /// scan) instead of a delta.
+    pub full_rescan: bool,
+}
+
+/// Per-segment cached summaries, valid at the service's last scanned
+/// tick for all non-dirty segments.
+#[derive(Debug, Clone)]
+struct SegmentSummary {
+    reach: QuicReachShard,
+    funnel: HttpsScanShard,
+    probed: usize,
+}
+
+/// The service's pre-registered `quicert_obs` instruments.
+#[derive(Debug)]
+struct ServiceMetrics {
+    ticks_applied: Arc<Counter>,
+    records_churned: Arc<Counter>,
+    delta_probes: Arc<Counter>,
+    full_probes: Arc<Counter>,
+    delta_scans: Arc<Counter>,
+    full_rescans: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn register(registry: &MetricsRegistry) -> ServiceMetrics {
+        ServiceMetrics {
+            ticks_applied: registry.counter(
+                "quicert_service_ticks_applied_total",
+                "Churn ticks applied by the campaign service",
+            ),
+            records_churned: registry.counter(
+                "quicert_service_records_churned_total",
+                "Distinct ranks named by per-rank churn events",
+            ),
+            delta_probes: registry.counter(
+                "quicert_service_delta_probes_total",
+                "QUIC services re-probed by delta scans",
+            ),
+            full_probes: registry.counter(
+                "quicert_service_full_probes_total",
+                "QUIC services probed by full rescans",
+            ),
+            delta_scans: registry.counter(
+                "quicert_service_delta_scans_total",
+                "Snapshots served by the delta-scan path",
+            ),
+            full_rescans: registry.counter(
+                "quicert_service_full_rescans_total",
+                "Snapshots served by a full refold",
+            ),
+        }
+    }
+}
+
+/// A resident campaign: world + churn timeline + segment summary cache +
+/// per-tick snapshot store.
+#[derive(Debug)]
+pub struct CampaignService {
+    config: ServiceConfig,
+    world: World,
+    timeline: Timeline,
+    state: ChurnState,
+    workers: usize,
+    scenario: ScenarioKey,
+    segment_size: usize,
+    domains: usize,
+    /// Cached per-segment summaries; entry `i` covers ranks
+    /// `[i*segment_size + 1, (i+1)*segment_size]`.
+    segments: Vec<Option<SegmentSummary>>,
+    /// Segments churned since their cached fold.
+    dirty: Vec<bool>,
+    snapshots: HashMap<(ScenarioKey, u64), Arc<Snapshot>>,
+    tick_log: Vec<TickStats>,
+    /// Events/ranks accumulated since the last scan (folded into the next
+    /// scanned tick's stats).
+    pending_events: usize,
+    pending_ranks: usize,
+    pending_all_changed: bool,
+    registry: Arc<MetricsRegistry>,
+    metrics: ServiceMetrics,
+}
+
+impl CampaignService {
+    /// Build the service. The world is held in streaming form — segments
+    /// re-derive their records on demand, so resident memory is the
+    /// segment summaries, never the population.
+    pub fn new(config: ServiceConfig) -> CampaignService {
+        let world = World::streaming(config.campaign.world.clone());
+        let domains = config.campaign.world.domains;
+        let segment_size = config.segment_size.max(1);
+        let segments = domains.div_ceil(segment_size);
+        let workers = match config.campaign.workers {
+            0 => host_parallelism(),
+            n => n,
+        };
+        let scenario = ScenarioKey::cold(
+            config.campaign.era,
+            config.campaign.profile,
+            config.campaign.fault_plan,
+            config.campaign.default_initial,
+        );
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = ServiceMetrics::register(&registry);
+        let timeline = Timeline::new(config.churn.clone());
+        CampaignService {
+            config,
+            world,
+            timeline,
+            state: ChurnState::initial(),
+            workers,
+            scenario,
+            segment_size,
+            domains,
+            segments: vec![None; segments],
+            dirty: vec![false; segments],
+            snapshots: HashMap::new(),
+            tick_log: Vec::new(),
+            pending_events: 0,
+            pending_ranks: 0,
+            pending_all_changed: false,
+            registry,
+            metrics,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The current tick of the service clock.
+    pub fn tick(&self) -> u64 {
+        self.state.tick
+    }
+
+    /// The churn state at the current tick.
+    pub fn state(&self) -> &ChurnState {
+        &self.state
+    }
+
+    /// The scenario every snapshot of this service is keyed under.
+    pub fn scenario(&self) -> ScenarioKey {
+        self.scenario
+    }
+
+    /// The service's metrics registry (tick, churn and probe counters).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Stats of every scanned tick, in scan order.
+    pub fn tick_log(&self) -> &[TickStats] {
+        &self.tick_log
+    }
+
+    /// Advance the service clock to `tick`, applying every intervening
+    /// churn tick and marking the churned segments dirty. No scanning
+    /// happens until a snapshot is requested. Ticks already applied are
+    /// not re-applied (the clock is monotonic).
+    pub fn advance_to(&mut self, tick: u64) {
+        while self.state.tick < tick {
+            let delta = self.state.advance(&self.timeline);
+            self.metrics.ticks_applied.inc();
+            self.metrics
+                .records_churned
+                .add(delta.changed_ranks.len() as u64);
+            self.pending_events += delta.events;
+            self.pending_ranks += delta.changed_ranks.len();
+            if delta.all_changed {
+                self.pending_all_changed = true;
+                for flag in &mut self.dirty {
+                    *flag = true;
+                }
+            } else {
+                for &rank in &delta.changed_ranks {
+                    let segment = (rank - 1) / self.segment_size;
+                    self.dirty[segment] = true;
+                }
+            }
+        }
+    }
+
+    /// The snapshot at `tick`, computed on first request and memoized per
+    /// ([`ScenarioKey`], tick).
+    ///
+    /// * `tick >= self.tick()`: the clock advances and the snapshot is a
+    ///   **delta scan** — only dirty (or never-folded) segments re-probe.
+    /// * `tick < self.tick()` and not memoized: a **full refold** from
+    ///   the replayed churn state at that tick, leaving the live segment
+    ///   cache untouched.
+    pub fn snapshot_at(&mut self, tick: u64) -> Arc<Snapshot> {
+        let key = (self.scenario, tick);
+        if let Some(snapshot) = self.snapshots.get(&key) {
+            return Arc::clone(snapshot);
+        }
+        let snapshot = if tick < self.state.tick {
+            let state = ChurnState::at(&self.timeline, tick);
+            Arc::new(self.full_scan_of(&state, tick, true))
+        } else {
+            self.advance_to(tick);
+            Arc::new(self.delta_scan(tick))
+        };
+        self.snapshots.insert(key, Arc::clone(&snapshot));
+        snapshot
+    }
+
+    /// A from-scratch full rescan of the churned world at `tick` — the
+    /// reference the delta path must match bit-for-bit. Does not consult
+    /// or update the segment cache.
+    pub fn full_rescan_at(&mut self, tick: u64) -> Snapshot {
+        let state = if tick == self.state.tick {
+            self.state.clone()
+        } else {
+            ChurnState::at(&self.timeline, tick)
+        };
+        self.full_scan_of(&state, tick, false)
+    }
+
+    /// Fold every segment of the population under `state` and merge in
+    /// segment order. When `log` is set, the scan is recorded in the tick
+    /// log and probe counters as a full rescan.
+    fn full_scan_of(&mut self, state: &ChurnState, tick: u64, log: bool) -> Snapshot {
+        let all: Vec<usize> = (0..self.segments.len()).collect();
+        let folded = self.fold_segments(&all, state);
+        let probed: usize = folded.iter().map(|s| s.probed).sum();
+        let snapshot = Self::merge_segments(tick, state.stek_epoch, folded.iter());
+        self.metrics.full_probes.add(probed as u64);
+        self.metrics.full_rescans.inc();
+        if log {
+            self.tick_log.push(TickStats {
+                tick,
+                events: std::mem::take(&mut self.pending_events),
+                changed_ranks: std::mem::take(&mut self.pending_ranks),
+                all_changed: std::mem::take(&mut self.pending_all_changed),
+                dirty_segments: all.len(),
+                total_segments: self.segments.len(),
+                probed,
+                full_probe_count: probed,
+                full_rescan: true,
+            });
+        }
+        snapshot
+    }
+
+    /// The delta scan at the current clock: re-fold exactly the dirty (or
+    /// never-folded) segments, install them in the cache, and merge all
+    /// cached segment summaries in segment order.
+    fn delta_scan(&mut self, tick: u64) -> Snapshot {
+        debug_assert_eq!(tick, self.state.tick);
+        let dirty: Vec<usize> = (0..self.segments.len())
+            .filter(|&i| self.dirty[i] || self.segments[i].is_none())
+            .collect();
+        let state = self.state.clone();
+        let folded = self.fold_segments(&dirty, &state);
+        let probed: usize = folded.iter().map(|s| s.probed).sum();
+        for (&segment, summary) in dirty.iter().zip(folded) {
+            self.segments[segment] = Some(summary);
+            self.dirty[segment] = false;
+        }
+        let snapshot = Self::merge_segments(
+            tick,
+            state.stek_epoch,
+            self.segments.iter().map(|s| {
+                s.as_ref()
+                    .expect("every segment folded at least once by now")
+            }),
+        );
+        let full_probe_count = self
+            .segments
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |s| s.probed))
+            .sum();
+        self.metrics.delta_probes.add(probed as u64);
+        self.metrics.delta_scans.inc();
+        self.tick_log.push(TickStats {
+            tick,
+            events: std::mem::take(&mut self.pending_events),
+            changed_ranks: std::mem::take(&mut self.pending_ranks),
+            all_changed: std::mem::take(&mut self.pending_all_changed),
+            dirty_segments: dirty.len(),
+            total_segments: self.segments.len(),
+            probed,
+            full_probe_count,
+            full_rescan: false,
+        });
+        snapshot
+    }
+
+    /// Re-derive and fold the named segments under `state`, in parallel
+    /// across the service's workers. Results come back in input order
+    /// ([`run_sharded`] is order-preserving), so callers merge
+    /// deterministically.
+    fn fold_segments(&self, segments: &[usize], state: &ChurnState) -> Vec<SegmentSummary> {
+        run_sharded(segments, self.workers, |shard| {
+            let mut scratch = ProbeScratch::with_memo(true);
+            shard
+                .iter()
+                .map(|&segment| self.fold_segment(segment, state, &mut scratch))
+                .collect()
+        })
+    }
+
+    /// Fold one segment: derive its records, overlay the churn state, and
+    /// run the same scanner folds the streaming pump uses.
+    fn fold_segment(
+        &self,
+        segment: usize,
+        state: &ChurnState,
+        scratch: &mut ProbeScratch,
+    ) -> SegmentSummary {
+        let first_rank = segment * self.segment_size + 1;
+        let size = self.segment_size.min(self.domains - first_rank + 1);
+        let mut records = self.world.domain_chunk(first_rank, size);
+        state.apply_to_records(&mut records);
+        let reach = quicreach::fold_records_scratch_chaos(
+            &self.world,
+            &records,
+            self.scenario.initial_size,
+            self.scenario.profile,
+            self.scenario.era,
+            self.scenario.plan,
+            scratch,
+        );
+        let funnel = https_scan::fold_iter(&self.world, records.iter());
+        let probed = records.iter().filter(|r| r.has_quic()).count();
+        SegmentSummary {
+            reach,
+            funnel,
+            probed,
+        }
+    }
+
+    /// Merge per-segment summaries (in the iteration order given — always
+    /// segment order) into one snapshot.
+    fn merge_segments<'a>(
+        tick: u64,
+        stek_epoch: u32,
+        segments: impl Iterator<Item = &'a SegmentSummary>,
+    ) -> Snapshot {
+        let mut reach = QuicReachShard::identity();
+        let mut funnel = HttpsScanShard::seeded();
+        for summary in segments {
+            reach.merge(&summary.reach);
+            funnel.merge(&summary.funnel);
+        }
+        Snapshot {
+            tick,
+            reach,
+            funnel,
+            stek_epoch,
+        }
+    }
+
+    /// Render a point-in-time report of the snapshot at `tick` (advancing
+    /// and scanning as needed).
+    pub fn report_at(&mut self, tick: u64) -> String {
+        let snapshot = self.snapshot_at(tick);
+        crate::experiments::churn::render_snapshot(&snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicert_pki::world::Provider;
+    use quicert_pki::CertificateEra;
+
+    fn service(workers: usize) -> CampaignService {
+        let campaign = CampaignConfig::small()
+            .with_domains(600)
+            .with_seed(0xC4A7)
+            .with_workers(workers);
+        let churn = ChurnConfig::new(0x7123, 600).with_migration(
+            4,
+            Provider::Cloudflare,
+            CertificateEra::Hybrid,
+        );
+        CampaignService::new(ServiceConfig::new(campaign, churn).with_segment_size(64))
+    }
+
+    #[test]
+    fn tick_zero_snapshot_matches_the_batch_campaign() {
+        let mut svc = service(2);
+        let snapshot = svc.snapshot_at(0);
+        let campaign = crate::Campaign::new(
+            CampaignConfig::small()
+                .with_domains(600)
+                .with_seed(0xC4A7)
+                .with_workers(2),
+        );
+        assert_eq!(snapshot.reach, *campaign.stream_quicreach_default());
+        assert_eq!(snapshot.funnel, *campaign.stream_https_scan());
+        assert_eq!(snapshot.stek_epoch, 0);
+    }
+
+    #[test]
+    fn snapshots_are_memoized_per_tick() {
+        let mut svc = service(1);
+        let a = svc.snapshot_at(2);
+        let b = svc.snapshot_at(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(svc.tick_log().len(), 1);
+    }
+
+    #[test]
+    fn delta_scan_equals_full_rescan_at_each_tick() {
+        let mut svc = service(2);
+        for tick in [1, 2, 4, 5] {
+            let delta = svc.snapshot_at(tick);
+            let full = svc.full_rescan_at(tick);
+            assert_eq!(*delta, full, "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn delta_scans_probe_fewer_records_on_sparse_ticks() {
+        let mut svc = service(2);
+        svc.snapshot_at(0);
+        svc.snapshot_at(1);
+        let stats = svc.tick_log().last().copied().unwrap();
+        assert!(!stats.full_rescan);
+        assert!(
+            stats.probed < stats.full_probe_count,
+            "delta probed {} of {}",
+            stats.probed,
+            stats.full_probe_count
+        );
+        assert!(stats.dirty_segments < stats.total_segments);
+    }
+
+    #[test]
+    fn era_migration_dirties_every_segment() {
+        let mut svc = service(2);
+        svc.snapshot_at(3);
+        svc.snapshot_at(4); // migration tick
+        let stats = svc.tick_log().last().copied().unwrap();
+        assert!(stats.all_changed);
+        assert_eq!(stats.dirty_segments, stats.total_segments);
+    }
+
+    #[test]
+    fn historical_snapshots_replay_without_disturbing_the_clock() {
+        let mut svc = service(1);
+        let live = svc.snapshot_at(3);
+        let historical = svc.snapshot_at(1);
+        assert_eq!(svc.tick(), 3);
+        assert!(historical.tick == 1 && live.tick == 3);
+        // Memoized on re-request.
+        assert!(Arc::ptr_eq(&historical, &svc.snapshot_at(1)));
+        // And identical to a fresh service that never went past tick 1.
+        let mut young = service(1);
+        assert_eq!(*young.snapshot_at(1), *historical);
+    }
+
+    #[test]
+    fn service_counters_account_scans() {
+        let mut svc = service(1);
+        svc.snapshot_at(2);
+        svc.full_rescan_at(2);
+        let text = svc.metrics_registry().render_prometheus();
+        assert!(text.contains("quicert_service_ticks_applied_total 2"));
+        assert!(text.contains("quicert_service_delta_scans_total 1"));
+        assert!(text.contains("quicert_service_full_rescans_total 1"));
+    }
+}

@@ -6,8 +6,10 @@
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
-use quicert_core::ScanEngine;
+use quicert_churn::{ChurnConfig, ChurnState, Timeline};
+use quicert_core::{CampaignConfig, CampaignService, ScanEngine, ServiceConfig};
 use quicert_netsim::{FaultPlan, NetworkProfile};
+use quicert_pki::world::Provider;
 use quicert_pki::{CertificateEra, World, WorldConfig};
 use quicert_scanner::https_scan::HttpsScanShard;
 use quicert_scanner::quicreach::{self, ProbeScratch, QuicReachShard};
@@ -350,6 +352,110 @@ proptest! {
         let (hits, misses, _) = memoized.memo_stats();
         prop_assert_eq!(hits + misses, 2 * direct_shard.total() as u64);
         prop_assert!(hits >= direct_shard.total() as u64);
+    }
+}
+
+/// A resident campaign over a dense multi-event churn timeline: every
+/// tick carries rotations, drifts and revocations; the STEK epoch rolls
+/// every other tick; and Cloudflare migrates to hybrid at tick 3.
+fn churn_service(workers: usize, segment_size: usize) -> CampaignService {
+    let campaign = CampaignConfig::small()
+        .with_domains(480)
+        .with_seed(0x9121)
+        .with_workers(workers);
+    let mut churn = ChurnConfig::new(0xC1C1, 480)
+        .with_rates(6, 4, 2)
+        .with_migration(3, Provider::Cloudflare, CertificateEra::Hybrid);
+    churn.stek_rollover_every = 2;
+    CampaignService::new(ServiceConfig::new(campaign, churn).with_segment_size(segment_size))
+}
+
+/// The campaign service's load-bearing invariant across the worker ×
+/// segment-size grid: the delta scan at every tick of a multi-event
+/// timeline (rotation + drift + revocation + STEK rollover + era
+/// migration) is bit-identical to a from-scratch full rescan of the
+/// churned world at that tick, and identical across worker counts and
+/// segmentations (including one single segment spanning the population).
+#[test]
+fn churn_delta_scans_equal_full_rescans_across_workers_and_segments() {
+    const TICKS: u64 = 4;
+    let mut reference = churn_service(1, 64);
+    let reference_snapshots: Vec<_> = (0..=TICKS)
+        .map(|tick| (*reference.snapshot_at(tick)).clone())
+        .collect();
+    for workers in [1usize, 2, 8] {
+        for segment_size in [16usize, 96, 1024] {
+            let mut service = churn_service(workers, segment_size);
+            for tick in 0..=TICKS {
+                let delta = service.snapshot_at(tick);
+                let full = service.full_rescan_at(tick);
+                assert_eq!(
+                    *delta, full,
+                    "delta != full rescan at tick {tick} workers={workers} segment={segment_size}"
+                );
+                assert_eq!(
+                    *delta, reference_snapshots[tick as usize],
+                    "snapshot diverged at tick {tick} workers={workers} segment={segment_size}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Churn timelines are pure functions of (seed, tick), and one tick's
+    // events commute: applying them forward, reversed, or rotated by any
+    // offset lands on the same state, which (tick counter aside) equals
+    // the replayed reference. This is what lets the service apply a
+    // tick's events in any order and still serve deterministic snapshots.
+    #[test]
+    fn churn_timeline_is_deterministic_and_order_independent(
+        seed in any::<u64>(),
+        domains in 1usize..2_000,
+        tick in 1u64..32,
+        rotations in 0usize..12,
+        drifts in 0usize..8,
+        revocations in 0usize..6,
+        migrate_now in any::<bool>(),
+        rotate_by in 0usize..64,
+    ) {
+        let migration_tick = if migrate_now { tick } else { tick + 1 };
+        let config = ChurnConfig::new(seed, domains)
+            .with_rates(rotations, drifts, revocations)
+            .with_migration(migration_tick, Provider::Google, CertificateEra::Hybrid)
+            .with_migration(migration_tick, Provider::Google, CertificateEra::PostQuantum);
+        let timeline = Timeline::new(config);
+
+        // Deterministic from (seed, tick): same events, same state, twice.
+        let events = timeline.events_at(tick);
+        prop_assert_eq!(&events, &timeline.events_at(tick));
+        let replayed = ChurnState::at(&timeline, tick);
+        prop_assert_eq!(&replayed, &ChurnState::at(&timeline, tick));
+
+        // Order-independent within the tick.
+        let base = ChurnState::at(&timeline, tick - 1);
+        let mut forward = base.clone();
+        for e in &events {
+            forward.apply(e);
+        }
+        let mut backward = base.clone();
+        for e in events.iter().rev() {
+            backward.apply(e);
+        }
+        let mut rotated = base.clone();
+        let offset = if events.is_empty() { 0 } else { rotate_by % events.len() };
+        for e in events[offset..].iter().chain(&events[..offset]) {
+            rotated.apply(e);
+        }
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(&forward, &rotated);
+
+        // And any order agrees with the replayed reference once the tick
+        // counter (bumped by `advance`, not `apply`) is aligned.
+        forward.tick = tick;
+        prop_assert_eq!(&forward, &replayed);
     }
 }
 

@@ -86,6 +86,30 @@ pub struct QuicDeployment {
     /// The certificate was rotated between the HTTPS and QUIC scans
     /// (the 2.8% consistency gap of §3.2).
     pub rotated_cert: bool,
+    /// How many times the certificate has been reissued since the world
+    /// was generated (churn timeline rotations/revocations). Generation 0
+    /// is the as-generated certificate, byte-for-byte.
+    pub cert_generation: u32,
+    /// Churn-timeline era migration: when set, this deployment serves
+    /// chains from this era regardless of the campaign's scan era.
+    pub era_override: Option<CertificateEra>,
+}
+
+impl QuicDeployment {
+    /// Leaf-seed perturbation encoding both the §3.2 rotation gap and the
+    /// churn generation, so every reissue yields fresh certificate bytes
+    /// while generation 0 reproduces the pre-churn chain exactly.
+    pub fn cert_seed_shift(&self) -> u64 {
+        let rotation = if self.rotated_cert { 0x5EED_0001 } else { 0 };
+        rotation ^ (self.cert_generation as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The era this deployment actually serves under a campaign scanning
+    /// at `scan_era`: the churn override when a provider migration has
+    /// fired, the scan era otherwise.
+    pub fn effective_era(&self, scan_era: CertificateEra) -> CertificateEra {
+        self.era_override.unwrap_or(scan_era)
+    }
 }
 
 /// One ranked domain.
@@ -434,6 +458,13 @@ impl World {
         era: CertificateEra,
     ) -> Option<CertificateChain> {
         let https = record.https.as_ref()?;
+        // A provider era migration moves the whole deployment, so the HTTPS
+        // chain follows the QUIC deployment's override when one exists.
+        let era = record
+            .quic
+            .as_ref()
+            .map(|q| q.effective_era(era))
+            .unwrap_or(era);
         Some(self.ecosystem.issue_era(
             https.chain_id,
             era,
@@ -455,9 +486,9 @@ impl World {
     ) -> Option<CertificateChain> {
         let quic = record.quic.as_ref()?;
         let https = record.https.as_ref()?;
-        let seed_shift = if quic.rotated_cert { 0x5EED_0001 } else { 0 };
+        let era = quic.effective_era(era);
         let mut params = Self::leaf_params(record, quic.chain_id, quic.leaf_key, https.extra_sans);
-        params.seed ^= seed_shift;
+        params.seed ^= quic.cert_seed_shift();
         Some(self.ecosystem.issue_era(quic.chain_id, era, &params))
     }
 
@@ -481,8 +512,9 @@ impl World {
     ) -> Option<u32> {
         let quic = record.quic.as_ref()?;
         let https = record.https.as_ref()?;
-        let seed_shift = if quic.rotated_cert { 0x5EED_0001 } else { 0 };
-        let serial_len = CertificateBuilder::serial_der_len(record.seed ^ seed_shift) as u8;
+        let era = quic.effective_era(era);
+        let serial_len =
+            CertificateBuilder::serial_der_len(record.seed ^ quic.cert_seed_shift()) as u8;
         let key: ChainLenKey = (
             quic.chain_id,
             era,
@@ -852,6 +884,8 @@ impl World {
             behind_lb,
             lb_overhead,
             rotated_cert: rng.chance(pop.rotation_rate),
+            cert_generation: 0,
+            era_override: None,
         }
     }
 }

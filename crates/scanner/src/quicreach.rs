@@ -447,11 +447,12 @@ impl ProbeClass {
             .https
             .as_ref()
             .expect("QUIC deployments ride on an HTTPS record");
-        // Rotated certificates re-derive their serial from a shifted seed;
+        // Rotated or churned certificates re-derive their serial from a
+        // shifted seed, and a migrated provider serves its override era;
         // mirror `World`'s chain issuance exactly.
-        let seed_shift = if quic.rotated_cert { 0x5EED_0001 } else { 0 };
+        let seed_shift = quic.cert_seed_shift();
         ProbeClass {
-            era,
+            era: quic.effective_era(era),
             profile,
             initial_size,
             provider: quic.provider,
@@ -767,6 +768,13 @@ fn probe_for(
     era: CertificateEra,
     plan: FaultPlan,
 ) -> HandshakeProbe {
+    // A churned deployment serves its override era regardless of the scan
+    // era; resolve once so the chain and the CertificateVerify key agree.
+    let era = record
+        .quic
+        .as_ref()
+        .map(|q| q.effective_era(era))
+        .unwrap_or(era);
     let chain = world
         .quic_chain_era(record, era)
         .expect("QUIC services have chains");

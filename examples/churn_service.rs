@@ -1,0 +1,88 @@
+//! Resident campaign service: drive a deterministic churn timeline with
+//! delta scans and query point-in-time snapshots.
+//!
+//! ```sh
+//! cargo run --release --example churn_service
+//! ```
+//!
+//! A batch `Campaign` scans one frozen instant of the ecosystem. The
+//! `CampaignService` keeps the campaign *resident*: certificates rotate
+//! and get revoked, CA dictionaries drift, session-ticket keys roll over,
+//! and whole providers migrate their PKI to post-quantum eras — all as
+//! tick-indexed pure state transitions reproducible from (seed, tick).
+//! Each snapshot is served by a delta scan that re-probes only the
+//! churned segments, yet is bit-identical to a full rescan.
+
+use quicert::churn::{ChurnState, Timeline};
+use quicert::core::experiments::churn as churn_exp;
+use quicert::core::{Campaign, CampaignConfig, CampaignService};
+use quicert::pki::world::Provider;
+use quicert::pki::CertificateEra;
+
+fn main() {
+    let campaign = Campaign::new(CampaignConfig::small().with_domains(4_000));
+
+    // The demo timeline: sparse per-rank churn every tick, Cloudflare and
+    // Google migrating to hybrid at ticks 2-3, Meta and the self-hosted
+    // long tail to post-quantum at tick 5. Every event of every tick is a
+    // pure function of (seed, tick):
+    let config = churn_exp::era_migration_config(&campaign);
+    let timeline = Timeline::new(config.churn.clone());
+    println!(
+        "timeline seed {:#x}: tick 1 draws {} events, replayable at any point",
+        config.churn.seed,
+        timeline.events_at(1).len(),
+    );
+    let at3 = ChurnState::at(&timeline, 3);
+    println!(
+        "state replayed at tick 3: {} events applied, {} ranks churned, \
+         Cloudflare era {:?}\n",
+        at3.events_applied,
+        at3.churned_ranks().len(),
+        at3.era_of(Provider::Cloudflare),
+    );
+
+    // The resident service: advance the clock and query snapshots. Only
+    // the dirty segments re-probe; the merge with cached segment
+    // summaries is bit-identical to a full rescan at that tick.
+    let mut service = CampaignService::new(config);
+    println!("{}\n", service.report_at(0));
+    service.snapshot_at(1); // one sparse tick: a genuine delta scan
+    println!("{}\n", service.report_at(5));
+    for stats in service.tick_log() {
+        println!(
+            "  tick {}: probed {}/{} ({} of {} segments{})",
+            stats.tick,
+            stats.probed,
+            stats.full_probe_count,
+            stats.dirty_segments,
+            stats.total_segments,
+            if stats.all_changed {
+                ", era migration"
+            } else {
+                ""
+            },
+        );
+    }
+
+    // Historical queries replay the state without disturbing the clock,
+    // and the delta path is verifiable against the reference rescan:
+    let historical = service.snapshot_at(2);
+    let reference = service.full_rescan_at(2);
+    assert_eq!(*historical, reference);
+    println!(
+        "\nsnapshot at tick 2 (clock stays at {}): {} reachable, \
+         bit-identical to a full rescan",
+        service.tick(),
+        historical.reach.classes.reachable(),
+    );
+
+    println!(
+        "\ntake-away: with commutative summary merges, a resident campaign\n\
+         can track a churning ecosystem by re-probing only what changed —\n\
+         the era-migration timeline shows 1-RTT share collapsing and chains\n\
+         inflating ({:?} -> {:?}) without ever paying for a full rescan.",
+        CertificateEra::Classical,
+        CertificateEra::PostQuantum,
+    );
+}

@@ -57,6 +57,7 @@ fn main() {
         pq_eras: false,
         population_scale: false,
         chaos: false,
+        churn: false,
         scale_sizes: [0, 0, 0],
     };
     let skipped = options.skipped();

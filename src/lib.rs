@@ -33,12 +33,15 @@
 //!   and the resumption-policy scenario axis
 //! * [`pki`] — the CA ecosystem, ranked world generator, and the
 //!   post-quantum `CertificateEra` scenario axis
+//! * [`churn`] — deterministic tick-indexed ecosystem churn timelines
+//!   (rotation, CA drift, revocation, STEK rollover, era migration)
 //! * [`scanner`] — quicreach / QScanner / telescope / ZMap counterparts
 //! * [`analysis`] — CDFs, statistics, table rendering
 //! * [`core`] — campaign orchestration: the `ScanEngine` artifact store
 //!   (parallel, uniformly cached scans) plus every table and figure
 
 pub use quicert_analysis as analysis;
+pub use quicert_churn as churn;
 pub use quicert_compress as compress;
 pub use quicert_core as core;
 pub use quicert_netsim as netsim;

@@ -102,6 +102,7 @@ fn full_report_runs_end_to_end() {
             pq_eras: true,
             population_scale: true,
             chaos: true,
+            churn: true,
             scale_sizes: [0, 0, 0],
         },
     );

@@ -46,6 +46,7 @@ fn pinned_report() -> String {
             pq_eras: true,
             population_scale: true,
             chaos: true,
+            churn: true,
             scale_sizes: [0, 0, 0],
         },
     )
